@@ -1,0 +1,298 @@
+//! Single-processor performance model.
+//!
+//! Execution time of a compute phase is `flops * flop_scale / rate`, where
+//! the sustained rate comes from a cycles-per-flop model:
+//!
+//! ```text
+//! cpi(flop) = base_cpi * base_scale + arith_extra(version)
+//!           + refs_per_flop * miss_ratio * miss_penalty_cycles
+//! rate      = clock / cpi
+//! ```
+//!
+//! * `miss_ratio` is **measured** by the trace-driven cache simulator on the
+//!   platform's real cache geometry and the version's loop order
+//!   ([`crate::cache`]).
+//! * `miss_penalty_cycles = penalty_ns * penalty_scale * clock` — memory
+//!   latency is roughly constant in nanoseconds, so a faster clock pays more
+//!   cycles per miss. This single mechanism is why the 150 MHz T3D node
+//!   underperforms the 50 MHz RS6000/560 (paper Section 7.2).
+//! * Exactly two scalars are calibrated from the paper's own Figure 2
+//!   anchors — the RS6000/560 runs Navier-Stokes at 9.3 MFLOPS in Version 1
+//!   and 16.0 MFLOPS in Version 5; everything else is specification data or
+//!   measured miss ratios.
+//! * `flop_scale` converts our canonical operation counts to the paper's
+//!   (the 1995 Fortran performs about 3x the canonical arithmetic per point;
+//!   Table 1 reports 145 GFLOP where the canonical count is ~48 GFLOP), so
+//!   simulated times land on the paper's absolute scale.
+
+use crate::cache::{solver_miss_ratio, CacheGeometry, SweepOrder};
+use ns_core::config::{Regime, Version};
+use ns_core::workload;
+use ns_numerics::Grid;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Figure 2 anchor: the original code on the RS6000/560.
+pub const ANCHOR_V1_MFLOPS: f64 = 9.3;
+/// Figure 2 anchor: the fully optimized code on the RS6000/560.
+pub const ANCHOR_V5_MFLOPS: f64 = 16.0;
+/// Figure 2 anchor: Navier-Stokes Version 5 wall time on one RS6000/560
+/// (paper FLOPs / paper MFLOPS = 145e9 / 16e6 ≈ 9062 s for 5000 steps).
+pub const ANCHOR_V5_SECONDS: f64 = 145.0e9 / (ANCHOR_V5_MFLOPS * 1e6);
+
+/// A processing-node specification.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Clock rate in Hz.
+    pub clock_hz: f64,
+    /// Data-cache geometry.
+    pub cache: CacheGeometry,
+    /// Memory-latency multiplier relative to the RS6000/560 (the /590's bus
+    /// is 4x wider -> 0.5; the T3D pays a little extra per miss).
+    pub penalty_scale: f64,
+    /// Microarchitecture factor on the cache-perfect CPI, set so the
+    /// single-node ordering matches the paper's Section 7.2 observations
+    /// (the 21064's write-through cache and tiny write buffer stall this
+    /// store-heavy code; the RS6K/370's memory system is thinner than the
+    /// 560's).
+    pub base_scale: f64,
+}
+
+impl CpuSpec {
+    /// RS6000/560: 50 MHz, 64 KB 4-way.
+    pub fn rs6000_560() -> Self {
+        Self { name: "RS6000/560", clock_hz: 50e6, cache: CacheGeometry::rs6000_560(), penalty_scale: 1.0, base_scale: 1.0 }
+    }
+
+    /// RS6000/590: 66.5 MHz, 256 KB 4-way, 4x wider memory bus.
+    pub fn rs6000_590() -> Self {
+        Self { name: "RS6000/590", clock_hz: 66.5e6, cache: CacheGeometry::rs6000_590(), penalty_scale: 0.5, base_scale: 1.0 }
+    }
+
+    /// IBM SP node (RS6K/370): 62.5 MHz, 32 KB cache.
+    pub fn rs6000_370() -> Self {
+        Self { name: "RS6K/370", clock_hz: 62.5e6, cache: CacheGeometry::rs6000_370(), penalty_scale: 1.2, base_scale: 1.5 }
+    }
+
+    /// Cray T3D node (Alpha 21064): 150 MHz, 8 KB direct-mapped,
+    /// write-through. The large base scale reflects the 21064's
+    /// write-through, no-write-allocate cache whose 4-entry write buffer
+    /// stalls this store-heavy code on nearly every store burst — a stall
+    /// that, unlike read misses, does not shrink when the subdomain fits
+    /// the cache. That mechanism (rather than read-miss latency alone) is
+    /// what keeps the T3D's scaling near-linear in the paper's Figure 9
+    /// while its single-node speed trails even the 50 MHz 560.
+    pub fn t3d() -> Self {
+        Self { name: "T3D/EV4", clock_hz: 150e6, cache: CacheGeometry::t3d(), penalty_scale: 1.5, base_scale: 3.0 }
+    }
+}
+
+/// Loop order and arithmetic-style CPI surcharge of each version.
+///
+/// V1 pays for `powf` calls and per-point divisions, V2 drops the `powf`,
+/// V4 converts divisions to reciprocal multiplies, V5 removes the last of
+/// the per-access index arithmetic.
+pub fn version_params(v: Version) -> (SweepOrder, f64) {
+    match v {
+        Version::V1 => (SweepOrder::Strided, 1.20),
+        Version::V2 => (SweepOrder::Strided, 0.55),
+        Version::V3 => (SweepOrder::Unit, 0.55),
+        Version::V4 => (SweepOrder::Unit, 0.10),
+        Version::V5 => (SweepOrder::Unit, 0.0),
+    }
+}
+
+/// Calibrated model constants (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Calibration {
+    /// Cache-perfect cycles per flop (solved from the Figure 2 anchors).
+    pub base_cpi: f64,
+    /// Memory references per flop (fixed, audited against the kernels'
+    /// ~1.0-1.5 loads+stores per arithmetic operation).
+    pub refs_per_flop: f64,
+    /// RS6000/560 miss penalty in nanoseconds (solved from the anchors).
+    pub penalty_ns: f64,
+    /// Canonical-to-paper operation-count scale (solved from Table 1 /
+    /// Figure 2 absolute seconds).
+    pub flop_scale: f64,
+}
+
+/// Memo key: (geometry, loop order, local columns, radial points).
+type MrKey = (CacheGeometry, SweepOrder, usize, usize);
+
+fn mr_cache() -> &'static Mutex<HashMap<MrKey, f64>> {
+    static MEMO: OnceLock<Mutex<HashMap<MrKey, f64>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Memoized solver-trace miss ratio.
+pub fn miss_ratio(geom: CacheGeometry, order: SweepOrder, nxl: usize, nr: usize) -> f64 {
+    let key = (geom, order, nxl, nr);
+    if let Some(&v) = mr_cache().lock().unwrap().get(&key) {
+        return v;
+    }
+    let v = solver_miss_ratio(geom, nxl, nr, order);
+    mr_cache().lock().unwrap().insert(key, v);
+    v
+}
+
+impl Calibration {
+    /// Solve the two free scalars from the Figure 2 anchors, measuring the
+    /// Version 1 and Version 5 miss ratios on the RS6000/560 geometry over
+    /// the paper's full 250x100 grid.
+    pub fn standard() -> &'static Calibration {
+        static CAL: OnceLock<Calibration> = OnceLock::new();
+        CAL.get_or_init(|| {
+            let grid = Grid::paper();
+            let cpu = CpuSpec::rs6000_560();
+            let refs_per_flop = 1.2;
+            let (o1, a1) = version_params(Version::V1);
+            let (o5, a5) = version_params(Version::V5);
+            let mr1 = miss_ratio(cpu.cache, o1, grid.nx, grid.nr);
+            let mr5 = miss_ratio(cpu.cache, o5, grid.nx, grid.nr);
+            assert!(mr1 > mr5, "strided trace must miss more: {mr1} vs {mr5}");
+            let cpi1 = cpu.clock_hz / (ANCHOR_V1_MFLOPS * 1e6);
+            let cpi5 = cpu.clock_hz / (ANCHOR_V5_MFLOPS * 1e6);
+            // cpi_k = base + a_k + refs * mr_k * pen_cycles
+            let pen_cycles = ((cpi1 - a1) - (cpi5 - a5)) / (refs_per_flop * (mr1 - mr5));
+            let base_cpi = cpi5 - a5 - refs_per_flop * mr5 * pen_cycles;
+            assert!(pen_cycles > 0.0 && base_cpi > 0.0, "calibration degenerate: pen={pen_cycles} base={base_cpi}");
+            let penalty_ns = pen_cycles / cpu.clock_hz * 1e9;
+            // flop_scale: V5 N-S on one 560 must take the paper's ~9062 s
+            let model_flops =
+                workload::step_workload(Regime::NavierStokes, &grid, grid.nx).compute_flops() as f64 * 5000.0;
+            let flop_scale = ANCHOR_V5_SECONDS * (ANCHOR_V5_MFLOPS * 1e6) / model_flops;
+            Calibration { base_cpi, refs_per_flop, penalty_ns, flop_scale }
+        })
+    }
+
+    /// Sustained MFLOPS of `cpu` running version `v` on an `nxl x nr`
+    /// subdomain.
+    pub fn mflops(&self, cpu: &CpuSpec, v: Version, nxl: usize, nr: usize) -> f64 {
+        let (order, arith) = version_params(v);
+        let mr = miss_ratio(cpu.cache, order, nxl, nr);
+        let pen_cycles = self.penalty_ns * cpu.penalty_scale * 1e-9 * cpu.clock_hz;
+        let cpi = self.base_cpi * cpu.base_scale + arith + self.refs_per_flop * mr * pen_cycles;
+        cpu.clock_hz / cpi / 1e6
+    }
+
+    /// Seconds to execute `flops` canonical operations.
+    pub fn seconds_for(&self, cpu: &CpuSpec, v: Version, nxl: usize, nr: usize, flops: u64) -> f64 {
+        flops as f64 * self.flop_scale / (self.mflops(cpu, v, nxl, nr) * 1e6)
+    }
+}
+
+/// Analytic Cray Y-MP model: vector processors see no cache effects; the
+/// DOALL parallelization scales with a mild efficiency loss per doubling,
+/// and the paper's reported time includes a constant I/O component it could
+/// not separate ("the execution time shown is the connect time in single
+/// user mode (this includes the I/O time also)").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct YmpModel {
+    /// Sustained per-processor MFLOPS on this vectorizable code.
+    pub vector_mflops: f64,
+    /// Parallel efficiency per processor doubling.
+    pub doubling_efficiency: f64,
+    /// Constant I/O + connect overhead in seconds.
+    pub io_seconds: f64,
+}
+
+impl YmpModel {
+    /// Calibration-free defaults: ~210 sustained MFLOPS per CPU (the Y-MP's
+    /// 333 MFLOPS peak at the ~0.6 vectorization efficiency typical of this
+    /// scheme), 97% efficiency per doubling, 40 s of I/O.
+    pub fn standard() -> Self {
+        Self { vector_mflops: 210.0, doubling_efficiency: 0.97, io_seconds: 40.0 }
+    }
+
+    /// Execution time for `flops` canonical operations on `p` processors.
+    pub fn seconds_for(&self, cal: &Calibration, p: usize, flops: u64) -> f64 {
+        assert!((1..=8).contains(&p), "the Y-MP/8 has eight processors");
+        let eff = self.doubling_efficiency.powf((p as f64).log2());
+        flops as f64 * cal.flop_scale / (p as f64 * eff * self.vector_mflops * 1e6) + self.io_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_figure2_anchors() {
+        let cal = Calibration::standard();
+        let cpu = CpuSpec::rs6000_560();
+        let g = Grid::paper();
+        let v1 = cal.mflops(&cpu, Version::V1, g.nx, g.nr);
+        let v5 = cal.mflops(&cpu, Version::V5, g.nx, g.nr);
+        assert!((v1 - ANCHOR_V1_MFLOPS).abs() < 1e-6, "V1 anchor: {v1}");
+        assert!((v5 - ANCHOR_V5_MFLOPS).abs() < 1e-6, "V5 anchor: {v5}");
+    }
+
+    #[test]
+    fn versions_improve_monotonically() {
+        let cal = Calibration::standard();
+        let cpu = CpuSpec::rs6000_560();
+        let g = Grid::paper();
+        let rates: Vec<f64> = Version::ALL.iter().map(|&v| cal.mflops(&cpu, v, g.nx, g.nr)).collect();
+        for w in rates.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "rates must not regress: {rates:?}");
+        }
+        // loop interchange (V2 -> V3) is the biggest single jump, as in the paper
+        let jumps: Vec<f64> = rates.windows(2).map(|w| w[1] / w[0]).collect();
+        let max = jumps.iter().cloned().fold(0.0_f64, f64::max);
+        assert!((jumps[1] - max).abs() < 1e-12, "V2->V3 should dominate: {jumps:?}");
+    }
+
+    #[test]
+    fn t3d_node_is_slower_than_560_despite_3x_clock() {
+        let cal = Calibration::standard();
+        let g = Grid::paper();
+        let t3d = cal.mflops(&CpuSpec::t3d(), Version::V5, g.nx / 4, g.nr);
+        let m560 = cal.mflops(&CpuSpec::rs6000_560(), Version::V5, g.nx / 4, g.nr);
+        assert!(t3d < m560, "paper Section 7.2: T3D {t3d:.1} must trail the 560 {m560:.1}");
+    }
+
+    #[test]
+    fn the_590_beats_the_560() {
+        let cal = Calibration::standard();
+        let g = Grid::paper();
+        let m590 = cal.mflops(&CpuSpec::rs6000_590(), Version::V5, g.nx, g.nr);
+        let m560 = cal.mflops(&CpuSpec::rs6000_560(), Version::V5, g.nx, g.nr);
+        assert!(m590 > 1.2 * m560, "590 {m590:.1} vs 560 {m560:.1}");
+    }
+
+    #[test]
+    fn single_560_navier_stokes_takes_paper_hours() {
+        let cal = Calibration::standard();
+        let g = Grid::paper();
+        let w = ns_core::workload::step_workload(Regime::NavierStokes, &g, g.nx);
+        let secs = cal.seconds_for(&CpuSpec::rs6000_560(), Version::V5, g.nx, g.nr, w.compute_flops() * 5000);
+        assert!((secs - ANCHOR_V5_SECONDS).abs() / ANCHOR_V5_SECONDS < 1e-9, "anchor seconds: {secs}");
+    }
+
+    #[test]
+    fn ymp_scales_well_and_beats_everything() {
+        let cal = Calibration::standard();
+        let g = Grid::paper();
+        let w = ns_core::workload::step_workload(Regime::NavierStokes, &g, g.nx);
+        let flops = w.compute_flops() * 5000;
+        let ymp = YmpModel::standard();
+        let t1 = ymp.seconds_for(cal, 1, flops);
+        let t8 = ymp.seconds_for(cal, 8, flops);
+        assert!(t1 < ANCHOR_V5_SECONDS / 8.0, "one Y-MP CPU ~ an order faster than a workstation");
+        assert!(t8 < t1 / 5.0, "good scaling to 8 CPUs");
+        assert!(t8 > t1 / 8.0, "but not superlinear");
+    }
+
+    #[test]
+    fn smaller_subdomains_cache_better() {
+        let cal = Calibration::standard();
+        let g = Grid::paper();
+        let whole = cal.mflops(&CpuSpec::t3d(), Version::V5, g.nx, g.nr);
+        let sixteenth = cal.mflops(&CpuSpec::t3d(), Version::V5, g.nx / 16, g.nr);
+        assert!(sixteenth >= whole, "working set shrinks with P: {sixteenth} vs {whole}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Message-passing library overhead models.
+//!
+//! The paper's central NOW lesson is that library software costs — "the
+//! multiple times that data to be communicated is copied and ... the context
+//! switching overheads that arise in transferring a message between the
+//! application level and the physical layer" — dominate message cost. Each
+//! model charges a fixed per-message overhead plus a per-byte copy cost on
+//! both the sending and receiving side; those charges are *processor busy
+//! time* (the paper: "the computation part also includes the setup overheads
+//! of communication"), not network time.
+
+use serde::{Deserialize, Serialize};
+
+/// A message-passing library cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MsgLib {
+    /// Library name.
+    pub name: &'static str,
+    /// Fixed software overhead per send, seconds.
+    pub send_overhead: f64,
+    /// Fixed software overhead per receive, seconds.
+    pub recv_overhead: f64,
+    /// Per-byte copy cost on each side, seconds.
+    pub per_byte: f64,
+    /// Whether sends block until the message is on the wire and delivered
+    /// (the paper: "we were forced to use either blocking send or a
+    /// constrained form of non-blocking send" with MPL).
+    pub blocking_send: bool,
+}
+
+impl MsgLib {
+    /// Off-the-shelf PVM 3.2.2 over UDP/IP, as used on LACE: large fixed
+    /// overhead (daemon hop, fragmentation) and two copies per side.
+    pub fn pvm() -> Self {
+        Self { name: "PVM", send_overhead: 0.9e-3, recv_overhead: 0.9e-3, per_byte: 0.15e-6, blocking_send: false }
+    }
+
+    /// IBM's native MPL on the SP: lower fixed cost and one less copy, but
+    /// effectively blocking sends.
+    pub fn mpl() -> Self {
+        Self { name: "MPL", send_overhead: 1.1e-3, recv_overhead: 1.1e-3, per_byte: 0.10e-6, blocking_send: true }
+    }
+
+    /// PVMe, IBM's PVM port for the SP: PVM semantics layered over the
+    /// switch, with the heavy per-message costs Figure 11/12 exposes.
+    pub fn pvme() -> Self {
+        Self { name: "PVMe", send_overhead: 4.0e-3, recv_overhead: 4.0e-3, per_byte: 0.6e-6, blocking_send: true }
+    }
+
+    /// Cray's customized PVM on the T3D: thin shim over fast hardware.
+    pub fn cray_pvm() -> Self {
+        Self { name: "CrayPVM", send_overhead: 0.25e-3, recv_overhead: 0.25e-3, per_byte: 0.02e-6, blocking_send: false }
+    }
+
+    /// PVM with `PvmRouteDirect`: task-to-task TCP, skipping the daemon hop
+    /// (one fewer context switch and copy per side) — the standard tuning
+    /// knob 1995 PVM users reached for first.
+    pub fn pvm_direct() -> Self {
+        Self { name: "PVM-direct", send_overhead: 0.45e-3, recv_overhead: 0.45e-3, per_byte: 0.10e-6, blocking_send: false }
+    }
+
+    /// A lean user-level library of the Active-Messages class — what the
+    /// Berkeley NOW project (the paper's reference \[18\]) was building. Used
+    /// by the projection study that tests the paper's concluding claim.
+    pub fn lean_user_level() -> Self {
+        Self { name: "AM-class", send_overhead: 0.05e-3, recv_overhead: 0.05e-3, per_byte: 0.02e-6, blocking_send: false }
+    }
+
+    /// Busy seconds charged to the sender for a message of `bytes`.
+    pub fn send_cost(&self, bytes: u64) -> f64 {
+        self.send_overhead + bytes as f64 * self.per_byte
+    }
+
+    /// Busy seconds charged to the receiver for a message of `bytes`.
+    pub fn recv_cost(&self, bytes: u64) -> f64 {
+        self.recv_overhead + bytes as f64 * self.per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_overhead_dominates_small_messages() {
+        // the paper: "the startup cost is 2-3 orders of magnitude higher
+        // than the per word transfer cost"
+        for lib in [MsgLib::pvm(), MsgLib::mpl(), MsgLib::pvme(), MsgLib::cray_pvm()] {
+            let one_word = lib.send_cost(8) - lib.send_overhead;
+            assert!(
+                lib.send_overhead > 100.0 * one_word,
+                "{}: startup {} vs per-word {}",
+                lib.name,
+                lib.send_overhead,
+                one_word
+            );
+        }
+    }
+
+    #[test]
+    fn pvme_is_heavier_than_mpl() {
+        let mpl = MsgLib::mpl();
+        let pvme = MsgLib::pvme();
+        for bytes in [100, 2400, 6400] {
+            assert!(pvme.send_cost(bytes) > 1.5 * mpl.send_cost(bytes));
+        }
+    }
+
+    #[test]
+    fn cray_pvm_is_the_lightest() {
+        let c = MsgLib::cray_pvm();
+        for other in [MsgLib::pvm(), MsgLib::mpl(), MsgLib::pvme()] {
+            assert!(c.send_cost(6400) < other.send_cost(6400), "vs {}", other.name);
+        }
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_bytes() {
+        let lib = MsgLib::pvm();
+        let a = lib.send_cost(1000) - lib.send_cost(0);
+        let b = lib.send_cost(2000) - lib.send_cost(1000);
+        assert!((a - b).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,290 @@
+//! Interconnect models.
+//!
+//! Each model answers one question: a message of `bytes` injected at `now`
+//! from `src` to `dst` — when does it arrive? The answer captures the
+//! mechanism the paper credits for each network's behaviour:
+//!
+//! * **Ethernet** — a single shared 10 Mbps medium: transmissions serialize,
+//!   and once per-step traffic approaches the medium's capacity the queueing
+//!   delay explodes (the paper's back-of-envelope in Section 7.1 predicts
+//!   saturation beyond 8 processors — our model reproduces it because the
+//!   mechanism is the same).
+//! * **FDDI** — a shared 100 Mbps token ring: same serialization, 10x the
+//!   bandwidth, plus a token-rotation latency per frame.
+//! * **ALLNODE (F/S)** — an Omega-network variant providing "multiple
+//!   contentionless paths": only the endpoints' ports serialize; link
+//!   bandwidth 64 / 32 Mbps per the paper.
+//! * **ATM** — a 155 Mbps port-switched fabric (the paper finds it performs
+//!   like ALLNODE-F: faster links, no multiple paths).
+//! * **SP switch** — Omega topology like ALLNODE but with 40 MB/s links
+//!   (Stunkel et al.); its hardware is never the SP's problem.
+//! * **T3D torus** — 3-D torus with 150 MB/s links and sub-microsecond
+//!   per-hop latency; messages traverse dimension-ordered routes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A point-to-point interconnect model with internal contention state.
+pub trait Network: Send {
+    /// Inject a message; returns its delivery time at `dst`.
+    fn transfer(&mut self, now: f64, src: usize, dst: usize, bytes: u64) -> f64;
+    /// Model name.
+    fn name(&self) -> &'static str;
+}
+
+/// Which interconnect a platform uses (constructor selector).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetKind {
+    /// Shared 10 Mbps Ethernet.
+    Ethernet,
+    /// Shared 100 Mbps FDDI ring.
+    Fddi,
+    /// ALLNODE prototype, 32 Mbps per link, multiple paths.
+    AllnodeS,
+    /// ALLNODE fast, 64 Mbps per link, multiple paths.
+    AllnodeF,
+    /// ATM at 155 Mbps, port-switched.
+    Atm,
+    /// IBM SP switch, 40 MB/s per link.
+    SpSwitch,
+    /// Cray T3D 3-D torus, 150 MB/s per link.
+    Torus3d,
+}
+
+impl NetKind {
+    /// Instantiate the model for `nprocs` nodes.
+    pub fn build(self, nprocs: usize) -> Box<dyn Network> {
+        match self {
+            NetKind::Ethernet => Box::new(SharedBus::new("Ethernet", 10e6, 50e-6)),
+            NetKind::Fddi => Box::new(SharedBus::new("FDDI", 100e6, 90e-6)),
+            NetKind::AllnodeS => Box::new(PortSwitch::new("ALLNODE-S", 32e6, 25e-6, nprocs)),
+            NetKind::AllnodeF => Box::new(PortSwitch::new("ALLNODE-F", 64e6, 25e-6, nprocs)),
+            NetKind::Atm => Box::new(PortSwitch::new("ATM", 155e6, 40e-6, nprocs)),
+            NetKind::SpSwitch => Box::new(PortSwitch::new("SP-switch", 320e6, 5e-6, nprocs)),
+            NetKind::Torus3d => Box::new(Torus3d::new(nprocs)),
+        }
+    }
+}
+
+/// A single shared medium: every transmission serializes behind every other.
+pub struct SharedBus {
+    name: &'static str,
+    bits_per_sec: f64,
+    latency: f64,
+    busy_until: f64,
+}
+
+impl SharedBus {
+    /// New bus with the given raw bandwidth and per-frame access latency.
+    pub fn new(name: &'static str, bits_per_sec: f64, latency: f64) -> Self {
+        Self { name, bits_per_sec, latency, busy_until: 0.0 }
+    }
+}
+
+impl Network for SharedBus {
+    fn transfer(&mut self, now: f64, _src: usize, _dst: usize, bytes: u64) -> f64 {
+        let start = now.max(self.busy_until) + self.latency;
+        let tx = bytes as f64 * 8.0 / self.bits_per_sec;
+        self.busy_until = start + tx;
+        self.busy_until
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A switch with per-node port serialization but contention-free internal
+/// paths (the ALLNODE property; also a good model for ATM and the SP
+/// switch at our traffic levels).
+pub struct PortSwitch {
+    name: &'static str,
+    bits_per_sec: f64,
+    latency: f64,
+    out_busy: Vec<f64>,
+    in_busy: Vec<f64>,
+}
+
+impl PortSwitch {
+    /// New switch for `nprocs` nodes.
+    pub fn new(name: &'static str, bits_per_sec: f64, latency: f64, nprocs: usize) -> Self {
+        Self { name, bits_per_sec, latency, out_busy: vec![0.0; nprocs], in_busy: vec![0.0; nprocs] }
+    }
+}
+
+impl Network for PortSwitch {
+    fn transfer(&mut self, now: f64, src: usize, dst: usize, bytes: u64) -> f64 {
+        let tx = bytes as f64 * 8.0 / self.bits_per_sec;
+        // source port: wait for previous outbound transmissions
+        let start_out = now.max(self.out_busy[src]);
+        self.out_busy[src] = start_out + tx;
+        // destination port: the message also occupies the receiver's link
+        let start_in = (start_out + self.latency).max(self.in_busy[dst]);
+        self.in_busy[dst] = start_in + tx;
+        self.in_busy[dst]
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// 3-D torus with dimension-order routing (the T3D is 8 x 4 x 2; smaller
+/// processor counts use a sub-torus of the same shape family).
+pub struct Torus3d {
+    dims: [usize; 3],
+    link_busy: HashMap<(usize, usize, bool), f64>,
+    bytes_per_sec: f64,
+    hop_latency: f64,
+}
+
+impl Torus3d {
+    /// Torus sized for `nprocs` nodes (8 x 4 x 2 geometry family).
+    pub fn new(nprocs: usize) -> Self {
+        let dims = match nprocs {
+            0..=2 => [2, 1, 1],
+            3..=4 => [2, 2, 1],
+            5..=8 => [4, 2, 1],
+            9..=16 => [4, 2, 2],
+            17..=32 => [8, 2, 2],
+            _ => [8, 4, 2],
+        };
+        Self { dims, link_busy: HashMap::new(), bytes_per_sec: 150e6, hop_latency: 0.5e-6 }
+    }
+
+    fn coords(&self, node: usize) -> [usize; 3] {
+        let x = node % self.dims[0];
+        let y = (node / self.dims[0]) % self.dims[1];
+        let z = node / (self.dims[0] * self.dims[1]);
+        [x, y, z]
+    }
+
+    /// Hops of the dimension-order route (torus wraparound).
+    pub fn route_len(&self, src: usize, dst: usize) -> usize {
+        let a = self.coords(src);
+        let b = self.coords(dst);
+        let mut hops = 0;
+        for d in 0..3 {
+            let n = self.dims[d];
+            let fwd = (b[d] + n - a[d]) % n;
+            hops += fwd.min(n - fwd);
+        }
+        hops
+    }
+}
+
+impl Network for Torus3d {
+    fn transfer(&mut self, now: f64, src: usize, dst: usize, bytes: u64) -> f64 {
+        // wormhole-ish: the head rides hop latencies; the body streams at
+        // link bandwidth, serialized on each traversed link in dimension
+        // order. We conservatively charge the full transmission on each
+        // link's schedule (store-and-forward upper bound; routes here are
+        // 1-2 hops so the difference is small).
+        let tx = bytes as f64 / self.bytes_per_sec;
+        let mut t = now;
+        let mut a = self.coords(src);
+        let b = self.coords(dst);
+        for d in 0..3 {
+            let n = self.dims[d];
+            if n == 1 {
+                continue;
+            }
+            while a[d] != b[d] {
+                let fwd = (b[d] + n - a[d]) % n;
+                let step_up = fwd <= n - fwd;
+                let here = a[0] + self.dims[0] * (a[1] + self.dims[1] * a[2]);
+                let key = (here, d, step_up);
+                let busy = self.link_busy.entry(key).or_insert(0.0);
+                let start = t.max(*busy) + self.hop_latency;
+                *busy = start + tx;
+                t = start + tx;
+                a[d] = if step_up { (a[d] + 1) % n } else { (a[d] + n - 1) % n };
+            }
+        }
+        t
+    }
+    fn name(&self) -> &'static str {
+        "T3D-torus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_bus_serializes() {
+        let mut bus = SharedBus::new("e", 10e6, 0.0);
+        let t1 = bus.transfer(0.0, 0, 1, 12_500); // 100 kbit = 10 ms at 10 Mbps
+        let t2 = bus.transfer(0.0, 2, 3, 12_500);
+        assert!((t1 - 0.01).abs() < 1e-9);
+        assert!((t2 - 0.02).abs() < 1e-9, "second frame queues behind the first: {t2}");
+    }
+
+    #[test]
+    fn port_switch_allows_disjoint_pairs_in_parallel() {
+        let mut sw = PortSwitch::new("a", 32e6, 0.0, 4);
+        let t1 = sw.transfer(0.0, 0, 1, 40_000); // 10 ms at 32 Mbps
+        let t2 = sw.transfer(0.0, 2, 3, 40_000);
+        assert!((t1 - t2).abs() < 1e-9, "disjoint pairs do not contend: {t1} vs {t2}");
+        // same source port serializes
+        let t3 = sw.transfer(0.0, 0, 2, 40_000);
+        assert!(t3 > 1.5 * t1, "port contention: {t3}");
+    }
+
+    #[test]
+    fn faster_allnode_is_twice_as_fast() {
+        let mut s = NetKind::AllnodeS.build(4);
+        let mut f = NetKind::AllnodeF.build(4);
+        let ts = s.transfer(0.0, 0, 1, 6400);
+        let tf = f.transfer(0.0, 0, 1, 6400);
+        let tx_s = ts - 25e-6;
+        let tx_f = tf - 25e-6;
+        assert!((tx_s / tx_f - 2.0).abs() < 1e-6, "{tx_s} vs {tx_f}");
+    }
+
+    #[test]
+    fn ethernet_saturates_under_16_processor_load() {
+        // inject one step of 16-processor N-S traffic (16 ranks x ~35 KB)
+        // into both Ethernet and ALLNODE-S: Ethernet's last delivery must be
+        // an order of magnitude later.
+        let mut eth = NetKind::Ethernet.build(16);
+        let mut aln = NetKind::AllnodeS.build(16);
+        let mut worst_eth: f64 = 0.0;
+        let mut worst_aln: f64 = 0.0;
+        for src in 0..16 {
+            for msg in 0..4 {
+                let dst = if (src + msg) % 2 == 0 { (src + 1) % 16 } else { (src + 15) % 16 };
+                let bytes = if msg % 2 == 0 { 2400 } else { 6400 };
+                worst_eth = worst_eth.max(eth.transfer(0.0, src, dst, bytes));
+                worst_aln = worst_aln.max(aln.transfer(0.0, src, dst, bytes));
+            }
+        }
+        assert!(worst_eth > 5.0 * worst_aln, "ethernet {worst_eth:.4} vs allnode {worst_aln:.4}");
+    }
+
+    #[test]
+    fn torus_routes_have_torus_distances() {
+        let t = Torus3d::new(64); // 8 x 4 x 2
+        assert_eq!(t.route_len(0, 1), 1);
+        assert_eq!(t.route_len(0, 7), 1, "wraparound in x");
+        assert_eq!(t.route_len(0, 8), 1, "one hop in y");
+        assert_eq!(t.route_len(0, 0), 0);
+        // opposite corner: 4 + 2 + 1
+        assert_eq!(t.route_len(0, 4 + 8 * 2 + 32), 7);
+    }
+
+    #[test]
+    fn torus_neighbor_transfer_is_fast() {
+        let mut t = Torus3d::new(16);
+        let done = t.transfer(0.0, 0, 1, 6400);
+        // 6400 B at 150 MB/s = 42.7 us + 0.5 us hop
+        assert!(done < 60e-6, "{done}");
+    }
+
+    #[test]
+    fn torus_link_contention_serializes() {
+        let mut t = Torus3d::new(16);
+        let a = t.transfer(0.0, 0, 1, 150_000); // 1 ms
+        let b = t.transfer(0.0, 0, 1, 150_000);
+        assert!(b > a + 0.9e-3, "same link serializes: {a} {b}");
+    }
+}

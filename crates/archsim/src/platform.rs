@@ -1,0 +1,109 @@
+//! Platform catalog: the paper's machines as (CPU, network, library)
+//! triples.
+
+use crate::cpu::CpuSpec;
+use crate::msglib::MsgLib;
+use crate::network::NetKind;
+use serde::{Deserialize, Serialize};
+
+/// A message-passing platform configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Display name (matches the paper's figure legends).
+    pub name: &'static str,
+    /// Node CPU.
+    pub cpu: CpuSpec,
+    /// Message library.
+    pub lib: MsgLib,
+    /// Interconnect.
+    pub net: NetKind,
+    /// Largest processor count the paper could use.
+    pub max_procs: usize,
+}
+
+impl Platform {
+    /// LACE lower half over dedicated Ethernet (10 Mbps).
+    pub fn lace560_ethernet() -> Self {
+        Self { name: "LACE/560 Ethernet", cpu: CpuSpec::rs6000_560(), lib: MsgLib::pvm(), net: NetKind::Ethernet, max_procs: 16 }
+    }
+
+    /// LACE lower half over the ALLNODE prototype (32 Mbps/link).
+    pub fn lace560_allnode_s() -> Self {
+        Self { name: "ALLNODE-S", cpu: CpuSpec::rs6000_560(), lib: MsgLib::pvm(), net: NetKind::AllnodeS, max_procs: 16 }
+    }
+
+    /// LACE nodes 9-24 over FDDI (100 Mbps shared).
+    pub fn lace560_fddi() -> Self {
+        Self { name: "LACE/560 FDDI", cpu: CpuSpec::rs6000_560(), lib: MsgLib::pvm(), net: NetKind::Fddi, max_procs: 16 }
+    }
+
+    /// LACE upper half over the fast ALLNODE switch (64 Mbps/link).
+    pub fn lace590_allnode_f() -> Self {
+        Self { name: "ALLNODE-F", cpu: CpuSpec::rs6000_590(), lib: MsgLib::pvm(), net: NetKind::AllnodeF, max_procs: 16 }
+    }
+
+    /// LACE upper half over ATM (155 Mbps).
+    pub fn lace590_atm() -> Self {
+        Self { name: "LACE/590 ATM", cpu: CpuSpec::rs6000_590(), lib: MsgLib::pvm(), net: NetKind::Atm, max_procs: 16 }
+    }
+
+    /// IBM SP with the native MPL library.
+    pub fn ibm_sp_mpl() -> Self {
+        Self { name: "IBM SP (MPL)", cpu: CpuSpec::rs6000_370(), lib: MsgLib::mpl(), net: NetKind::SpSwitch, max_procs: 16 }
+    }
+
+    /// IBM SP with PVMe.
+    pub fn ibm_sp_pvme() -> Self {
+        Self { name: "IBM SP (PVMe)", cpu: CpuSpec::rs6000_370(), lib: MsgLib::pvme(), net: NetKind::SpSwitch, max_procs: 16 }
+    }
+
+    /// Cray T3D with Cray's PVM.
+    pub fn cray_t3d() -> Self {
+        Self { name: "Cray T3D", cpu: CpuSpec::t3d(), lib: MsgLib::cray_pvm(), net: NetKind::Torus3d, max_procs: 16 }
+    }
+
+    /// All message-passing platforms in the study.
+    pub fn all() -> Vec<Platform> {
+        vec![
+            Self::lace560_ethernet(),
+            Self::lace560_allnode_s(),
+            Self::lace560_fddi(),
+            Self::lace590_allnode_f(),
+            Self::lace590_atm(),
+            Self::ibm_sp_mpl(),
+            Self::ibm_sp_pvme(),
+            Self::cray_t3d(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_distinct() {
+        let all = Platform::all();
+        assert_eq!(all.len(), 8);
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8, "platform names are unique");
+    }
+
+    #[test]
+    fn lace_halves_use_the_right_cpus() {
+        assert_eq!(Platform::lace560_allnode_s().cpu.name, "RS6000/560");
+        assert_eq!(Platform::lace590_allnode_f().cpu.name, "RS6000/590");
+        assert_eq!(Platform::ibm_sp_mpl().cpu.name, "RS6K/370");
+    }
+
+    #[test]
+    fn sp_variants_share_hardware() {
+        let mpl = Platform::ibm_sp_mpl();
+        let pvme = Platform::ibm_sp_pvme();
+        assert_eq!(mpl.cpu, pvme.cpu);
+        assert_eq!(mpl.net, pvme.net);
+        assert_ne!(mpl.lib.name, pvme.lib.name);
+    }
+}

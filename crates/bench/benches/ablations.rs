@@ -1,0 +1,40 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//! decomposition direction, scheme order, message grouping, and the
+//! extension studies (full 64-node T3D, weak scaling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ns_core::config::{Regime, SchemeOrder, SolverConfig};
+use ns_core::Solver;
+use ns_experiments::extensions;
+use ns_numerics::Grid;
+
+fn bench(c: &mut Criterion) {
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        println!("\n{}", extensions::decomposition_ablation(regime).table());
+    }
+    println!("\n{}", extensions::extended_scaling(Regime::NavierStokes).render());
+    println!("\n{}", extensions::weak_scaling(Regime::NavierStokes).table());
+    println!(
+        "\n{}",
+        extensions::phase_profile(ns_archsim::Platform::lace560_allnode_s(), Regime::NavierStokes, &[1, 4, 16]).table()
+    );
+    println!("\n{}", extensions::now_projection(Regime::NavierStokes).render());
+
+    // scheme-order ablation: cost per step of 2-4 vs 2-2 on the host (the
+    // 2-4 scheme buys its accuracy with a slightly wider stencil; accuracy
+    // itself is asserted in tests/verification.rs)
+    let mut g = c.benchmark_group("scheme_order_step_cost");
+    g.sample_size(20);
+    for (order, name) in [(SchemeOrder::TwoFour, "2-4"), (SchemeOrder::TwoTwo, "2-2")] {
+        let mut cfg = SolverConfig::paper(Grid::new(125, 50, 50.0, 5.0), Regime::NavierStokes);
+        cfg.scheme = order;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let mut s = Solver::new(cfg.clone());
+            b.iter(|| s.step());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

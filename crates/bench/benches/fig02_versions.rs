@@ -1,0 +1,34 @@
+//! Figure 2 regenerator: the single-processor optimization study.
+//!
+//! Prints (a) the calibrated 1995 RS6000/560 times and (b) the live Rust
+//! kernels' measured times per version on this host, then benchmarks one
+//! solver step under each version — the host-side Figure 2, measured by
+//! Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ns_core::config::{Regime, SolverConfig, Version};
+use ns_core::Solver;
+use ns_experiments::fig_versions;
+use ns_numerics::Grid;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig_versions::simulated_1995().render());
+    println!("{}", fig_versions::measured_host(Grid::new(125, 50, 50.0, 5.0), 10).table());
+
+    let mut g = c.benchmark_group("fig02_one_step");
+    g.sample_size(20);
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        for v in Version::ALL {
+            let mut cfg = SolverConfig::paper(Grid::new(125, 50, 50.0, 5.0), regime);
+            cfg.version = v;
+            g.bench_with_input(BenchmarkId::new(regime.name(), format!("{v:?}")), &cfg, |b, cfg| {
+                let mut s = Solver::new(cfg.clone());
+                b.iter(|| s.step());
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

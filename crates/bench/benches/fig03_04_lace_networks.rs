@@ -1,0 +1,24 @@
+//! Figures 3 and 4 regenerator: execution time on the LACE networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_archsim::{simulate, Platform, SimConfig};
+use ns_core::config::Regime;
+use ns_experiments::fig_lace;
+
+fn bench(c: &mut Criterion) {
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        println!("\n{}", fig_lace::fig3_4(regime).render());
+    }
+    let mut g = c.benchmark_group("fig03_04");
+    g.sample_size(20);
+    g.bench_function("simulate_allnode_s_16procs", |b| {
+        let mut cfg = SimConfig::paper(Platform::lace560_allnode_s(), 16, Regime::NavierStokes);
+        cfg.sim_steps = 20;
+        b.iter(|| std::hint::black_box(simulate(&cfg)))
+    });
+    g.bench_function("full_figure3", |b| b.iter(|| std::hint::black_box(fig_lace::fig3_4(Regime::NavierStokes))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

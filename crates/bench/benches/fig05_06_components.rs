@@ -1,0 +1,19 @@
+//! Figures 5 and 6 regenerator: busy time vs non-overlapped communication
+//! on the LACE networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_core::config::Regime;
+use ns_experiments::fig_lace;
+
+fn bench(c: &mut Criterion) {
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        println!("\n{}", fig_lace::fig5_6(regime).render());
+    }
+    let mut g = c.benchmark_group("fig05_06");
+    g.sample_size(15);
+    g.bench_function("components_ns", |b| b.iter(|| std::hint::black_box(fig_lace::fig5_6(Regime::NavierStokes))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figures 7 and 8 regenerator: communication variants (Versions 5/6/7) on
+//! ALLNODE-S and Ethernet — plus a live measurement of the V5-vs-V7
+//! protocols on the real thread runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ns_core::config::{Regime, SolverConfig};
+use ns_experiments::fig_lace;
+use ns_numerics::Grid;
+use ns_runtime::{run_parallel, CommVersion};
+
+fn bench(c: &mut Criterion) {
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        println!("\n{}", fig_lace::fig7_8(regime).table());
+    }
+    let mut g = c.benchmark_group("fig07_08_live_protocols");
+    g.sample_size(10);
+    let cfg = SolverConfig::paper(Grid::new(96, 40, 50.0, 5.0), Regime::NavierStokes);
+    for (version, name) in [(CommVersion::V5, "V5"), (CommVersion::V6, "V6"), (CommVersion::V7, "V7")] {
+        g.bench_with_input(BenchmarkId::new("live_4ranks_5steps", name), &version, |b, &v| {
+            b.iter(|| std::hint::black_box(run_parallel(&cfg, 4, 5, v)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

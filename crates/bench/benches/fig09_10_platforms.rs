@@ -1,0 +1,19 @@
+//! Figures 9 and 10 regenerator: the cross-platform execution-time
+//! comparison (Y-MP, IBM SP, Cray T3D, LACE ALLNODE-S/F).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_core::config::Regime;
+use ns_experiments::fig_platforms;
+
+fn bench(c: &mut Criterion) {
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        println!("\n{}", fig_platforms::fig9_10(regime).render());
+    }
+    let mut g = c.benchmark_group("fig09_10");
+    g.sample_size(15);
+    g.bench_function("shootout_ns", |b| b.iter(|| std::hint::black_box(fig_platforms::fig9_10(Regime::NavierStokes))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figures 11 and 12 regenerator: MPL vs PVMe on the IBM SP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_core::config::Regime;
+use ns_experiments::fig_msglib;
+
+fn bench(c: &mut Criterion) {
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        println!("\n{}", fig_msglib::fig11_12(regime).render());
+    }
+    let mut g = c.benchmark_group("fig11_12");
+    g.sample_size(15);
+    g.bench_function("msglib_comparison_ns", |b| {
+        b.iter(|| std::hint::black_box(fig_msglib::fig11_12(Regime::NavierStokes)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 13 regenerator: per-processor busy times on the IBM SP (modeled)
+//! and on the live thread runtime (measured).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_core::config::{Regime, SolverConfig};
+use ns_experiments::fig_platforms;
+use ns_numerics::Grid;
+use ns_runtime::{run_parallel, CommVersion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig_platforms::fig13().table());
+
+    // the live analogue: per-rank busy time of a real 8-rank run
+    let cfg = SolverConfig::paper(Grid::new(128, 50, 50.0, 5.0), Regime::NavierStokes);
+    let run = run_parallel(&cfg, 8, 10, CommVersion::V5);
+    println!("live per-rank busy time (8 ranks, 10 steps on this host):");
+    for r in &run.ranks {
+        println!("  rank {}: busy {:>8.2?}  wait {:>8.2?}", r.rank, r.busy, r.wait);
+    }
+
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(15);
+    g.bench_function("modeled_load_balance", |b| b.iter(|| std::hint::black_box(fig_platforms::fig13())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks of the message-passing runtime: pack/unpack, endpoint
+//! round trips, halo exchanges and collectives — the software costs the
+//! paper blames for NOW overheads, measured on the real implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ns_runtime::collectives;
+use ns_runtime::comm::{universe, MsgKind, Tag};
+use ns_runtime::pack::{PackBuf, UnpackBuf};
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack_unpack");
+    for n in [100usize, 800, 6400] {
+        let data = vec![1.25f64; n];
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("pack_f64", n), &n, |b, _| {
+            b.iter(|| {
+                let mut p = PackBuf::with_capacity_f64(n);
+                p.pack_f64_slice(&data);
+                std::hint::black_box(p.freeze())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |b, _| {
+            b.iter(|| {
+                let mut p = PackBuf::with_capacity_f64(n);
+                p.pack_f64_slice(&data);
+                let mut u = UnpackBuf::new(p.freeze());
+                let mut out = vec![0.0f64; n];
+                u.unpack_f64_slice(&mut out).unwrap();
+                std::hint::black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endpoint");
+    g.sample_size(30);
+    g.bench_function("same_thread_send_recv_800B", |b| {
+        let mut eps = universe(2);
+        let mut b1 = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let mut p = PackBuf::with_capacity_f64(100);
+            p.pack_f64_slice(&[0.5; 100]);
+            let tag = Tag { kind: MsgKind::Flux1, seq };
+            a.send(1, tag, p).unwrap();
+            let got = b1.recv(0, tag).unwrap();
+            seq += 1;
+            std::hint::black_box(got)
+        })
+    });
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(20);
+    g.bench_function("allreduce_max_4ranks", |b| {
+        b.iter(|| {
+            let eps = universe(4);
+            std::thread::scope(|s| {
+                let hs: Vec<_> = eps
+                    .into_iter()
+                    .map(|mut ep| {
+                        s.spawn(move || {
+                            let mine = ep.rank() as f64;
+                            collectives::allreduce_max(&mut ep, mine, 0).unwrap()
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    std::hint::black_box(h.join().unwrap());
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pack, bench_ping_pong, bench_collectives);
+criterion_main!(benches);

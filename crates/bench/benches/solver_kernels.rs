@@ -1,0 +1,88 @@
+//! Microbenchmarks of the solver's hot kernels across the optimization
+//! versions — the kernel-level view behind Figure 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ns_core::config::{Regime, SolverConfig, Version};
+use ns_core::field::{Field, FluxField, Patch, PrimField, Workspace};
+use ns_core::kernels::{self, EdgeFlags, FluxDir};
+use ns_core::opcount::FlopLedger;
+use ns_core::scheme::{self, NoHalo, Variant};
+use ns_numerics::gas::Primitive;
+use ns_numerics::Grid;
+
+fn setup(regime: Regime) -> (SolverConfig, Field, PrimField, FluxField, Patch) {
+    let cfg = SolverConfig::paper(Grid::new(125, 50, 50.0, 5.0), regime);
+    let gas = cfg.effective_gas();
+    let patch = Patch::whole(cfg.grid.clone());
+    let field = Field::from_primitives(patch.clone(), &gas, |x, r| Primitive {
+        rho: 1.0 + 0.05 * (0.1 * x).sin() * (-r).exp(),
+        u: 0.5 + 0.2 * (-(r - 1.0) * (r - 1.0)).exp(),
+        v: 0.01 * (0.3 * x).sin(),
+        p: gas.pressure(1.0, 1.0),
+    });
+    let prim = PrimField::zeros(&patch);
+    let flux = FluxField::zeros(&patch);
+    (cfg, field, prim, flux, patch)
+}
+
+fn bench_prims(c: &mut Criterion) {
+    let (cfg, field, mut prim, _, patch) = setup(Regime::NavierStokes);
+    let gas = cfg.effective_gas();
+    let mut g = c.benchmark_group("kernel_prims");
+    g.throughput(Throughput::Elements((patch.nxl * patch.nr()) as u64));
+    for v in Version::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{v:?}")), &v, |b, &v| {
+            let mut ledger = FlopLedger::default();
+            b.iter(|| kernels::compute_prims(v, &field, &mut prim, &gas, &mut ledger));
+        });
+    }
+    g.finish();
+}
+
+fn bench_flux(c: &mut Criterion) {
+    for (regime, name) in [(Regime::NavierStokes, "viscous"), (Regime::Euler, "inviscid")] {
+        let (cfg, field, mut prim, mut flux, patch) = setup(regime);
+        let gas = cfg.effective_gas();
+        let mut ledger = FlopLedger::default();
+        kernels::compute_prims(Version::V5, &field, &mut prim, &gas, &mut ledger);
+        ns_core::bc::mirror_prims_axis(&mut prim);
+        ns_core::bc::extrap_prims_top(&mut prim, patch.nr());
+        let edges = EdgeFlags::of(&patch);
+        let mut g = c.benchmark_group(format!("kernel_xflux_{name}"));
+        g.throughput(Throughput::Elements((patch.nxl * patch.nr()) as u64));
+        for v in Version::ALL {
+            g.bench_with_input(BenchmarkId::from_parameter(format!("{v:?}")), &v, |b, &v| {
+                let mut ledger = FlopLedger::default();
+                b.iter(|| {
+                    kernels::compute_flux(v, FluxDir::X, &prim, &patch, edges, &gas, &mut flux, None, &mut ledger)
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("operators");
+    g.sample_size(30);
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        let cfg = SolverConfig::paper(Grid::new(125, 50, 50.0, 5.0), regime);
+        let gas = cfg.effective_gas();
+        let mut field = ns_core::driver::initial_field(&cfg, Patch::whole(cfg.grid.clone()));
+        let mut ws = Workspace::new(&field.patch);
+        let dt = cfg.time_step();
+        let mut ledger = FlopLedger::default();
+        g.bench_function(format!("x_operator_{}", regime.name()), |b| {
+            b.iter(|| {
+                scheme::x_operator(Variant::L1, &mut field, &mut ws, &cfg, &gas, &mut NoHalo, 0.0, dt, &mut ledger)
+            })
+        });
+        g.bench_function(format!("r_operator_{}", regime.name()), |b| {
+            b.iter(|| scheme::r_operator(Variant::L1, &mut field, &mut ws, &cfg, &gas, dt, &mut ledger))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_prims, bench_flux, bench_operators);
+criterion_main!(benches);

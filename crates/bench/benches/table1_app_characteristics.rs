@@ -1,0 +1,28 @@
+//! Table 1 regenerator: prints the application-characteristics table
+//! (ours vs the paper's) and benchmarks the characteristic extraction,
+//! which includes the live-solver workload validation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_core::config::Regime;
+use ns_experiments::{tables, validation};
+use ns_numerics::Grid;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", tables::table1().table());
+    let err = validation::workload_vs_ledger_error(Grid::small(), Regime::NavierStokes, 3);
+    println!("workload-model vs live-solver ledger relative error: {err:.2e}\n");
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.bench_function("characteristics_both_apps", |b| {
+        b.iter(|| {
+            let ns = tables::characteristics(Regime::NavierStokes);
+            let eu = tables::characteristics(Regime::Euler);
+            std::hint::black_box((ns, eu))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Table 2 regenerator: computation-to-communication ratios vs processor
+//! count, ours against the paper's rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_experiments::tables;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", tables::table2().table());
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.bench_function("ratios", |b| b.iter(|| std::hint::black_box(tables::table2())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! ns-bench: Criterion benchmark harness; see the `benches/` directory (one bench per paper table/figure plus microbenchmarks).

@@ -1,0 +1,121 @@
+//! Flow diagnostics: integrated invariants and derived planes (the axial
+//! momentum plane is what the paper's Figure 1 contours).
+
+use crate::field::Field;
+use ns_numerics::{Array2, GasModel};
+
+/// Integrated quantities of the axisymmetric flow (per unit `2 pi`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Invariants {
+    /// Total mass `integral rho r dr dx`.
+    pub mass: f64,
+    /// Total axial momentum.
+    pub x_momentum: f64,
+    /// Total radial momentum.
+    pub r_momentum: f64,
+    /// Total energy.
+    pub energy: f64,
+}
+
+/// Compute the integrated invariants.
+pub fn invariants(field: &Field) -> Invariants {
+    Invariants {
+        mass: field.integral(0),
+        x_momentum: field.integral(1),
+        r_momentum: field.integral(2),
+        energy: field.integral(3),
+    }
+}
+
+/// Axial momentum plane `rho u` (unweighted), the Figure 1 quantity.
+pub fn axial_momentum(field: &Field, gas: &GasModel) -> Array2 {
+    field.map_interior(gas, |w| w.rho * w.u)
+}
+
+/// Local Mach number plane.
+pub fn mach(field: &Field, gas: &GasModel) -> Array2 {
+    field.map_interior(gas, |w| w.mach(gas))
+}
+
+/// Pressure plane.
+pub fn pressure(field: &Field, gas: &GasModel) -> Array2 {
+    field.map_interior(gas, |w| w.p)
+}
+
+/// Maximum Mach number over the interior (stability watchdog).
+pub fn max_mach(field: &Field, gas: &GasModel) -> f64 {
+    mach(field, gas).max_abs()
+}
+
+/// Maximum convective+acoustic wave speed over the interior,
+/// `max(|u| + c, |v| + c)` — the CFL-limiting signal speed.
+pub fn max_wave_speed(field: &Field, gas: &GasModel) -> f64 {
+    let mut m = 0.0f64;
+    for i in 0..field.nxl() {
+        for j in 0..field.nr() {
+            let w = field.primitive(i, j, gas);
+            let c = w.sound_speed(gas);
+            m = m.max(w.u.abs() + c).max(w.v.abs() + c);
+        }
+    }
+    m
+}
+
+/// Minimum density and pressure (positivity watchdog).
+pub fn min_rho_p(field: &Field, gas: &GasModel) -> (f64, f64) {
+    let mut rho = f64::INFINITY;
+    let mut p = f64::INFINITY;
+    for i in 0..field.nxl() {
+        for j in 0..field.nr() {
+            let w = field.primitive(i, j, gas);
+            rho = rho.min(w.rho);
+            p = p.min(w.p);
+        }
+    }
+    (rho, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Patch;
+    use ns_numerics::gas::Primitive;
+    use ns_numerics::Grid;
+
+    #[test]
+    fn invariants_of_quiescent_gas() {
+        let gas = GasModel::air(1.2e6, 1.5);
+        let grid = Grid::small();
+        let f = Field::from_primitives(Patch::whole(grid.clone()), &gas, |_, _| Primitive {
+            rho: 2.0,
+            u: 0.0,
+            v: 0.0,
+            p: 0.7,
+        });
+        let inv = invariants(&f);
+        assert!(inv.mass > 0.0);
+        assert!(inv.x_momentum.abs() < 1e-12);
+        assert!(inv.r_momentum.abs() < 1e-12);
+        assert!(inv.energy > 0.0);
+        // mass = 2 * sum r_j * nx * dx * dr
+        let expected = 2.0 * (0..grid.nr).map(|j| grid.r(j)).sum::<f64>() * grid.nx as f64 * grid.dx * grid.dr;
+        assert!((inv.mass - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn momentum_plane_and_watchdogs() {
+        let gas = GasModel::air(1.2e6, 1.5);
+        let f = Field::from_primitives(Patch::whole(Grid::small()), &gas, |_, r| Primitive {
+            rho: 1.0,
+            u: if r < 1.0 { 1.5 } else { 0.0 },
+            v: 0.0,
+            p: gas.pressure(1.0, 1.0),
+        });
+        let m = axial_momentum(&f, &gas);
+        assert!((m[(0, 0)] - 1.5).abs() < 1e-12);
+        assert!(m[(0, f.nr() - 1)].abs() < 1e-12);
+        assert!((max_mach(&f, &gas) - 1.5).abs() < 1e-9);
+        let (rho, p) = min_rho_p(&f, &gas);
+        assert!(rho > 0.9 && p > 0.0);
+    }
+}

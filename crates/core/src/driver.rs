@@ -1,0 +1,287 @@
+//! Time-stepping driver.
+//!
+//! One time step applies both split operators; successive steps alternate
+//! the symmetric variants (paper Section 3):
+//!
+//! ```text
+//! Q^{n+1} = L1x L1r Q^n          (even steps: radial first)
+//! Q^{n+2} = L2r L2x Q^{n+1}      (odd steps: axial first)
+//! ```
+//!
+//! The same driver advances the serial solver (one patch spanning the grid,
+//! [`NoHalo`]) and each rank of the distributed solver (a block patch and a
+//! real halo exchanger from `ns-runtime`).
+
+use crate::config::SolverConfig;
+use crate::field::{Field, Patch, Workspace};
+use crate::opcount::FlopLedger;
+use crate::scheme::{self, NoHalo, Variant, XHalo};
+use crate::{bc, diag, dissipation};
+use ns_numerics::GasModel;
+
+/// Build the initial condition on a patch: the parallel-flow extension of
+/// the inflow mean profile (`W(x, r) = W_inflow(r)`), the standard start for
+/// spatially developing jet computations.
+pub fn initial_field(cfg: &SolverConfig, patch: Patch) -> Field {
+    let gas = cfg.effective_gas();
+    let jet = cfg.jet;
+    let p0 = gas.pressure(1.0, jet.t_c);
+    Field::from_primitives(patch, &gas, |_, r| ns_numerics::gas::Primitive {
+        rho: jet.rho(r),
+        u: jet.u(r),
+        v: 0.0,
+        p: p0,
+    })
+}
+
+/// The jet solver: state, scratch, clock and instrumentation for one patch.
+pub struct Solver {
+    /// Configuration (grid, regime, version, jet, excitation…).
+    pub cfg: SolverConfig,
+    gas: GasModel,
+    /// Current solution.
+    pub field: Field,
+    ws: Workspace,
+    /// Physical time.
+    pub t: f64,
+    /// Completed step count.
+    pub nstep: u64,
+    /// FLOP ledger (Table 1 input).
+    pub ledger: FlopLedger,
+    dt: f64,
+    /// Base (initial) field kept for mean-preserving dissipation.
+    base: Option<Box<Field>>,
+}
+
+impl Solver {
+    /// Serial solver over the whole grid.
+    pub fn new(cfg: SolverConfig) -> Self {
+        let patch = Patch::whole(cfg.grid.clone());
+        Self::on_patch(cfg, patch)
+    }
+
+    /// Solver over an axial block (one rank of the distributed solver).
+    pub fn on_patch(cfg: SolverConfig, patch: Patch) -> Self {
+        assert_eq!(patch.grid, cfg.grid, "patch must belong to the configured grid");
+        let gas = cfg.effective_gas();
+        let mut field = initial_field(&cfg, patch);
+        let ws = Workspace::new(&field.patch);
+        let dt = cfg.time_step();
+        let mut ledger = FlopLedger::default();
+        if field.patch.is_global_left() {
+            bc::apply_inflow(&mut field, &cfg, &gas, 0.0, &mut ledger);
+        }
+        let base = (cfg.dissipation != 0.0).then(|| Box::new(field.clone()));
+        Self { cfg, gas, field, ws, t: 0.0, nstep: 0, ledger, dt, base }
+    }
+
+    /// Reassemble a solver from checkpointed parts (see
+    /// [`crate::checkpoint`]); the clock, step parity and ledger continue
+    /// exactly where they were.
+    pub fn from_parts(cfg: SolverConfig, field: Field, ws: Workspace, t: f64, nstep: u64, ledger: FlopLedger) -> Self {
+        assert_eq!(field.patch.grid, cfg.grid, "field must belong to the configured grid");
+        let gas = cfg.effective_gas();
+        let dt = cfg.time_step();
+        let base = (cfg.dissipation != 0.0).then(|| Box::new(initial_field(&cfg, field.patch.clone())));
+        Self { cfg, gas, field, ws, t, nstep, ledger, dt, base }
+    }
+
+    /// Effective gas model (inviscid for the Euler regime).
+    pub fn gas(&self) -> &GasModel {
+        &self.gas
+    }
+
+    /// The fixed time step.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advance one step serially (panics if the solver does not own the
+    /// whole grid — distributed ranks must provide their halo).
+    pub fn step(&mut self) {
+        assert!(
+            self.field.patch.is_global_left() && self.field.patch.is_global_right(),
+            "serial stepping requires a whole-grid patch; use step_with_halo"
+        );
+        self.step_with_halo(&mut NoHalo);
+    }
+
+    /// Advance one step with the given axial halo exchanger.
+    pub fn step_with_halo(&mut self, halo: &mut dyn XHalo) {
+        let cfg = self.cfg.clone();
+        if cfg.adaptive_dt {
+            let local = diag::max_wave_speed(&self.field, &self.gas);
+            let global = halo.reduce_max(local);
+            self.dt = cfg.cfl * self.cfg.grid.dx.min(self.cfg.grid.dr) / global;
+            self.ledger.boundary += (self.field.nxl() * self.field.nr()) as u64 * 6;
+        }
+        let dt = self.dt;
+        let t = self.t;
+        if self.nstep.is_multiple_of(2) {
+            scheme::r_operator(Variant::L1, &mut self.field, &mut self.ws, &cfg, &self.gas, dt, &mut self.ledger);
+            scheme::x_operator(
+                Variant::L1,
+                &mut self.field,
+                &mut self.ws,
+                &cfg,
+                &self.gas,
+                halo,
+                t,
+                dt,
+                &mut self.ledger,
+            );
+        } else {
+            scheme::x_operator(
+                Variant::L2,
+                &mut self.field,
+                &mut self.ws,
+                &cfg,
+                &self.gas,
+                halo,
+                t,
+                dt,
+                &mut self.ledger,
+            );
+            scheme::r_operator(Variant::L2, &mut self.field, &mut self.ws, &cfg, &self.gas, dt, &mut self.ledger);
+        }
+        if self.field.patch.is_global_left() {
+            bc::apply_inflow(&mut self.field, &cfg, &self.gas, t + dt, &mut self.ledger);
+        }
+        bc::axis_regularize(&mut self.field, &self.gas, &mut self.ledger);
+        if cfg.dissipation != 0.0 {
+            assert!(
+                self.field.patch.is_global_left() && self.field.patch.is_global_right(),
+                "artificial dissipation is only available in the serial solver"
+            );
+            dissipation::apply_about(&mut self.field, self.base.as_deref(), cfg.dissipation, &mut self.ledger);
+        }
+        self.t += dt;
+        self.nstep += 1;
+    }
+
+    /// Advance `n` steps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Integrated invariants of the current state.
+    pub fn invariants(&self) -> diag::Invariants {
+        diag::invariants(&self.field)
+    }
+
+    /// True while the state is finite and positivity holds.
+    pub fn healthy(&self) -> bool {
+        if !self.field.interior_finite() {
+            return false;
+        }
+        let (rho, p) = diag::min_rho_p(&self.field, &self.gas);
+        rho > 0.0 && p > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Regime, SolverConfig};
+    use ns_numerics::Grid;
+
+    #[test]
+    fn solver_initializes_with_jet_profile() {
+        let cfg = SolverConfig::paper(Grid::small(), Regime::NavierStokes);
+        let s = Solver::new(cfg);
+        let gas = *s.gas();
+        let core = s.field.primitive(10, 0, &gas);
+        let ambient = s.field.primitive(10, s.field.nr() - 1, &gas);
+        assert!(core.u > 1.3, "jet core fast, got {}", core.u);
+        assert!(ambient.u < 0.5, "ambient slow, got {}", ambient.u);
+        assert!(core.rho < ambient.rho, "heated core is lighter");
+    }
+
+    #[test]
+    fn steps_advance_clock_and_stay_healthy() {
+        for regime in [Regime::Euler, Regime::NavierStokes] {
+            let cfg = SolverConfig::paper(Grid::small(), regime);
+            let mut s = Solver::new(cfg);
+            let dt = s.dt();
+            s.run(10);
+            assert_eq!(s.nstep, 10);
+            assert!((s.t - 10.0 * dt).abs() < 1e-12);
+            assert!(s.healthy(), "{regime:?} went unhealthy");
+        }
+    }
+
+    #[test]
+    fn ledger_grows_linearly_with_steps() {
+        let cfg = SolverConfig::paper(Grid::small(), Regime::NavierStokes);
+        let mut s = Solver::new(cfg);
+        s.run(2);
+        let after2 = s.ledger.total();
+        s.run(2);
+        let after4 = s.ledger.total();
+        // cost of steps 3-4 equals cost of steps 1-2 minus the one-time
+        // initialization boundary work
+        let d1 = after2;
+        let d2 = after4 - after2;
+        assert!(d2 > 0);
+        let rel = (d1 as f64 - d2 as f64).abs() / d2 as f64;
+        assert!(rel < 0.01, "per-step cost should be steady, rel diff {rel}");
+    }
+
+    #[test]
+    fn euler_costs_less_than_navier_stokes() {
+        let mut ns = Solver::new(SolverConfig::paper(Grid::small(), Regime::NavierStokes));
+        let mut eu = Solver::new(SolverConfig::paper(Grid::small(), Regime::Euler));
+        ns.run(4);
+        eu.run(4);
+        let ratio = eu.ledger.total() as f64 / ns.ledger.total() as f64;
+        assert!(ratio < 0.8, "Euler should be much cheaper, ratio {ratio}");
+        assert!(ratio > 0.3, "but not free, ratio {ratio}");
+    }
+
+    #[test]
+    fn excitation_perturbs_the_flow() {
+        let mk = |enabled: bool| {
+            let mut cfg = SolverConfig::paper(Grid::small(), Regime::Euler);
+            cfg.excitation.enabled = enabled;
+            let mut s = Solver::new(cfg);
+            s.run(20);
+            s
+        };
+        let on = mk(true);
+        let off = mk(false);
+        let d = on.field.max_diff(&off.field);
+        assert!(d > 1e-8, "excitation must do something, diff {d}");
+    }
+
+    #[test]
+    fn adaptive_dt_tracks_the_flow_and_outruns_the_static_bound() {
+        let mut cfg = SolverConfig::paper(Grid::small(), Regime::Euler);
+        let static_dt = cfg.time_step();
+        cfg.adaptive_dt = true;
+        let mut s = Solver::new(cfg);
+        s.run(5);
+        assert!(s.healthy());
+        // the static estimate pads the wave speed by 20%; the adaptive step
+        // measures it, so it must be larger (same CFL)
+        assert!(s.dt() > static_dt, "adaptive {} vs static {static_dt}", s.dt());
+        // and it respects the true CFL bound
+        let gas = *s.gas();
+        let wave = diag::max_wave_speed(&s.field, &gas);
+        let cfl_eff = s.dt() * wave / s.cfg.grid.dx.min(s.cfg.grid.dr);
+        assert!(cfl_eff <= s.cfg.cfl * 1.0001, "effective CFL {cfl_eff}");
+    }
+
+    #[test]
+    fn mass_is_nearly_conserved_over_short_runs() {
+        let mut cfg = SolverConfig::paper(Grid::small(), Regime::Euler);
+        cfg.excitation.enabled = false;
+        let mut s = Solver::new(cfg);
+        let m0 = s.invariants().mass;
+        s.run(20);
+        let m1 = s.invariants().mass;
+        // open boundaries admit small flux imbalance, but nothing dramatic
+        assert!((m1 - m0).abs() / m0 < 1e-3, "mass drifted {} -> {}", m0, m1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Inviscid flux Jacobian and its characteristic decomposition.
+//!
+//! The Hayder–Turkel outflow condition (paper Section 3, [`crate::bc`])
+//! rests on the eigenstructure of the axial flux Jacobian
+//! `A = dF/dQ`: the wave speeds `u - c, u, u, u + c` and the
+//! characteristic variables they carry. This module provides the Jacobian,
+//! its analytic eigenvalues and (right/left) eigenvectors, primarily as a
+//! verified foundation — the tests check `A R = R diag(lambda)`,
+//! `L = R^{-1}` and that `A dQ` matches the finite-difference flux
+//! derivative — and secondarily for downstream users building implicit or
+//! flux-split variants (the Gottlieb–Turkel paper's own context).
+
+use ns_numerics::gas::Primitive;
+use ns_numerics::GasModel;
+
+/// A dense 4x4 matrix (row-major).
+pub type Mat4 = [[f64; 4]; 4];
+
+/// Matrix-vector product.
+pub fn matvec(a: &Mat4, x: [f64; 4]) -> [f64; 4] {
+    std::array::from_fn(|i| (0..4).map(|k| a[i][k] * x[k]).sum())
+}
+
+/// Matrix-matrix product.
+pub fn matmul(a: &Mat4, b: &Mat4) -> Mat4 {
+    std::array::from_fn(|i| std::array::from_fn(|j| (0..4).map(|k| a[i][k] * b[k][j]).sum()))
+}
+
+/// Axial inviscid flux of the unweighted conservative state.
+pub fn flux_x(q: [f64; 4], gas: &GasModel) -> [f64; 4] {
+    let w = Primitive::from_conservative(q, gas);
+    let e = q[3];
+    [q[1], q[1] * w.u + w.p, q[1] * w.v, (e + w.p) * w.u]
+}
+
+/// Analytic Jacobian `A = dF_x/dQ` for a perfect gas.
+pub fn jacobian_x(w: &Primitive, gas: &GasModel) -> Mat4 {
+    let g = gas.gamma;
+    let gm1 = g - 1.0;
+    let (u, v) = (w.u, w.v);
+    let q2 = u * u + v * v;
+    let e = gas.total_energy(w.rho, u, v, w.p);
+    let h = (e + w.p) / w.rho; // total specific enthalpy
+    [
+        [0.0, 1.0, 0.0, 0.0],
+        [0.5 * gm1 * q2 - u * u, (3.0 - g) * u, -gm1 * v, gm1],
+        [-u * v, v, u, 0.0],
+        [u * (0.5 * gm1 * q2 - h), h - gm1 * u * u, -gm1 * u * v, g * u],
+    ]
+}
+
+/// Eigenvalues of the axial Jacobian: `(u - c, u, u, u + c)`.
+pub fn eigenvalues_x(w: &Primitive, gas: &GasModel) -> [f64; 4] {
+    let c = w.sound_speed(gas);
+    [w.u - c, w.u, w.u, w.u + c]
+}
+
+/// Right eigenvectors (columns of `R`), ordered as [`eigenvalues_x`].
+pub fn right_eigenvectors_x(w: &Primitive, gas: &GasModel) -> Mat4 {
+    let c = w.sound_speed(gas);
+    let (u, v) = (w.u, w.v);
+    let q2h = 0.5 * (u * u + v * v);
+    let e = gas.total_energy(w.rho, u, v, w.p);
+    let h = (e + w.p) / w.rho;
+    // columns: acoustic-, entropy, shear, acoustic+
+    let cols = [
+        [1.0, u - c, v, h - u * c],
+        [1.0, u, v, q2h],
+        [0.0, 0.0, 1.0, v],
+        [1.0, u + c, v, h + u * c],
+    ];
+    // transpose columns into a row-major matrix
+    std::array::from_fn(|i| std::array::from_fn(|j| cols[j][i]))
+}
+
+/// Left eigenvectors (rows of `L = R^{-1}`), same ordering.
+pub fn left_eigenvectors_x(w: &Primitive, gas: &GasModel) -> Mat4 {
+    let c = w.sound_speed(gas);
+    let gm1 = gas.gamma - 1.0;
+    let (u, v) = (w.u, w.v);
+    let q2h = 0.5 * (u * u + v * v);
+    let b1 = gm1 / (c * c);
+    let b2 = b1 * q2h;
+    [
+        // acoustic minus
+        [0.5 * (b2 + u / c), 0.5 * (-b1 * u - 1.0 / c), 0.5 * (-b1 * v), 0.5 * b1],
+        // entropy
+        [1.0 - b2, b1 * u, b1 * v, -b1],
+        // shear
+        [-v, 0.0, 1.0, 0.0],
+        // acoustic plus
+        [0.5 * (b2 - u / c), 0.5 * (-b1 * u + 1.0 / c), 0.5 * (-b1 * v), 0.5 * b1],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gas() -> GasModel {
+        GasModel::air(1.2e6, 1.5)
+    }
+
+    fn state() -> Primitive {
+        Primitive { rho: 1.3, u: 0.9, v: -0.25, p: 0.64 }
+    }
+
+    fn max_abs(m: &Mat4) -> f64 {
+        m.iter().flatten().fold(0.0f64, |a, &x| a.max(x.abs()))
+    }
+
+    /// `A` must be the derivative of the flux: compare against central
+    /// finite differences of `flux_x` in each conservative component.
+    #[test]
+    fn jacobian_matches_finite_difference() {
+        let g = gas();
+        let w = state();
+        let q0 = w.to_conservative(&g);
+        let a = jacobian_x(&w, &g);
+        let h = 1e-6;
+        for k in 0..4 {
+            let mut qp = q0;
+            let mut qm = q0;
+            qp[k] += h;
+            qm[k] -= h;
+            let fp = flux_x(qp, &g);
+            let fm = flux_x(qm, &g);
+            for i in 0..4 {
+                let fd = (fp[i] - fm[i]) / (2.0 * h);
+                assert!((a[i][k] - fd).abs() < 1e-5, "A[{i}][{k}] = {} vs fd {fd}", a[i][k]);
+            }
+        }
+    }
+
+    /// `A R = R diag(lambda)` column by column.
+    #[test]
+    fn eigen_decomposition_satisfies_definition() {
+        let g = gas();
+        let w = state();
+        let a = jacobian_x(&w, &g);
+        let r = right_eigenvectors_x(&w, &g);
+        let lam = eigenvalues_x(&w, &g);
+        for j in 0..4 {
+            let col: [f64; 4] = std::array::from_fn(|i| r[i][j]);
+            let ar = matvec(&a, col);
+            for i in 0..4 {
+                assert!(
+                    (ar[i] - lam[j] * col[i]).abs() < 1e-10,
+                    "column {j}: (A r)[{i}] = {} vs {}",
+                    ar[i],
+                    lam[j] * col[i]
+                );
+            }
+        }
+    }
+
+    /// `L R = I`.
+    #[test]
+    fn left_inverts_right() {
+        let g = gas();
+        let w = state();
+        let l = left_eigenvectors_x(&w, &g);
+        let r = right_eigenvectors_x(&w, &g);
+        let lr = matmul(&l, &r);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((lr[i][j] - expect).abs() < 1e-10, "LR[{i}][{j}] = {}", lr[i][j]);
+            }
+        }
+    }
+
+    /// Reconstruction: `R diag(lambda) L == A`.
+    #[test]
+    fn reconstruction_recovers_jacobian() {
+        let g = gas();
+        let w = state();
+        let a = jacobian_x(&w, &g);
+        let r = right_eigenvectors_x(&w, &g);
+        let l = left_eigenvectors_x(&w, &g);
+        let lam = eigenvalues_x(&w, &g);
+        let dl: Mat4 = std::array::from_fn(|i| std::array::from_fn(|j| if i == j { lam[i] } else { 0.0 }));
+        let rebuilt = matmul(&matmul(&r, &dl), &l);
+        let mut diff: Mat4 = [[0.0; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                diff[i][j] = rebuilt[i][j] - a[i][j];
+            }
+        }
+        assert!(max_abs(&diff) < 1e-10, "max |R L L - A| = {}", max_abs(&diff));
+    }
+
+    /// Subsonic outflow has exactly one negative eigenvalue (one incoming
+    /// characteristic — the basis of the paper's boundary treatment);
+    /// supersonic outflow has none.
+    #[test]
+    fn characteristic_counts_match_bc_theory() {
+        let g = gas();
+        let subsonic = Primitive { rho: 1.0, u: 0.5, v: 0.0, p: g.pressure(1.0, 1.0) };
+        let lam = eigenvalues_x(&subsonic, &g);
+        assert_eq!(lam.iter().filter(|&&l| l < 0.0).count(), 1);
+        let supersonic = Primitive { rho: 1.0, u: 1.5, v: 0.0, p: g.pressure(1.0, 1.0) };
+        let lam = eigenvalues_x(&supersonic, &g);
+        assert_eq!(lam.iter().filter(|&&l| l < 0.0).count(), 0);
+    }
+
+    /// The characteristic projection of a pure pressure/velocity
+    /// perturbation puts all its energy in the acoustic fields.
+    #[test]
+    fn acoustic_perturbations_project_onto_acoustic_modes() {
+        let g = gas();
+        let w = state();
+        let c = w.sound_speed(&g);
+        // right-going simple wave: dp = rho c du, drho = dp / c^2, dv = 0
+        let du = 1e-3;
+        let dp = w.rho * c * du;
+        let drho = dp / (c * c);
+        let q0 = w.to_conservative(&g);
+        let wp = Primitive { rho: w.rho + drho, u: w.u + du, v: w.v, p: w.p + dp };
+        let q1 = wp.to_conservative(&g);
+        let dq: [f64; 4] = std::array::from_fn(|k| q1[k] - q0[k]);
+        let l = left_eigenvectors_x(&w, &g);
+        let alpha = matvec(&l, dq);
+        // dominant component is the (+) acoustic one, the (-) one is ~0
+        assert!(alpha[3].abs() > 100.0 * alpha[0].abs(), "alpha = {alpha:?}");
+        assert!(alpha[2].abs() < 1e-9, "no shear content");
+    }
+}

@@ -1,0 +1,171 @@
+//! Pointwise physics: axisymmetric Stokes stresses, Fourier heat flux, and
+//! the paper's flux vectors.
+//!
+//! The governing equations (paper Section 2), in cylindrical polar
+//! coordinates with `Q = r q`:
+//!
+//! ```text
+//! dQ/dt + dF/dx + dG/dr = S
+//! F = r (rho u,  rho u^2 + p - txx,  rho u v - txr,  rho u H - u txx - v txr - k T_x)
+//! G = r (rho v,  rho u v - txr,  rho v^2 + p - trr,  rho v H - u txr - v trr - k T_r)
+//! S =   (0, 0, p - t_theta_theta, 0)
+//! ```
+//!
+//! with `rho H = E + p`. The Euler equations are obtained by zeroing the
+//! transport coefficients.
+
+use ns_numerics::GasModel;
+
+/// Velocity/temperature gradients at a point.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Derivs {
+    /// du/dx
+    pub ux: f64,
+    /// du/dr
+    pub ur: f64,
+    /// dv/dx
+    pub vx: f64,
+    /// dv/dr
+    pub vr: f64,
+    /// dT/dx
+    pub tx: f64,
+    /// dT/dr
+    pub tr: f64,
+}
+
+/// Axisymmetric viscous stresses and heat fluxes at a point.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Stresses {
+    /// Axial normal stress.
+    pub txx: f64,
+    /// Radial normal stress.
+    pub trr: f64,
+    /// Azimuthal normal stress (enters the source term).
+    pub ttt: f64,
+    /// Shear stress.
+    pub txr: f64,
+    /// Axial heat flux `-k dT/dx`.
+    pub qx: f64,
+    /// Radial heat flux `-k dT/dr`.
+    pub qr: f64,
+}
+
+/// Compute the axisymmetric Stokes stresses with bulk-viscosity closure
+/// `lambda = -2/3 mu`, where the divergence is
+/// `div u = u_x + v_r + v / r`.
+#[inline(always)]
+pub fn stresses(gas: &GasModel, d: &Derivs, v_over_r: f64) -> Stresses {
+    let mu = gas.mu;
+    let div = d.ux + d.vr + v_over_r;
+    let lam_div = -(2.0 / 3.0) * mu * div;
+    Stresses {
+        txx: 2.0 * mu * d.ux + lam_div,
+        trr: 2.0 * mu * d.vr + lam_div,
+        ttt: 2.0 * mu * v_over_r + lam_div,
+        txr: mu * (d.ur + d.vx),
+        qx: -gas.kappa * d.tx,
+        qr: -gas.kappa * d.tr,
+    }
+}
+
+/// Unweighted axial flux `f` (multiply by `r` for the paper's `F`).
+#[inline(always)]
+pub fn xflux(rho: f64, u: f64, v: f64, p: f64, e: f64, s: &Stresses) -> [f64; 4] {
+    let m = rho * u;
+    [
+        m,
+        m * u + p - s.txx,
+        m * v - s.txr,
+        (e + p) * u - u * s.txx - v * s.txr + s.qx,
+    ]
+}
+
+/// Unweighted radial flux `g` (multiply by `r` for the paper's `G`).
+#[inline(always)]
+pub fn rflux(rho: f64, u: f64, v: f64, p: f64, e: f64, s: &Stresses) -> [f64; 4] {
+    let n = rho * v;
+    [
+        n,
+        n * u - s.txr,
+        n * v + p - s.trr,
+        (e + p) * v - u * s.txr - v * s.trr + s.qr,
+    ]
+}
+
+/// The radial source term `S = (0, 0, p - t_theta_theta, 0)`; only the third
+/// component is nonzero, returned as a scalar.
+#[inline(always)]
+pub fn source3(p: f64, s: &Stresses) -> f64 {
+    p - s.ttt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gas() -> GasModel {
+        GasModel::air(1000.0, 1.5) // exaggerated viscosity for visible stresses
+    }
+
+    #[test]
+    fn stress_trace_has_no_bulk_viscosity() {
+        // txx + trr + ttt = 2 mu div + 3 lam div = (2 - 2) mu div = 0
+        let g = gas();
+        let d = Derivs { ux: 0.3, ur: -0.1, vx: 0.2, vr: 0.4, tx: 0.0, tr: 0.0 };
+        let v_over_r = 0.25;
+        let s = stresses(&g, &d, v_over_r);
+        assert!((s.txx + s.trr + s.ttt).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shear_stress_symmetric_part_only() {
+        let g = gas();
+        let d = Derivs { ur: 0.7, vx: -0.2, ..Default::default() };
+        let s = stresses(&g, &d, 0.0);
+        assert!((s.txr - g.mu * 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn heat_flux_opposes_gradient() {
+        let g = gas();
+        let d = Derivs { tx: 2.0, tr: -1.0, ..Default::default() };
+        let s = stresses(&g, &d, 0.0);
+        assert!(s.qx < 0.0 && s.qr > 0.0);
+        assert!((s.qx + g.kappa * 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inviscid_fluxes_reduce_to_euler() {
+        let g = gas().inviscid();
+        let d = Derivs { ux: 1.0, ur: 1.0, vx: 1.0, vr: 1.0, tx: 1.0, tr: 1.0 };
+        let s = stresses(&g, &d, 1.0);
+        assert_eq!(s, Stresses::default());
+        let (rho, u, v, p) = (1.2, 0.9, 0.3, 0.8);
+        let e = g.total_energy(rho, u, v, p);
+        let f = xflux(rho, u, v, p, e, &s);
+        assert!((f[0] - rho * u).abs() < 1e-15);
+        assert!((f[1] - (rho * u * u + p)).abs() < 1e-15);
+        assert!((f[2] - rho * u * v).abs() < 1e-15);
+        assert!((f[3] - (e + p) * u).abs() < 1e-15);
+    }
+
+    #[test]
+    fn source_is_pressure_minus_hoop_stress() {
+        let g = gas();
+        let d = Derivs::default();
+        let s = stresses(&g, &d, 0.5);
+        let src = source3(2.0, &s);
+        assert!((src - (2.0 - s.ttt)).abs() < 1e-15);
+        assert!(s.ttt != 0.0);
+    }
+
+    #[test]
+    fn fluxes_are_galilean_consistent_in_mass() {
+        // mass flux components must be exactly momentum densities
+        let g = gas();
+        let s = Stresses::default();
+        let e = g.total_energy(2.0, 3.0, 4.0, 1.0);
+        assert_eq!(xflux(2.0, 3.0, 4.0, 1.0, e, &s)[0], 6.0);
+        assert_eq!(rflux(2.0, 3.0, 4.0, 1.0, e, &s)[0], 8.0);
+    }
+}

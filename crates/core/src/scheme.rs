@@ -1,0 +1,524 @@
+//! The Gottlieb–Turkel "2-4" MacCormack operators.
+//!
+//! The scheme (paper Section 3) splits `L Q = S` into one-dimensional
+//! operators and applies a predictor/corrector pair with one-sided
+//! differences in each:
+//!
+//! * `L1`: forward difference in the predictor, backward in the corrector;
+//! * `L2`: the symmetric variant (backward predictor, forward corrector).
+//!
+//! Fourth-order spatial accuracy is obtained by alternating,
+//! `Q^{n+1} = L1x L1r Q^n`, `Q^{n+2} = L2r L2x Q^{n+1}`.
+//!
+//! The axial operator is the only one that communicates in the distributed
+//! solver (the domain is decomposed in axial blocks only); its halo traffic
+//! is abstracted behind [`XHalo`] so the identical numerics run serially
+//! (ghosts from boundary conditions only) and in parallel (ghosts from
+//! neighbor exchange), which is what makes the serial-vs-parallel
+//! equivalence tests exact.
+
+use crate::bc;
+use crate::config::{SchemeOrder, SolverConfig};
+use crate::field::{Field, FluxField, PrimField, Workspace, NG};
+use crate::kernels::{self, EdgeFlags, FluxDir};
+use crate::opcount::{self, FlopLedger};
+use ns_numerics::GasModel;
+
+/// Which symmetric variant of the predictor/corrector pair to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Forward predictor, backward corrector.
+    L1,
+    /// Backward predictor, forward corrector.
+    L2,
+}
+
+/// Halo-exchange hooks for the axial operator.
+///
+/// The methods are called in the exact order the paper's message protocol
+/// prescribes: primitive columns before each flux evaluation stage (the
+/// grouped "velocity and temperature" send), then the two-column flux
+/// packet after each flux evaluation.
+pub trait XHalo {
+    /// Fill the axial ghost columns of the primitive planes from the
+    /// neighbouring subdomains (no-op at owned global boundaries).
+    fn exchange_prims(&mut self, prim: &mut PrimField);
+    /// Fill the two axial ghost flux columns on each internal edge.
+    fn exchange_flux(&mut self, flux: &mut FluxField);
+    /// Global max-reduction (identity for the serial solver); used by
+    /// adaptive time stepping so every rank agrees on the step size.
+    fn reduce_max(&mut self, x: f64) -> f64 {
+        x
+    }
+    /// Split-phase primitive exchange, part 1: post the sends (and, for a
+    /// non-overlapping transport, complete the receives too). No-op
+    /// serially.
+    fn post_prims(&mut self, prim: &mut PrimField) {
+        let _ = prim;
+    }
+    /// Split-phase primitive exchange, part 2: complete any receives posted
+    /// by [`XHalo::post_prims`]. No-op serially and for non-overlapping
+    /// transports.
+    fn finish_prims(&mut self, prim: &mut PrimField) {
+        let _ = prim;
+    }
+}
+
+/// Serial stand-in: a single patch owns both global boundaries, so there is
+/// nothing to exchange — ghost fluxes come from cubic extrapolation inside
+/// the operator and derivative stencils are one-sided at the edges.
+pub struct NoHalo;
+
+impl XHalo for NoHalo {
+    fn exchange_prims(&mut self, _prim: &mut PrimField) {}
+    fn exchange_flux(&mut self, _flux: &mut FluxField) {}
+}
+
+/// Apply the axial operator (`Q_t + F_x = 0`) over one time step.
+///
+/// `t` is the physical time at the start of the step; the inflow Dirichlet
+/// data for the predictor state and the new state are evaluated at `t + dt`.
+#[allow(clippy::too_many_arguments)]
+pub fn x_operator(
+    variant: Variant,
+    field: &mut Field,
+    ws: &mut Workspace,
+    cfg: &SolverConfig,
+    gas: &GasModel,
+    halo: &mut dyn XHalo,
+    t: f64,
+    dt: f64,
+    ledger: &mut FlopLedger,
+) {
+    let patch = field.patch.clone();
+    let edges = EdgeFlags::of(&patch);
+    let (nxl, nr) = (patch.nxl, patch.nr());
+    let lam = dt / (6.0 * patch.grid.dx);
+    let viscous = !gas.is_inviscid();
+
+    // --- stage 1: fluxes of Q^n -------------------------------------------
+    kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
+    bc::mirror_prims_axis(&mut ws.prim);
+    bc::extrap_prims_top(&mut ws.prim, nr);
+    // Split-phase exchange: post the boundary columns, compute the columns
+    // whose stencils are fully local, complete the receives, finish the
+    // edge columns. With an overlapping transport this is exactly the
+    // paper's Version 6; with a plain transport (or serially) it degenerates
+    // to exchange-then-compute (Version 5) with identical arithmetic.
+    halo.post_prims(&mut ws.prim);
+    let (flo, fhi) = (usize::from(!edges.left), nxl - usize::from(!edges.right));
+    kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux, None, flo..fhi, ledger);
+    halo.finish_prims(&mut ws.prim);
+    kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux, None, 0..flo, ledger);
+    kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux, None, fhi..nxl, ledger);
+    halo.exchange_flux(&mut ws.flux);
+    bc::extrap_flux_x(&mut ws.flux, nxl, nr, edges.left, edges.right, ledger);
+
+    // Characteristic outflow update of the owned global-right column, from
+    // the time-n primitives (the column is untouched by the sweep below).
+    if edges.right {
+        bc::outflow_characteristic(field, &ws.prim, gas, dt, ledger);
+    }
+
+    // --- predictor ----------------------------------------------------------
+    let istart = usize::from(edges.left);
+    let iend = nxl - usize::from(edges.right);
+    predictor_x(variant, field, &ws.flux, &mut ws.qbar, istart, iend, nr, lam, cfg, ledger);
+    if edges.left {
+        bc::apply_inflow(&mut ws.qbar, cfg, gas, t + dt, ledger);
+    }
+    if edges.right {
+        for j in 0..nr {
+            ws.qbar.set_qvec(nxl - 1, j, field.qvec(nxl - 1, j));
+        }
+    }
+
+    // --- stage 2: fluxes of the predictor state ----------------------------
+    kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
+    bc::mirror_prims_axis(&mut ws.prim);
+    bc::extrap_prims_top(&mut ws.prim, nr);
+    if viscous {
+        // The second grouped primitive exchange; Euler skips it (its edge
+        // fluxes need no derivative stencils), which is why the paper's
+        // Euler run does 12 message start-ups per step against 16 for N-S.
+        halo.post_prims(&mut ws.prim);
+        kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, flo..fhi, ledger);
+        halo.finish_prims(&mut ws.prim);
+        kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, 0..flo, ledger);
+        kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, fhi..nxl, ledger);
+    } else {
+        kernels::compute_flux(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, ledger);
+    }
+    halo.exchange_flux(&mut ws.flux_bar);
+    bc::extrap_flux_x(&mut ws.flux_bar, nxl, nr, edges.left, edges.right, ledger);
+
+    // --- corrector ----------------------------------------------------------
+    corrector_x(variant, field, &ws.qbar, &ws.flux_bar, istart, iend, nr, lam, cfg, ledger);
+
+    if edges.left {
+        bc::apply_inflow(field, cfg, gas, t + dt, ledger);
+    }
+}
+
+/// Apply the radial operator (`Q_t + G_r = S`) over one time step. The
+/// radial direction is never decomposed, so this operator is communication
+/// free.
+pub fn r_operator(
+    variant: Variant,
+    field: &mut Field,
+    ws: &mut Workspace,
+    cfg: &SolverConfig,
+    gas: &GasModel,
+    dt: f64,
+    ledger: &mut FlopLedger,
+) {
+    let patch = field.patch.clone();
+    // The radial operator never communicates (the paper's protocol sends
+    // messages only around the axial sweeps), so the viscous
+    // cross-derivatives (u_x, v_x, T_x in tau_xr / tau_rr / tau_tt) must be
+    // evaluated from local data alone: one-sided stencils at *patch* edges,
+    // global or internal. On a whole-grid patch this coincides with the
+    // serial boundary treatment; on an internal edge it introduces the
+    // O(dx^2)-consistent difference the parallel-equivalence tests budget
+    // for (Euler, with no stress derivatives, stays bitwise identical).
+    let edges = EdgeFlags { left: true, right: true };
+    let (nxl, nr) = (patch.nxl, patch.nr());
+    let lam = dt / (6.0 * patch.grid.dr);
+
+    // --- stage 1 -------------------------------------------------------------
+    kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
+    bc::mirror_prims_axis(&mut ws.prim);
+    bc::extrap_prims_top(&mut ws.prim, nr);
+    kernels::compute_flux(cfg.version, FluxDir::R, &ws.prim, &patch, edges, gas, &mut ws.flux, Some(&mut ws.src), ledger);
+    bc::fill_rflux_ghosts(&mut ws.flux, nxl, nr, ledger);
+
+    // --- predictor -------------------------------------------------------------
+    {
+        let Workspace { flux, src, qbar, .. } = ws;
+        predictor_r(variant, field, flux, src, qbar, nxl, nr, lam, dt, cfg, ledger);
+    }
+    for i in 0..nxl {
+        ws.qbar.set_qvec(i, nr - 1, field.qvec(i, nr - 1));
+    }
+
+    // --- stage 2 -------------------------------------------------------------
+    kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
+    bc::mirror_prims_axis(&mut ws.prim);
+    bc::extrap_prims_top(&mut ws.prim, nr);
+    kernels::compute_flux(
+        cfg.version,
+        FluxDir::R,
+        &ws.prim,
+        &patch,
+        edges,
+        gas,
+        &mut ws.flux_bar,
+        Some(&mut ws.src_bar),
+        ledger,
+    );
+    bc::fill_rflux_ghosts(&mut ws.flux_bar, nxl, nr, ledger);
+
+    // --- corrector -------------------------------------------------------------
+    {
+        let Workspace { flux_bar, src_bar, qbar, .. } = ws;
+        corrector_r(variant, field, qbar, flux_bar, src_bar, nxl, nr, lam, dt, cfg, ledger);
+    }
+
+    bc::farfield_top(field, gas, gas.pressure(1.0, cfg.jet.t_c), ledger);
+}
+
+/// One-sided flux difference in x at `(i, j)` (signed local indices),
+/// scaled so that multiplying by `dt / (6 h)` yields the update: the 2-4
+/// stencil natively, the 2-2 stencil scaled by 6.
+#[inline(always)]
+fn dflux_x(flux: &FluxField, c: usize, i: isize, j: isize, forward: bool, order: SchemeOrder) -> f64 {
+    match (order, forward) {
+        (SchemeOrder::TwoFour, true) => {
+            7.0 * (flux.at(c, i + 1, j) - flux.at(c, i, j)) - (flux.at(c, i + 2, j) - flux.at(c, i + 1, j))
+        }
+        (SchemeOrder::TwoFour, false) => {
+            7.0 * (flux.at(c, i, j) - flux.at(c, i - 1, j)) - (flux.at(c, i - 1, j) - flux.at(c, i - 2, j))
+        }
+        (SchemeOrder::TwoTwo, true) => 6.0 * (flux.at(c, i + 1, j) - flux.at(c, i, j)),
+        (SchemeOrder::TwoTwo, false) => 6.0 * (flux.at(c, i, j) - flux.at(c, i - 1, j)),
+    }
+}
+
+/// One-sided flux difference in r at `(i, j)` (same scaling convention).
+#[inline(always)]
+fn dflux_r(flux: &FluxField, c: usize, i: isize, j: isize, forward: bool, order: SchemeOrder) -> f64 {
+    match (order, forward) {
+        (SchemeOrder::TwoFour, true) => {
+            7.0 * (flux.at(c, i, j + 1) - flux.at(c, i, j)) - (flux.at(c, i, j + 2) - flux.at(c, i, j + 1))
+        }
+        (SchemeOrder::TwoFour, false) => {
+            7.0 * (flux.at(c, i, j) - flux.at(c, i, j - 1)) - (flux.at(c, i, j - 1) - flux.at(c, i, j - 2))
+        }
+        (SchemeOrder::TwoTwo, true) => 6.0 * (flux.at(c, i, j + 1) - flux.at(c, i, j)),
+        (SchemeOrder::TwoTwo, false) => 6.0 * (flux.at(c, i, j) - flux.at(c, i, j - 1)),
+    }
+}
+
+/// Iterate a 2-D index range in the version's preferred loop order
+/// (axial-innermost for V1/V2, radial-innermost for V3+).
+#[inline(always)]
+fn sweep(cfg: &SolverConfig, irange: std::ops::Range<usize>, jrange: std::ops::Range<usize>, mut body: impl FnMut(usize, usize)) {
+    if cfg.version <= crate::config::Version::V2 {
+        for j in jrange {
+            for i in irange.clone() {
+                body(i, j);
+            }
+        }
+    } else {
+        for i in irange {
+            for j in jrange.clone() {
+                body(i, j);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn predictor_x(
+    variant: Variant,
+    field: &Field,
+    flux: &FluxField,
+    qbar: &mut Field,
+    istart: usize,
+    iend: usize,
+    nr: usize,
+    lam: f64,
+    cfg: &SolverConfig,
+    ledger: &mut FlopLedger,
+) {
+    let forward = variant == Variant::L1;
+    sweep(cfg, istart..iend, 0..nr, |i, j| {
+        let (si, sj) = (i as isize, j as isize);
+        for c in 0..4 {
+            let d = dflux_x(flux, c, si, sj, forward, cfg.scheme);
+            qbar.set(c, si, sj, field.at(c, si, sj) - lam * d);
+        }
+    });
+    ledger.update += ((iend - istart) * nr) as u64 * opcount::COST_PREDICTOR;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn corrector_x(
+    variant: Variant,
+    field: &mut Field,
+    qbar: &Field,
+    flux_bar: &FluxField,
+    istart: usize,
+    iend: usize,
+    nr: usize,
+    lam: f64,
+    cfg: &SolverConfig,
+    ledger: &mut FlopLedger,
+) {
+    // corrector difference runs opposite to the predictor
+    let forward = variant == Variant::L2;
+    sweep(cfg, istart..iend, 0..nr, |i, j| {
+        let (si, sj) = (i as isize, j as isize);
+        for c in 0..4 {
+            let d = dflux_x(flux_bar, c, si, sj, forward, cfg.scheme);
+            let v = 0.5 * (field.at(c, si, sj) + qbar.at(c, si, sj) - lam * d);
+            field.set(c, si, sj, v);
+        }
+    });
+    ledger.update += ((iend - istart) * nr) as u64 * opcount::COST_CORRECTOR;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn predictor_r(
+    variant: Variant,
+    field: &Field,
+    flux: &FluxField,
+    src: &ns_numerics::Array2,
+    qbar: &mut Field,
+    nxl: usize,
+    nr: usize,
+    lam: f64,
+    dt: f64,
+    cfg: &SolverConfig,
+    ledger: &mut FlopLedger,
+) {
+    let forward = variant == Variant::L1;
+    sweep(cfg, 0..nxl, 0..nr - 1, |i, j| {
+        let (si, sj) = (i as isize, j as isize);
+        let s = src.at(i + NG, j + NG);
+        for c in 0..4 {
+            let d = dflux_r(flux, c, si, sj, forward, cfg.scheme);
+            let sc = if c == 2 { dt * s } else { 0.0 };
+            qbar.set(c, si, sj, field.at(c, si, sj) - lam * d + sc);
+        }
+    });
+    ledger.update += (nxl * (nr - 1)) as u64 * (opcount::COST_PREDICTOR + 2);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn corrector_r(
+    variant: Variant,
+    field: &mut Field,
+    qbar: &Field,
+    flux_bar: &FluxField,
+    src_bar: &ns_numerics::Array2,
+    nxl: usize,
+    nr: usize,
+    lam: f64,
+    dt: f64,
+    cfg: &SolverConfig,
+    ledger: &mut FlopLedger,
+) {
+    let forward = variant == Variant::L2;
+    sweep(cfg, 0..nxl, 0..nr - 1, |i, j| {
+        let (si, sj) = (i as isize, j as isize);
+        let s = src_bar.at(i + NG, j + NG);
+        for c in 0..4 {
+            let d = dflux_r(flux_bar, c, si, sj, forward, cfg.scheme);
+            let sc = if c == 2 { dt * s } else { 0.0 };
+            let v = 0.5 * (field.at(c, si, sj) + qbar.at(c, si, sj) - lam * d + sc);
+            field.set(c, si, sj, v);
+        }
+    });
+    ledger.update += (nxl * (nr - 1)) as u64 * (opcount::COST_CORRECTOR + 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Regime, SolverConfig, Version};
+    use crate::field::Patch;
+    use ns_numerics::gas::Primitive;
+    use ns_numerics::Grid;
+
+    fn uniform_setup(regime: Regime) -> (SolverConfig, GasModel, Field, Workspace) {
+        let mut cfg = SolverConfig::paper(Grid::small(), regime);
+        cfg.excitation.enabled = false;
+        let gas = cfg.effective_gas();
+        let patch = Patch::whole(cfg.grid.clone());
+        // uniform state matching what the inflow would impose at large r is
+        // not uniform; instead disable inflow coupling by checking interior
+        // columns only in the assertions below.
+        let field = Field::from_primitives(patch.clone(), &gas, |_, _| Primitive {
+            rho: 1.0,
+            u: 0.4,
+            v: 0.0,
+            p: gas.pressure(1.0, 1.0),
+        });
+        let ws = Workspace::new(&field.patch);
+        (cfg, gas, field, ws)
+    }
+
+    /// Free-stream preservation of the radial operator: for a uniform state
+    /// the flux divergence `dG/dr` must exactly balance the source `S`
+    /// (G_3 = r p, S_3 = p), so the interior stays uniform.
+    #[test]
+    fn r_operator_preserves_uniform_flow() {
+        for regime in [Regime::Euler, Regime::NavierStokes] {
+            let (cfg, gas, mut field, mut ws) = uniform_setup(regime);
+            let before = field.clone();
+            let mut ledger = FlopLedger::default();
+            let dt = cfg.time_step();
+            for variant in [Variant::L1, Variant::L2] {
+                r_operator(variant, &mut field, &mut ws, &cfg, &gas, dt, &mut ledger);
+            }
+            // exclude the far-field row which is reset by the BC
+            let mut max = 0.0_f64;
+            for c in 0..4 {
+                for i in 0..field.nxl() {
+                    for j in 0..field.nr() - 1 {
+                        max = max.max((field.at(c, i as isize, j as isize) - before.at(c, i as isize, j as isize)).abs());
+                    }
+                }
+            }
+            assert!(max < 1e-11, "{regime:?}: uniform state drifted by {max}");
+        }
+    }
+
+    /// Free-stream preservation of the axial operator away from the inflow
+    /// column (which is Dirichlet and exactly uniform here).
+    #[test]
+    fn x_operator_preserves_uniform_flow() {
+        for regime in [Regime::Euler, Regime::NavierStokes] {
+            let (mut cfg, gas, mut field, mut ws) = uniform_setup(regime);
+            // make the mean inflow equal to the uniform state so the
+            // Dirichlet column is compatible
+            cfg.jet.u_c = 0.4;
+            cfg.jet.u_inf = 0.4;
+            cfg.jet.t_c = 1.0;
+            cfg.jet.t_inf = 1.0;
+            cfg.jet.mach_c = 0.0; // no Crocco-Busemann heating: T uniform
+            let mut ledger = FlopLedger::default();
+            let dt = cfg.time_step();
+            for variant in [Variant::L1, Variant::L2] {
+                x_operator(variant, &mut field, &mut ws, &cfg, &gas, &mut NoHalo, 0.0, dt, &mut ledger);
+            }
+            for c in 0..4 {
+                for i in 0..field.nxl() {
+                    for j in 0..field.nr() {
+                        let r = field.patch.r(j);
+                        let q0 = match c {
+                            0 => r * 1.0,
+                            1 => r * 0.4,
+                            2 => 0.0,
+                            _ => r * gas.total_energy(1.0, 0.4, 0.0, gas.pressure(1.0, 1.0)),
+                        };
+                        let d = (field.at(c, i as isize, j as isize) - q0).abs();
+                        assert!(d < 1e-11, "{regime:?} c={c} ({i},{j}): {d}");
+                    }
+                }
+            }
+            let _ = ledger;
+        }
+    }
+
+    /// The predictor of L1 must be the mirror of L2 on a linear flux field.
+    #[test]
+    fn l1_l2_flux_differences_are_symmetric() {
+        let (cfg, _gas, field, _ws) = uniform_setup(Regime::Euler);
+        let patch = field.patch.clone();
+        let mut flux = FluxField::zeros(&patch);
+        // flux linear in i: one-sided differences must agree exactly
+        for c in 0..4 {
+            for i in -2..(patch.nxl as isize + 2) {
+                for j in 0..patch.nr() as isize {
+                    flux.set(c, i, j, 3.0 * i as f64 + c as f64);
+                }
+            }
+        }
+        let f = dflux_x(&flux, 0, 5, 3, true, SchemeOrder::TwoFour);
+        let b = dflux_x(&flux, 0, 5, 3, false, SchemeOrder::TwoFour);
+        assert!((f - b).abs() < 1e-12);
+        assert!((f - 18.0).abs() < 1e-12, "7*3 - 3 = 18 per unit");
+        let _ = cfg;
+    }
+
+    /// Version V1 and V5 must produce (near-)identical states after a few
+    /// operator applications — the optimizations are semantics preserving.
+    #[test]
+    fn versions_agree_through_operators() {
+        let run = |version: Version| {
+            let mut cfg = SolverConfig::paper(Grid::small(), Regime::NavierStokes);
+            cfg.version = version;
+            let gas = cfg.effective_gas();
+            let patch = Patch::whole(cfg.grid.clone());
+            let mut field = Field::from_primitives(patch.clone(), &gas, |x, r| Primitive {
+                rho: 1.0 + 0.05 * (0.2 * x).sin() * (-r).exp(),
+                u: 0.5 + 0.1 * (-((r - 1.0) * (r - 1.0))).exp(),
+                v: 0.0,
+                p: gas.pressure(1.0, 1.0),
+            });
+            let mut ws = Workspace::new(&field.patch);
+            let mut ledger = FlopLedger::default();
+            let dt = cfg.time_step();
+            for variant in [Variant::L1, Variant::L2] {
+                r_operator(variant, &mut field, &mut ws, &cfg, &gas, dt, &mut ledger);
+                x_operator(variant, &mut field, &mut ws, &cfg, &gas, &mut NoHalo, 0.0, dt, &mut ledger);
+            }
+            field
+        };
+        let a = run(Version::V1);
+        let b = run(Version::V5);
+        assert!(a.max_diff(&b) < 1e-9, "versions diverged by {}", a.max_diff(&b));
+    }
+}

@@ -1,0 +1,516 @@
+//! Shared-memory parallel driver — the analogue of the paper's Cray Y-MP
+//! parallelization.
+//!
+//! On the Y-MP the paper "did some hand optimization to convert some loops
+//! to parallel loops, used the DOALL directive, and partitioned the domain
+//! along the orthogonal direction of the sweep". The Rust analogue is Rayon:
+//! the hot per-row loops become `par_iter` loops over disjoint row bands, so
+//! every worker sweeps stride-1 data, and each phase is a fork-join region
+//! exactly like a DOALL loop nest.
+//!
+//! This driver parallelizes the dominant phases (primitive recovery, flux
+//! evaluation, predictor/corrector updates) using the V5 kernel arithmetic;
+//! boundary fills stay serial (they are O(N) against the O(N^2) interior).
+//! Results are bitwise identical to the serial V5 solver — row partitioning
+//! changes no arithmetic — which the tests assert.
+
+use crate::bc;
+use crate::config::SolverConfig;
+use crate::field::{Field, FluxField, Patch, PrimField, Workspace, NG};
+use crate::kernels::{EdgeFlags, FluxDir};
+use crate::opcount::{self, FlopLedger};
+use crate::physics;
+use crate::scheme::Variant;
+use ns_numerics::{Array2, GasModel};
+use rayon::prelude::*;
+
+/// Shared-memory solver over the whole grid with a dedicated Rayon pool.
+pub struct SharedSolver {
+    /// Configuration (version is forced to V5 — the paper parallelized its
+    /// fully optimized code).
+    pub cfg: SolverConfig,
+    gas: GasModel,
+    /// Current solution.
+    pub field: Field,
+    ws: Workspace,
+    /// Physical time.
+    pub t: f64,
+    /// Completed steps.
+    pub nstep: u64,
+    /// FLOP ledger.
+    pub ledger: FlopLedger,
+    dt: f64,
+    pool: rayon::ThreadPool,
+}
+
+impl SharedSolver {
+    /// Create a shared-memory solver with `threads` workers.
+    pub fn new(mut cfg: SolverConfig, threads: usize) -> Self {
+        cfg.version = crate::config::Version::V5;
+        assert_eq!(cfg.dissipation, 0.0, "dissipation is a serial-only feature");
+        assert_eq!(cfg.scheme, crate::config::SchemeOrder::TwoFour, "the parallel drivers implement the paper's 2-4 scheme");
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
+        let gas = cfg.effective_gas();
+        let patch = Patch::whole(cfg.grid.clone());
+        let mut field = crate::driver::initial_field(&cfg, patch);
+        let ws = Workspace::new(&field.patch);
+        let dt = cfg.time_step();
+        let mut ledger = FlopLedger::default();
+        bc::apply_inflow(&mut field, &cfg, &gas, 0.0, &mut ledger);
+        Self { cfg, gas, field, ws, t: 0.0, nstep: 0, ledger, dt, pool }
+    }
+
+    /// Effective gas model.
+    pub fn gas(&self) -> &GasModel {
+        &self.gas
+    }
+
+    /// The fixed time step.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advance one step (same operator ordering as the serial driver).
+    pub fn step(&mut self) {
+        let cfg = self.cfg.clone();
+        if cfg.adaptive_dt {
+            let wave = crate::diag::max_wave_speed(&self.field, &self.gas);
+            self.dt = cfg.cfl * cfg.grid.dx.min(cfg.grid.dr) / wave;
+            self.ledger.boundary += (self.field.nxl() * self.field.nr()) as u64 * 6;
+        }
+        let dt = self.dt;
+        let t = self.t;
+        let even = self.nstep.is_multiple_of(2);
+        let Self { gas, field, ws, ledger, pool, .. } = self;
+        pool.install(|| {
+            if even {
+                par_r_operator(Variant::L1, field, ws, &cfg, gas, dt, ledger);
+                par_x_operator(Variant::L1, field, ws, &cfg, gas, t, dt, ledger);
+            } else {
+                par_x_operator(Variant::L2, field, ws, &cfg, gas, t, dt, ledger);
+                par_r_operator(Variant::L2, field, ws, &cfg, gas, dt, ledger);
+            }
+            bc::apply_inflow(field, &cfg, gas, t + dt, ledger);
+            bc::axis_regularize(field, gas, ledger);
+        });
+        self.t += dt;
+        self.nstep += 1;
+    }
+
+    /// Advance `n` steps.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+/// Collect the interior row band `(raw index, row slice)` of a plane.
+fn band(a: &mut Array2, nxl: usize) -> Vec<(usize, &mut [f64])> {
+    let nj = a.nj();
+    a.as_mut_slice().chunks_mut(nj).enumerate().skip(NG).take(nxl).collect()
+}
+
+/// Parallel primitive recovery (row bands over the axial index); identical
+/// arithmetic to the serial V5 kernel.
+fn par_prims(field: &Field, prim: &mut PrimField, gas: &GasModel, ledger: &mut FlopLedger) {
+    let (nxl, nr) = (field.nxl(), field.nr());
+    let gm1 = gas.gamma - 1.0;
+    let inv_rgas = 1.0 / gas.r_gas;
+    let inv_r: Vec<f64> = (0..nr).map(|j| 1.0 / field.patch.r(j)).collect();
+
+    let mut rho_rows = band(&mut prim.rho, nxl);
+    let mut u_rows = band(&mut prim.u, nxl);
+    let mut v_rows = band(&mut prim.v, nxl);
+    let mut p_rows = band(&mut prim.p, nxl);
+    let mut t_rows = band(&mut prim.t, nxl);
+
+    rho_rows
+        .par_iter_mut()
+        .zip(u_rows.par_iter_mut())
+        .zip(v_rows.par_iter_mut())
+        .zip(p_rows.par_iter_mut())
+        .zip(t_rows.par_iter_mut())
+        .for_each(|(((((ii, rho_r), (_, u_r)), (_, v_r)), (_, p_r)), (_, t_r))| {
+            let ii = *ii;
+            let q0 = field.q[0].row(ii);
+            let q1 = field.q[1].row(ii);
+            let q2 = field.q[2].row(ii);
+            let q3 = field.q[3].row(ii);
+            // pass 1: the same (q * inv_r) products the sliced kernel stores
+            for j in 0..nr {
+                let jj = j + NG;
+                rho_r[jj] = q0[jj] * inv_r[j];
+                u_r[jj] = q1[jj] * inv_r[j];
+                v_r[jj] = q2[jj] * inv_r[j];
+            }
+            // pass 2: divide through by rho, recover p and T
+            for j in 0..nr {
+                let jj = j + NG;
+                let rho = q0[jj] * inv_r[j];
+                let inv_rho = 1.0 / rho;
+                let u = u_r[jj] * inv_rho;
+                let v = v_r[jj] * inv_rho;
+                let e = q3[jj] * inv_r[j];
+                let ke = 0.5 * rho * (u * u + v * v);
+                let p = gm1 * (e - ke);
+                u_r[jj] = u;
+                v_r[jj] = v;
+                p_r[jj] = p;
+                t_r[jj] = p * inv_rho * inv_rgas;
+            }
+        });
+    ledger.prims += (nxl * nr) as u64 * opcount::COST_PRIMS;
+}
+
+/// Compute one flux row (V5 arithmetic) into four output row slices.
+#[allow(clippy::too_many_arguments)]
+fn flux_row(
+    dir: FluxDir,
+    prim: &PrimField,
+    patch: &Patch,
+    edges: EdgeFlags,
+    gas: &GasModel,
+    r_of: &[f64],
+    inv_r: &[f64],
+    ii: usize,
+    out: [&mut [f64]; 4],
+    mut src_row: Option<&mut [f64]>,
+) {
+    let (nxl, nr) = (patch.nxl, patch.nr());
+    let i = ii - NG;
+    let inv_2dx = 1.0 / (2.0 * patch.grid.dx);
+    let inv_2dr = 1.0 / (2.0 * patch.grid.dr);
+    let inv_gm1 = 1.0 / (gas.gamma - 1.0);
+    let viscous = !gas.is_inviscid();
+    let [o0, o1, o2, o3] = out;
+    let (cl, cm, cr, wl, wm, wr);
+    if i == 0 && edges.left {
+        (cl, cm, cr) = (ii, ii + 1, ii + 2);
+        (wl, wm, wr) = (-3.0 * inv_2dx, 4.0 * inv_2dx, -inv_2dx);
+    } else if i == nxl - 1 && edges.right {
+        (cl, cm, cr) = (ii - 2, ii - 1, ii);
+        (wl, wm, wr) = (inv_2dx, -4.0 * inv_2dx, 3.0 * inv_2dx);
+    } else {
+        (cl, cm, cr) = (ii - 1, ii, ii + 1);
+        (wl, wm, wr) = (-inv_2dx, 0.0, inv_2dx);
+    }
+    let (u0, v0, t0) = (prim.u.row(ii), prim.v.row(ii), prim.t.row(ii));
+    let (rho0, p0) = (prim.rho.row(ii), prim.p.row(ii));
+    let (u_l, u_m, u_r) = (prim.u.row(cl), prim.u.row(cm), prim.u.row(cr));
+    let (v_l, v_m, v_r) = (prim.v.row(cl), prim.v.row(cm), prim.v.row(cr));
+    let (t_l, t_m, t_r) = (prim.t.row(cl), prim.t.row(cm), prim.t.row(cr));
+    for j in 0..nr {
+        let jj = j + NG;
+        let (rho, u, v, p) = (rho0[jj], u0[jj], v0[jj], p0[jj]);
+        let s = if viscous {
+            let ux = wl * u_l[jj] + wm * u_m[jj] + wr * u_r[jj];
+            let vx = wl * v_l[jj] + wm * v_m[jj] + wr * v_r[jj];
+            let tx = wl * t_l[jj] + wm * t_m[jj] + wr * t_r[jj];
+            let ur = (u0[jj + 1] - u0[jj - 1]) * inv_2dr;
+            let vr = (v0[jj + 1] - v0[jj - 1]) * inv_2dr;
+            let tr = (t0[jj + 1] - t0[jj - 1]) * inv_2dr;
+            let v_over_r = v * inv_r[j];
+            let div = ux + vr + v_over_r;
+            let lam_div = -(2.0 / 3.0) * gas.mu * div;
+            physics::Stresses {
+                txx: 2.0 * gas.mu * ux + lam_div,
+                trr: 2.0 * gas.mu * vr + lam_div,
+                ttt: 2.0 * gas.mu * v_over_r + lam_div,
+                txr: gas.mu * (ur + vx),
+                qx: -gas.kappa * tx,
+                qr: -gas.kappa * tr,
+            }
+        } else {
+            Default::default()
+        };
+        let e = p * inv_gm1 + 0.5 * rho * (u * u + v * v);
+        let f = match dir {
+            FluxDir::X => physics::xflux(rho, u, v, p, e, &s),
+            FluxDir::R => physics::rflux(rho, u, v, p, e, &s),
+        };
+        let r = r_of[j];
+        o0[jj] = r * f[0];
+        o1[jj] = r * f[1];
+        o2[jj] = r * f[2];
+        o3[jj] = r * f[3];
+        if let Some(sr) = src_row.as_deref_mut() {
+            sr[jj] = physics::source3(p, &s);
+        }
+    }
+}
+
+/// Parallel flux kernel equivalent to the V5 sliced kernel.
+#[allow(clippy::too_many_arguments)]
+fn par_flux(
+    dir: FluxDir,
+    prim: &PrimField,
+    patch: &Patch,
+    edges: EdgeFlags,
+    gas: &GasModel,
+    flux: &mut FluxField,
+    src: Option<&mut Array2>,
+    ledger: &mut FlopLedger,
+) {
+    let (nxl, nr) = (patch.nxl, patch.nr());
+    let r_of: Vec<f64> = (0..nr).map(|j| patch.r(j)).collect();
+    let inv_r: Vec<f64> = r_of.iter().map(|&r| 1.0 / r).collect();
+    let viscous = !gas.is_inviscid();
+
+    let [c0, c1, c2, c3] = &mut flux.c;
+    let mut f0 = band(c0, nxl);
+    let mut f1 = band(c1, nxl);
+    let mut f2 = band(c2, nxl);
+    let mut f3 = band(c3, nxl);
+
+    if let Some(sp) = src {
+        let mut srows = band(sp, nxl);
+        f0.par_iter_mut()
+            .zip(f1.par_iter_mut())
+            .zip(f2.par_iter_mut())
+            .zip(f3.par_iter_mut())
+            .zip(srows.par_iter_mut())
+            .for_each(|(((((ii, a), (_, b)), (_, c)), (_, d)), (_, s))| {
+                flux_row(dir, prim, patch, edges, gas, &r_of, &inv_r, *ii, [a, b, c, d], Some(s));
+            });
+    } else {
+        f0.par_iter_mut().zip(f1.par_iter_mut()).zip(f2.par_iter_mut()).zip(f3.par_iter_mut()).for_each(
+            |((((ii, a), (_, b)), (_, c)), (_, d))| {
+                flux_row(dir, prim, patch, edges, gas, &r_of, &inv_r, *ii, [a, b, c, d], None);
+            },
+        );
+    }
+
+    let pts = (nxl * nr) as u64;
+    ledger.flux += pts * if viscous { opcount::COST_FLUX_VISCOUS } else { opcount::COST_FLUX_INVISCID };
+    if dir == FluxDir::R {
+        ledger.source += pts * opcount::COST_SOURCE;
+    }
+}
+
+/// Parallel x-direction predictor/corrector band update.
+#[allow(clippy::too_many_arguments)]
+fn par_update_x(
+    forward: bool,
+    corrector: bool,
+    base: &Field,
+    qbar_in: Option<&Field>,
+    flux: &FluxField,
+    out: &mut Field,
+    istart: usize,
+    iend: usize,
+    nr: usize,
+    lam: f64,
+) {
+    let nj = out.q[0].nj();
+    for c in 0..4 {
+        let fc = &flux.c[c];
+        let bq = &base.q[c];
+        let pq = qbar_in.map(|f| &f.q[c]);
+        let mut rows: Vec<(usize, &mut [f64])> = out.q[c]
+            .as_mut_slice()
+            .chunks_mut(nj)
+            .enumerate()
+            .skip(NG + istart)
+            .take(iend - istart)
+            .collect();
+        rows.par_iter_mut().for_each(|(ii, row)| {
+            let ii = *ii;
+            for j in 0..nr {
+                let jj = j + NG;
+                let d = if forward {
+                    7.0 * (fc.at(ii + 1, jj) - fc.at(ii, jj)) - (fc.at(ii + 2, jj) - fc.at(ii + 1, jj))
+                } else {
+                    7.0 * (fc.at(ii, jj) - fc.at(ii - 1, jj)) - (fc.at(ii - 1, jj) - fc.at(ii - 2, jj))
+                };
+                row[jj] = if corrector {
+                    0.5 * (bq.at(ii, jj) + pq.unwrap().at(ii, jj) - lam * d)
+                } else {
+                    bq.at(ii, jj) - lam * d
+                };
+            }
+        });
+    }
+}
+
+/// Parallel r-direction predictor/corrector band update (with source term).
+#[allow(clippy::too_many_arguments)]
+fn par_update_r(
+    forward: bool,
+    corrector: bool,
+    base: &Field,
+    qbar_in: Option<&Field>,
+    flux: &FluxField,
+    src: &Array2,
+    out: &mut Field,
+    nxl: usize,
+    nr: usize,
+    lam: f64,
+    dt: f64,
+) {
+    let nj = out.q[0].nj();
+    for c in 0..4 {
+        let fc = &flux.c[c];
+        let bq = &base.q[c];
+        let pq = qbar_in.map(|f| &f.q[c]);
+        let mut rows: Vec<(usize, &mut [f64])> =
+            out.q[c].as_mut_slice().chunks_mut(nj).enumerate().skip(NG).take(nxl).collect();
+        rows.par_iter_mut().for_each(|(ii, row)| {
+            let ii = *ii;
+            for j in 0..nr - 1 {
+                let jj = j + NG;
+                let d = if forward {
+                    7.0 * (fc.at(ii, jj + 1) - fc.at(ii, jj)) - (fc.at(ii, jj + 2) - fc.at(ii, jj + 1))
+                } else {
+                    7.0 * (fc.at(ii, jj) - fc.at(ii, jj - 1)) - (fc.at(ii, jj - 1) - fc.at(ii, jj - 2))
+                };
+                let sc = if c == 2 { dt * src.at(ii, jj) } else { 0.0 };
+                row[jj] = if corrector {
+                    0.5 * (bq.at(ii, jj) + pq.unwrap().at(ii, jj) - lam * d + sc)
+                } else {
+                    bq.at(ii, jj) - lam * d + sc
+                };
+            }
+        });
+    }
+}
+
+/// Parallel axial operator (mirrors `scheme::x_operator`; whole grid only).
+#[allow(clippy::too_many_arguments)]
+fn par_x_operator(
+    variant: Variant,
+    field: &mut Field,
+    ws: &mut Workspace,
+    cfg: &SolverConfig,
+    gas: &GasModel,
+    t: f64,
+    dt: f64,
+    ledger: &mut FlopLedger,
+) {
+    let patch = field.patch.clone();
+    let edges = EdgeFlags::of(&patch);
+    let (nxl, nr) = (patch.nxl, patch.nr());
+    let lam = dt / (6.0 * patch.grid.dx);
+
+    par_prims(field, &mut ws.prim, gas, ledger);
+    bc::mirror_prims_axis(&mut ws.prim);
+    bc::extrap_prims_top(&mut ws.prim, nr);
+    par_flux(FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux, None, ledger);
+    bc::extrap_flux_x(&mut ws.flux, nxl, nr, edges.left, edges.right, ledger);
+    bc::outflow_characteristic(field, &ws.prim, gas, dt, ledger);
+
+    let (istart, iend) = (1, nxl - 1);
+    par_update_x(variant == Variant::L1, false, field, None, &ws.flux, &mut ws.qbar, istart, iend, nr, lam);
+    ledger.update += ((iend - istart) * nr) as u64 * opcount::COST_PREDICTOR;
+    bc::apply_inflow(&mut ws.qbar, cfg, gas, t + dt, ledger);
+    for j in 0..nr {
+        ws.qbar.set_qvec(nxl - 1, j, field.qvec(nxl - 1, j));
+    }
+
+    par_prims(&ws.qbar, &mut ws.prim, gas, ledger);
+    bc::mirror_prims_axis(&mut ws.prim);
+    bc::extrap_prims_top(&mut ws.prim, nr);
+    par_flux(FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, ledger);
+    bc::extrap_flux_x(&mut ws.flux_bar, nxl, nr, edges.left, edges.right, ledger);
+
+    // The serial corrector updates in place, reading `field` only at the
+    // point it writes; the parallel bands need disjoint mutable access, so
+    // stage through a double buffer and swap.
+    let mut new_field = field.clone();
+    par_update_x(variant == Variant::L2, true, field, Some(&ws.qbar), &ws.flux_bar, &mut new_field, istart, iend, nr, lam);
+    ledger.update += ((iend - istart) * nr) as u64 * opcount::COST_CORRECTOR;
+    std::mem::swap(field, &mut new_field);
+
+    bc::apply_inflow(field, cfg, gas, t + dt, ledger);
+}
+
+/// Parallel radial operator (mirrors `scheme::r_operator`).
+fn par_r_operator(
+    variant: Variant,
+    field: &mut Field,
+    ws: &mut Workspace,
+    cfg: &SolverConfig,
+    gas: &GasModel,
+    dt: f64,
+    ledger: &mut FlopLedger,
+) {
+    let patch = field.patch.clone();
+    // matches scheme::r_operator: local one-sided x-stencils at patch edges
+    let edges = EdgeFlags { left: true, right: true };
+    let (nxl, nr) = (patch.nxl, patch.nr());
+    let lam = dt / (6.0 * patch.grid.dr);
+
+    par_prims(field, &mut ws.prim, gas, ledger);
+    bc::mirror_prims_axis(&mut ws.prim);
+    bc::extrap_prims_top(&mut ws.prim, nr);
+    par_flux(FluxDir::R, &ws.prim, &patch, edges, gas, &mut ws.flux, Some(&mut ws.src), ledger);
+    bc::fill_rflux_ghosts(&mut ws.flux, nxl, nr, ledger);
+
+    {
+        let Workspace { flux, src, qbar, .. } = ws;
+        par_update_r(variant == Variant::L1, false, field, None, flux, src, qbar, nxl, nr, lam, dt);
+    }
+    ledger.update += (nxl * (nr - 1)) as u64 * (opcount::COST_PREDICTOR + 2);
+    for i in 0..nxl {
+        ws.qbar.set_qvec(i, nr - 1, field.qvec(i, nr - 1));
+    }
+
+    par_prims(&ws.qbar, &mut ws.prim, gas, ledger);
+    bc::mirror_prims_axis(&mut ws.prim);
+    bc::extrap_prims_top(&mut ws.prim, nr);
+    par_flux(FluxDir::R, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, Some(&mut ws.src_bar), ledger);
+    bc::fill_rflux_ghosts(&mut ws.flux_bar, nxl, nr, ledger);
+
+    let mut new_field = field.clone();
+    {
+        let Workspace { flux_bar, src_bar, qbar, .. } = ws;
+        par_update_r(variant == Variant::L2, true, field, Some(qbar), flux_bar, src_bar, &mut new_field, nxl, nr, lam, dt);
+    }
+    ledger.update += (nxl * (nr - 1)) as u64 * (opcount::COST_CORRECTOR + 2);
+    std::mem::swap(field, &mut new_field);
+
+    bc::farfield_top(field, gas, gas.pressure(1.0, cfg.jet.t_c), ledger);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Regime, SolverConfig};
+    use crate::driver::Solver;
+    use ns_numerics::Grid;
+
+    #[test]
+    fn shared_solver_matches_serial_v5_exactly() {
+        for regime in [Regime::Euler, Regime::NavierStokes] {
+            let cfg = SolverConfig::paper(Grid::small(), regime);
+            let mut serial = Solver::new(cfg.clone());
+            let mut shared = SharedSolver::new(cfg, 4);
+            serial.run(6);
+            shared.run(6);
+            let d = serial.field.max_diff(&shared.field);
+            assert_eq!(d, 0.0, "{regime:?}: shared-memory result must be bitwise identical, diff {d}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let cfg = SolverConfig::paper(Grid::small(), Regime::NavierStokes);
+        let mut one = SharedSolver::new(cfg.clone(), 1);
+        let mut eight = SharedSolver::new(cfg, 8);
+        one.run(5);
+        eight.run(5);
+        assert_eq!(one.field.max_diff(&eight.field), 0.0);
+    }
+
+    #[test]
+    fn ledger_matches_serial() {
+        let cfg = SolverConfig::paper(Grid::small(), Regime::NavierStokes);
+        let mut serial = Solver::new(cfg.clone());
+        let mut shared = SharedSolver::new(cfg, 2);
+        serial.run(3);
+        shared.run(3);
+        assert_eq!(serial.ledger.prims, shared.ledger.prims);
+        assert_eq!(serial.ledger.flux, shared.ledger.flux);
+        assert_eq!(serial.ledger.update, shared.ledger.update);
+    }
+}

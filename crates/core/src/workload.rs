@@ -1,0 +1,259 @@
+//! Analytic per-step workload description, the bridge between the real
+//! solver and the architecture simulator.
+//!
+//! The discrete-event platform simulator (`ns-archsim`) replays the solver's
+//! per-step structure — compute phases interleaved with the paper's message
+//! protocol — without integrating any PDEs. This module derives that
+//! structure from the same per-point cost constants the live solver's FLOP
+//! ledger uses, so a unit test can pin the two against each other.
+
+use crate::config::Regime;
+use crate::opcount;
+use ns_numerics::Grid;
+use serde::Serialize;
+
+/// Which direction the domain is decomposed in.
+///
+/// The paper decomposes "by blocks along the axial direction only" and
+/// names radial blocking as future work ("We will then explore other
+/// problem decompositions such as blocking along the radial direction");
+/// [`step_workload_decomposed`] models both so the ablation can be run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Decomposition {
+    /// Axial blocks (the paper's choice): halo columns of `nr` points.
+    Axial,
+    /// Radial blocks: halo rows of `nx` points, exchanged around the radial
+    /// operator instead.
+    Radial,
+}
+
+/// Length of the `rank`-th of `size` blocks over `n` cells (the standard
+/// remainder-spreading rule, matching `field::Patch::block`).
+pub fn block_len(n: usize, rank: usize, size: usize) -> usize {
+    n / size + usize::from(rank < n % size)
+}
+
+/// One element of a rank's per-step program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum PhaseOp {
+    /// Busy computation of `flops` floating-point operations.
+    Compute {
+        /// Phase label (for per-phase reporting).
+        label: &'static str,
+        /// FP operations in this phase.
+        flops: u64,
+    },
+    /// Grouped primitive-column exchange with both neighbours
+    /// (`u, v, T` — one column each way; the paper's "velocity and
+    /// temperature values … packaged into a single send").
+    ExchangePrims {
+        /// Message payload per neighbour, in bytes.
+        bytes: u64,
+    },
+    /// Two-column flux exchange with both neighbours ("the two flux columns
+    /// nearest each boundary are combined into a single send").
+    ExchangeFlux {
+        /// Message payload per neighbour, in bytes.
+        bytes: u64,
+    },
+}
+
+/// Per-step workload of one rank owning `nxl` axial columns.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct StepWorkload {
+    /// Operations in program order.
+    pub ops: Vec<PhaseOp>,
+    /// Number of radial points (sets message sizes).
+    pub nr: usize,
+    /// Number of owned axial columns.
+    pub nxl: usize,
+}
+
+/// Bytes of one grouped primitive message (`u, v, T`, one halo line of
+/// `points` values per variable).
+pub fn prim_message_bytes(points: usize) -> u64 {
+    (3 * points * 8) as u64
+}
+
+/// Bytes of one two-line flux message (4 components).
+pub fn flux_message_bytes(points: usize) -> u64 {
+    (4 * 2 * points * 8) as u64
+}
+
+/// Build the per-step program of a rank with `nxl` owned columns.
+///
+/// Structure (matching `scheme::{x_operator, r_operator}` exactly):
+///
+/// * radial operator: prims, G+S, predictor, prims, G+S, corrector — no
+///   communication;
+/// * axial operator: prims, **exchange prims**, F, **exchange flux**,
+///   predictor, prims, (**exchange prims** — N-S only), F, **exchange
+///   flux**, corrector.
+///
+/// Per step that is 4 sends + 4 receives per internal neighbour pair for
+/// N-S (16 start-ups with two neighbours) and 3 + 3 for Euler (12), which
+/// reproduces the paper's Table 1 start-up counts.
+pub fn step_workload(regime: Regime, grid: &Grid, nxl: usize) -> StepWorkload {
+    // axial ranks span the full radial extent, so every one of them owns
+    // the far-field row its radial updates exclude
+    step_workload_decomposed(regime, grid, nxl, Decomposition::Axial, true)
+}
+
+/// Build the per-step program for either decomposition direction; `local`
+/// is the number of owned columns (axial) or rows (radial), and
+/// `owns_far_field` says whether this rank's radial extent reaches the
+/// far-field boundary (whose row the radial updates exclude) — always true
+/// for axial blocks, true only for the top rank of a radial decomposition.
+pub fn step_workload_decomposed(
+    regime: Regime,
+    grid: &Grid,
+    local: usize,
+    decomp: Decomposition,
+    owns_far_field: bool,
+) -> StepWorkload {
+    let (nxl, nrl) = match decomp {
+        Decomposition::Axial => (local, grid.nr),
+        Decomposition::Radial => (grid.nx, local),
+    };
+    let update_rows = nrl - usize::from(owns_far_field);
+    let pts = (nxl * nrl) as u64;
+    let viscous = regime == Regime::NavierStokes;
+    let flux_cost = if viscous { opcount::COST_FLUX_VISCOUS } else { opcount::COST_FLUX_INVISCID };
+    // halo lines run across the *other* direction
+    let halo_points = match decomp {
+        Decomposition::Axial => nrl,
+        Decomposition::Radial => nxl,
+    };
+    let prim_bytes = prim_message_bytes(halo_points);
+    let flux_bytes = flux_message_bytes(halo_points);
+    let comm_in_r = decomp == Decomposition::Radial;
+
+    let mut ops = Vec::with_capacity(18);
+    // --- radial operator (communicates only under radial decomposition) ---
+    ops.push(PhaseOp::Compute { label: "r:prims", flops: pts * opcount::COST_PRIMS });
+    if comm_in_r {
+        ops.push(PhaseOp::ExchangePrims { bytes: prim_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "r:flux", flops: pts * (flux_cost + opcount::COST_SOURCE) });
+    if comm_in_r {
+        ops.push(PhaseOp::ExchangeFlux { bytes: flux_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "r:predict", flops: (nxl * update_rows) as u64 * (opcount::COST_PREDICTOR + 2) });
+    ops.push(PhaseOp::Compute { label: "r:prims2", flops: pts * opcount::COST_PRIMS });
+    if comm_in_r && viscous {
+        ops.push(PhaseOp::ExchangePrims { bytes: prim_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "r:flux2", flops: pts * (flux_cost + opcount::COST_SOURCE) });
+    if comm_in_r {
+        ops.push(PhaseOp::ExchangeFlux { bytes: flux_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "r:correct", flops: (nxl * update_rows) as u64 * (opcount::COST_CORRECTOR + 2) });
+    // --- axial operator (communicates only under axial decomposition) ---
+    ops.push(PhaseOp::Compute { label: "x:prims", flops: pts * opcount::COST_PRIMS });
+    if !comm_in_r {
+        ops.push(PhaseOp::ExchangePrims { bytes: prim_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "x:flux", flops: pts * flux_cost });
+    if !comm_in_r {
+        ops.push(PhaseOp::ExchangeFlux { bytes: flux_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "x:predict", flops: pts * opcount::COST_PREDICTOR });
+    ops.push(PhaseOp::Compute { label: "x:prims2", flops: pts * opcount::COST_PRIMS });
+    if !comm_in_r && viscous {
+        ops.push(PhaseOp::ExchangePrims { bytes: prim_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "x:flux2", flops: pts * flux_cost });
+    if !comm_in_r {
+        ops.push(PhaseOp::ExchangeFlux { bytes: flux_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "x:correct", flops: pts * opcount::COST_CORRECTOR });
+
+    StepWorkload { ops, nr: nrl, nxl }
+}
+
+impl StepWorkload {
+    /// Total compute FLOPs per step.
+    pub fn compute_flops(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                PhaseOp::Compute { flops, .. } => *flops,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Message start-ups per step for a rank with `neighbors` neighbours,
+    /// counting each send and each receive (the paper's convention: Table 1
+    /// reports 80,000 N-S start-ups per processor over 5000 steps at 16
+    /// processors, i.e. 16 per step with two neighbours).
+    pub fn startups_per_step(&self, neighbors: usize) -> u64 {
+        let exchanges = self.ops.iter().filter(|op| !matches!(op, PhaseOp::Compute { .. })).count() as u64;
+        exchanges * neighbors as u64 * 2 // one send + one recv per neighbour
+    }
+
+    /// Bytes sent per step for a rank with `neighbors` neighbours.
+    pub fn bytes_sent_per_step(&self, neighbors: usize) -> u64 {
+        let per_neighbor: u64 = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                PhaseOp::ExchangePrims { bytes } | PhaseOp::ExchangeFlux { bytes } => *bytes,
+                _ => 0,
+            })
+            .sum();
+        per_neighbor * neighbors as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn navier_stokes_has_16_startups_per_step() {
+        let w = step_workload(Regime::NavierStokes, &Grid::paper(), 16);
+        assert_eq!(w.startups_per_step(2), 16);
+        // 5000 steps -> the paper's 80,000 per-processor start-ups
+        assert_eq!(w.startups_per_step(2) * 5000, 80_000);
+    }
+
+    #[test]
+    fn euler_has_12_startups_per_step() {
+        let w = step_workload(Regime::Euler, &Grid::paper(), 16);
+        assert_eq!(w.startups_per_step(2), 12);
+        assert_eq!(w.startups_per_step(2) * 5000, 60_000);
+    }
+
+    #[test]
+    fn message_sizes_follow_grid() {
+        let g = Grid::paper();
+        assert_eq!(prim_message_bytes(g.nr), 2400);
+        assert_eq!(flux_message_bytes(g.nr), 6400);
+    }
+
+    #[test]
+    fn euler_computes_roughly_half_of_ns() {
+        let g = Grid::paper();
+        let ns = step_workload(Regime::NavierStokes, &g, g.nx).compute_flops();
+        let eu = step_workload(Regime::Euler, &g, g.nx).compute_flops();
+        let ratio = eu as f64 / ns as f64;
+        // the paper's Table 1 ratio is 77/145 = 0.53
+        assert!(ratio > 0.4 && ratio < 0.75, "ratio {ratio}");
+    }
+
+    #[test]
+    fn compute_scales_linearly_with_columns() {
+        let g = Grid::paper();
+        let a = step_workload(Regime::NavierStokes, &g, 100).compute_flops();
+        let b = step_workload(Regime::NavierStokes, &g, 200).compute_flops();
+        let rel = (b as f64 - 2.0 * a as f64).abs() / b as f64;
+        assert!(rel < 1e-12, "linear in nxl");
+    }
+
+    #[test]
+    fn edge_rank_sends_half_of_interior_rank() {
+        let w = step_workload(Regime::NavierStokes, &Grid::paper(), 16);
+        assert_eq!(w.bytes_sent_per_step(1) * 2, w.bytes_sent_per_step(2));
+    }
+}

@@ -1,0 +1,8 @@
+//! Dump every regenerated table/figure report (used to refresh
+//! EXPERIMENTS.md).
+fn main() {
+    for r in ns_experiments::all_reports() {
+        println!("{}", r.render());
+        println!();
+    }
+}

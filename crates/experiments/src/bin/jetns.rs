@@ -1,0 +1,197 @@
+//! `jetns` — command-line front end to the reproduction.
+//!
+//! ```text
+//! jetns run        [--steps N] [--nx N] [--nr N] [--euler] [--eps E]   run the jet, print contour
+//! jetns figures    [--only NAME]                                       regenerate all tables/figures
+//! jetns platforms                                                      Figures 9/10/13
+//! jetns extensions                                                     future-work studies
+//! jetns speedup    [--steps N]                                         host wall-clock scaling
+//! jetns checkpoint --out FILE [--steps N]                              run and write a restart file
+//! jetns resume     --from FILE [--steps N]                             continue from a restart file
+//! ```
+
+use ns_core::checkpoint::Checkpoint;
+use ns_core::config::{Regime, SolverConfig};
+use ns_core::{diag, Solver};
+use ns_experiments::{contour, extensions, fig_platforms, speedup};
+use ns_numerics::Grid;
+use std::process::ExitCode;
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut flags = Vec::new();
+        let mut k = 0;
+        while k < raw.len() {
+            if let Some(name) = raw[k].strip_prefix("--") {
+                let value = raw.get(k + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    k += 1;
+                }
+                flags.push((name.to_string(), value));
+            }
+            k += 1;
+        }
+        Self { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn config(args: &Args) -> SolverConfig {
+    let nx = args.num("nx", 125usize).max(8);
+    let nr = args.num("nr", 50usize).max(8);
+    let regime = if args.has("euler") { Regime::Euler } else { Regime::NavierStokes };
+    let mut cfg = SolverConfig::paper(Grid::new(nx, nr, 50.0, 5.0), regime);
+    cfg.dissipation = args.num("eps", 0.002f64);
+    cfg
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let cfg = config(args);
+    let steps = args.num("steps", 500u64);
+    println!("running {} on {}x{} for {steps} steps…", cfg.regime.name(), cfg.grid.nx, cfg.grid.nr);
+    let mut s = Solver::new(cfg);
+    s.run(steps);
+    let gas = *s.gas();
+    println!("t = {:.2}, healthy = {}, max Mach = {:.2}", s.t, s.healthy(), diag::max_mach(&s.field, &gas));
+    print!("{}", contour::ascii(&diag::axial_momentum(&s.field, &gas), 100, 20));
+    if s.healthy() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_figures(args: &Args) -> ExitCode {
+    let only = args.get("only");
+    for r in ns_experiments::all_reports() {
+        if only.is_none_or(|f| r.title.to_lowercase().contains(&f.to_lowercase())) {
+            println!("{}", r.render());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_platforms() -> ExitCode {
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        println!("{}", fig_platforms::fig9_10(regime).render());
+    }
+    println!("{}", fig_platforms::fig13().table());
+    ExitCode::SUCCESS
+}
+
+fn cmd_extensions() -> ExitCode {
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        println!("{}", extensions::decomposition_ablation(regime).table());
+    }
+    println!("{}", extensions::extended_scaling(Regime::NavierStokes).render());
+    println!("{}", extensions::weak_scaling(Regime::NavierStokes).table());
+    println!(
+        "{}",
+        extensions::phase_profile(ns_archsim::Platform::lace560_allnode_s(), Regime::NavierStokes, &[1, 4, 16])
+            .table()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_speedup(args: &Args) -> ExitCode {
+    let steps = args.num("steps", 40u64);
+    let grid = Grid::new(200, 80, 50.0, 5.0);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let counts: Vec<usize> = [2usize, 4, 8].into_iter().filter(|&p| p <= cores.max(2)).collect();
+    println!("{}", speedup::message_passing_speedup(grid.clone(), steps, &counts, Regime::NavierStokes).table());
+    println!("{}", speedup::shared_memory_speedup(grid, steps, &counts, Regime::NavierStokes).table());
+    ExitCode::SUCCESS
+}
+
+fn cmd_checkpoint(args: &Args) -> ExitCode {
+    let Some(path) = args.get("out") else {
+        eprintln!("checkpoint requires --out FILE");
+        return ExitCode::FAILURE;
+    };
+    let cfg = config(args);
+    let steps = args.num("steps", 200u64);
+    let mut s = Solver::new(cfg);
+    s.run(steps);
+    match Checkpoint::capture(&s).to_bytes() {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(path, &bytes) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}: {} bytes at t = {:.3}, step {}", bytes.len(), s.t, s.nstep);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serialization failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_resume(args: &Args) -> ExitCode {
+    let Some(path) = args.get("from") else {
+        eprintln!("resume requires --from FILE");
+        return ExitCode::FAILURE;
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut s = match Checkpoint::from_bytes(&bytes) {
+        Ok(cp) => cp.restore(),
+        Err(e) => {
+            eprintln!("bad checkpoint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let steps = args.num("steps", 200u64);
+    println!("resumed at t = {:.3}, step {}; running {steps} more…", s.t, s.nstep);
+    s.run(steps);
+    let gas = *s.gas();
+    println!("now t = {:.3}, healthy = {}, max Mach = {:.2}", s.t, s.healthy(), diag::max_mach(&s.field, &gas));
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: jetns <run|figures|platforms|extensions|speedup|checkpoint|resume> [flags]\n\
+         see the module docs in crates/experiments/src/bin/jetns.rs"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return usage();
+    };
+    let args = Args::parse(&raw[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "figures" => cmd_figures(&args),
+        "platforms" => cmd_platforms(),
+        "extensions" => cmd_extensions(),
+        "speedup" => cmd_speedup(&args),
+        "checkpoint" => cmd_checkpoint(&args),
+        "resume" => cmd_resume(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,94 @@
+//! ASCII contour rendering and PGM export for flow-field planes
+//! (Figure 1 of the paper shows axial-momentum contours).
+
+use ns_numerics::Array2;
+
+/// Render a field as an ASCII intensity map (`nx` across, `nr` up; the axis
+/// at the bottom, like the paper's Figure 1 orientation).
+pub fn ascii(field: &Array2, width: usize, height: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let (lo, hi) = min_max(field);
+    let span = if (hi - lo).abs() < 1e-300 { 1.0 } else { hi - lo };
+    let (ni, nj) = (field.ni(), field.nj());
+    let mut out = String::with_capacity((width + 2) * height);
+    for row in 0..height {
+        // top row = largest radius
+        let j = (height - 1 - row) * (nj - 1) / height.max(1);
+        out.push('|');
+        for col in 0..width {
+            let i = col * (ni - 1) / width.max(1);
+            let v = (field[(i, j)] - lo) / span;
+            let k = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[k] as char);
+        }
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("> x\n");
+    out.push_str(&format!("range: [{lo:.4}, {hi:.4}]\n"));
+    out
+}
+
+/// Export as a binary PGM image (portable graymap), radius increasing
+/// upward.
+pub fn pgm(field: &Array2) -> Vec<u8> {
+    let (lo, hi) = min_max(field);
+    let span = if (hi - lo).abs() < 1e-300 { 1.0 } else { hi - lo };
+    let (ni, nj) = (field.ni(), field.nj());
+    let mut out = format!("P5\n{} {}\n255\n", ni, nj).into_bytes();
+    for j in (0..nj).rev() {
+        for i in 0..ni {
+            let v = ((field[(i, j)] - lo) / span * 255.0).round().clamp(0.0, 255.0) as u8;
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn min_max(field: &Array2) -> (f64, f64) {
+    let mut lo = f64::MAX;
+    let mut hi = f64::MIN;
+    for &v in field.as_slice() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_maps_extremes_to_ramp_ends() {
+        let f = Array2::from_fn(20, 10, |i, _| i as f64);
+        let a = ascii(&f, 20, 5);
+        let first_line = a.lines().next().unwrap();
+        assert!(first_line.starts_with("| "), "low values blank: {first_line}");
+        assert!(first_line.ends_with('@'), "high values dense: {first_line}");
+    }
+
+    #[test]
+    fn ascii_reports_range() {
+        let f = Array2::from_fn(5, 5, |i, j| (i + j) as f64);
+        let a = ascii(&f, 10, 5);
+        assert!(a.contains("range: [0.0000, 8.0000]"));
+    }
+
+    #[test]
+    fn pgm_has_header_and_payload() {
+        let f = Array2::from_fn(4, 3, |i, j| (i * j) as f64);
+        let p = pgm(&f);
+        assert!(p.starts_with(b"P5\n4 3\n255\n"));
+        assert_eq!(p.len(), b"P5\n4 3\n255\n".len() + 12);
+    }
+
+    #[test]
+    fn constant_field_does_not_divide_by_zero() {
+        let f = Array2::filled(4, 4, 7.0);
+        let _ = ascii(&f, 8, 4);
+        let p = pgm(&f);
+        assert!(p.iter().skip(11).all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,329 @@
+//! Beyond-the-paper studies — the extensions the conclusion promises:
+//! "We hope to extend the study to larger multiprocessors … We will then
+//! explore other problem decompositions such as blocking along the radial
+//! direction, for example, and study their impact on the performance."
+
+use crate::report::{Report, Series};
+use ns_archsim::{simulate, Platform, SimConfig};
+use ns_core::config::Regime;
+use ns_core::workload::{self, Decomposition};
+use ns_numerics::Grid;
+
+/// Decomposition ablation: axial (the paper's choice) vs radial blocking on
+/// representative networks. On the 250x100 grid a radial halo line carries
+/// 2.5x the data of an axial one (250 vs 100 points), so radial blocking
+/// loses exactly where communication matters — quantifying why the paper
+/// "chose to decompose the domain by blocks along the axial direction only".
+pub fn decomposition_ablation(regime: Regime) -> Report {
+    let mut r = Report::new(
+        format!("Ablation: axial vs radial decomposition ({})", regime.name()),
+        "processors",
+        "seconds",
+    );
+    let procs = [2usize, 4, 8, 16];
+    for (platform, pname) in [
+        (Platform::lace560_allnode_s(), "ALLNODE-S"),
+        (Platform::lace560_ethernet(), "Ethernet"),
+        (Platform::cray_t3d(), "Cray T3D"),
+    ] {
+        for (decomp, dname) in [(Decomposition::Axial, "axial"), (Decomposition::Radial, "radial")] {
+            let pts = procs
+                .iter()
+                .map(|&p| {
+                    let mut cfg = SimConfig::paper(platform, p, regime);
+                    cfg.decomposition = decomp;
+                    (p as f64, simulate(&cfg).total)
+                })
+                .collect();
+            r.series.push(Series::new(format!("{pname} {dname}"), pts));
+        }
+    }
+    r.notes.push("radial halo lines carry nx=250 points vs nr=100 axially: 2.5x the volume per message".into());
+    r
+}
+
+/// Scaling beyond the paper's 16 processors: the T3D the paper used had 64
+/// nodes ("the machine used in our study has 64 nodes … of which only 16
+/// were available in single user mode") — simulate the full machine, plus a
+/// hypothetical 64-port ALLNODE-S cluster and Ethernet for contrast.
+pub fn extended_scaling(regime: Regime) -> Report {
+    let mut r = Report::new(
+        format!("Extension: scaling to the full 64-node T3D ({})", regime.name()),
+        "processors",
+        "seconds",
+    );
+    let procs = [1usize, 2, 4, 8, 16, 32, 64];
+    let mut t3d = Platform::cray_t3d();
+    t3d.max_procs = 64;
+    let mut allnode = Platform::lace560_allnode_s();
+    allnode.max_procs = 64;
+    let mut ether = Platform::lace560_ethernet();
+    ether.max_procs = 64;
+    for (platform, label) in [
+        (t3d, "Cray T3D (full machine)"),
+        (allnode, "ALLNODE-S (hypothetical 64 ports)"),
+        (ether, "Ethernet (hypothetical 64 taps)"),
+    ] {
+        let pts = procs
+            .iter()
+            .filter(|&&p| workload::block_len(Grid::paper().nx, p - 1, p) >= 1)
+            .map(|&p| (p as f64, simulate(&SimConfig::paper(platform, p, regime)).total))
+            .collect();
+        r.series.push(Series::new(label, pts));
+    }
+    r.notes.push("the T3D's torus keeps scaling; the bus saturates catastrophically; the switched NOW flattens on message software costs".into());
+    r
+}
+
+/// Weak scaling: grow the grid with the processor count (fixed 250x100 per
+/// 16 processors) — the regime the paper's conclusion points toward with
+/// "larger multiprocessors" implicitly demands larger problems.
+pub fn weak_scaling(regime: Regime) -> Report {
+    let mut r = Report::new(
+        format!("Extension: weak scaling, fixed work per processor ({})", regime.name()),
+        "processors",
+        "seconds",
+    );
+    let mut t3d = Platform::cray_t3d();
+    t3d.max_procs = 64;
+    for (platform, label) in [(t3d, "Cray T3D"), (Platform::lace560_allnode_s(), "ALLNODE-S")] {
+        let mut pts = Vec::new();
+        for &p in &[1usize, 2, 4, 8, 16] {
+            if p > platform.max_procs {
+                continue;
+            }
+            // nx grows with P: ~15.6 columns per processor, as at 250/16
+            let nx = (250 * p).div_ceil(16).max(8);
+            let mut cfg = SimConfig::paper(platform, p, regime);
+            cfg.grid = Grid::new(nx.max(8), 100, 50.0, 5.0);
+            pts.push((p as f64, simulate(&cfg).total));
+        }
+        r.series.push(Series::new(label, pts));
+    }
+    r.notes.push("flat curves = perfect weak scaling; the slope is pure communication overhead".into());
+    r
+}
+
+/// Per-phase time profile — the separation the paper says it could not
+/// make "unless we have hardware performance monitoring tools" (Section 6).
+/// The simulator attributes every busy second to a solver phase or a
+/// message-library cost, for any platform and processor count.
+pub fn phase_profile(platform: Platform, regime: Regime, procs: &[usize]) -> Report {
+    let mut r = Report::new(
+        format!("Extension: per-phase time profile ({}; {})", regime.name(), platform.name),
+        "processors",
+        "aggregate seconds",
+    );
+    // stable phase order: collect labels from a probe run
+    let probe = simulate(&SimConfig::paper(platform, procs.iter().copied().max().unwrap_or(2), regime));
+    let labels: Vec<&'static str> = probe.phase_seconds.keys().copied().collect();
+    let mut columns: Vec<Vec<(f64, f64)>> = vec![Vec::new(); labels.len()];
+    for &p in procs {
+        let res = simulate(&SimConfig::paper(platform, p, regime));
+        for (k, label) in labels.iter().enumerate() {
+            columns[k].push((p as f64, res.phase_seconds.get(label).copied().unwrap_or(0.0)));
+        }
+    }
+    for (label, pts) in labels.iter().zip(columns) {
+        r.series.push(Series::new(*label, pts));
+    }
+    r.notes.push("aggregate busy seconds over all ranks; comm:* rows are message-library software cost".into());
+    r
+}
+
+/// The paper's concluding claim, tested: "NOW have the potential to be
+/// cost-effective parallel architectures if the networks are made
+/// reasonably fast and message passing libraries are efficiently
+/// implemented". Project the ALLNODE-S cluster under progressively leaner
+/// libraries — stock PVM, PVM with direct routing, and an Active-Messages
+/// class user-level library (the Berkeley NOW project, the paper's
+/// reference \[18\]) — against the Cray T3D.
+pub fn now_projection(regime: Regime) -> Report {
+    use ns_archsim::MsgLib;
+    let mut r = Report::new(
+        format!("Extension: NOW potential under leaner libraries ({})", regime.name()),
+        "processors",
+        "seconds",
+    );
+    let procs = [2usize, 4, 8, 16];
+    let base = Platform::lace560_allnode_s();
+    for (lib, label) in [
+        (MsgLib::pvm(), "ALLNODE-S + PVM (stock)"),
+        (MsgLib::pvm_direct(), "ALLNODE-S + PVM direct route"),
+        (MsgLib::lean_user_level(), "ALLNODE-S + AM-class library"),
+    ] {
+        let mut platform = base;
+        platform.lib = lib;
+        let pts = procs
+            .iter()
+            .map(|&p| (p as f64, simulate(&SimConfig::paper(platform, p, regime)).total))
+            .collect();
+        r.series.push(Series::new(label, pts));
+    }
+    let t3d_pts = procs
+        .iter()
+        .map(|&p| (p as f64, simulate(&SimConfig::paper(Platform::cray_t3d(), p, regime)).total))
+        .collect();
+    r.series.push(Series::new("Cray T3D (reference)", t3d_pts));
+    r.notes.push("every library generation closes more of the gap; with AM-class costs the NOW beats the MPP at every P — the paper's conclusion, quantified".into());
+    r
+}
+
+/// Excitation-amplitude study: the near-field response at the forcing
+/// frequency must scale linearly with the excitation level while the
+/// forcing is small (the regime the paper's eigenfunction forcing assumes),
+/// and the response leaves the linear regime as `epsilon` grows.
+pub fn excitation_linearity(grid: Grid, levels: &[f64], periods: f64) -> Report {
+    use ns_core::config::SolverConfig;
+    use ns_core::probe::{amplitude_spectrum, dominant_frequency, ProbeArray};
+    use ns_core::Solver;
+    let mut r = Report::new(
+        "Extension: near-field response vs excitation level",
+        "excitation level",
+        "pressure amplitude at the forcing frequency",
+    );
+    let mut pts = Vec::new();
+    for &eps in levels {
+        let mut cfg = SolverConfig::paper(grid.clone(), Regime::Euler);
+        cfg.excitation.level = eps;
+        cfg.dissipation = 0.002;
+        let f_force = cfg.excitation.omega(cfg.jet.u_c) / (2.0 * std::f64::consts::PI);
+        let mut s = Solver::new(cfg);
+        let gas = *s.gas();
+        let mut probes = ProbeArray::new(&s.field, &[(3.0, 1.0)]);
+        let period = 1.0 / f_force;
+        s.run((periods * period / s.dt()).ceil() as u64); // transient wash-out
+        for _ in 0..(periods * period / s.dt()).ceil() as u64 {
+            s.step();
+            probes.sample(&s.field, &gas, s.t);
+        }
+        let series = &probes.series[0];
+        let amp = dominant_frequency(&amplitude_spectrum(&series.t, &series.p)).map_or(0.0, |b| b.amplitude);
+        pts.push((eps, amp));
+    }
+    r.series.push(Series::new("response amplitude", pts));
+    r.notes.push("linear regime: amplitude ratio tracks the level ratio".into());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radial_blocking_is_never_better_on_slow_networks() {
+        let r = decomposition_ablation(Regime::NavierStokes);
+        for net in ["ALLNODE-S", "Ethernet"] {
+            let ax = r.series(&format!("{net} axial")).unwrap();
+            let ra = r.series(&format!("{net} radial")).unwrap();
+            for &(p, t_ax) in &ax.points {
+                let t_ra = ra.at(p).unwrap();
+                assert!(t_ra >= t_ax * 0.999, "{net} P={p}: radial {t_ra} vs axial {t_ax}");
+            }
+        }
+    }
+
+    #[test]
+    fn radial_penalty_grows_with_processor_count_on_ethernet() {
+        let r = decomposition_ablation(Regime::NavierStokes);
+        let ax = r.series("Ethernet axial").unwrap();
+        let ra = r.series("Ethernet radial").unwrap();
+        let pen = |p: f64| ra.at(p).unwrap() / ax.at(p).unwrap();
+        assert!(pen(16.0) > pen(2.0), "penalty grows: {} vs {}", pen(16.0), pen(2.0));
+        assert!(pen(16.0) > 1.1, "visible penalty at 16: {}", pen(16.0));
+    }
+
+    #[test]
+    fn t3d_keeps_scaling_to_64() {
+        let r = extended_scaling(Regime::NavierStokes);
+        let t3d = r.series("Cray T3D (full machine)").unwrap();
+        let t16 = t3d.at(16.0).unwrap();
+        let t64 = t3d.at(64.0).unwrap();
+        assert!(t64 < t16 / 2.0, "64 nodes at least halve the 16-node time: {t64} vs {t16}");
+        // but efficiency decays (tiny subdomains, fixed per-message costs)
+        let eff64 = t3d.at(1.0).unwrap() / (64.0 * t64);
+        let eff16 = t3d.at(1.0).unwrap() / (16.0 * t16);
+        assert!(eff64 < eff16, "efficiency decays: {eff64} vs {eff16}");
+    }
+
+    #[test]
+    fn ethernet_is_hopeless_at_64() {
+        let r = extended_scaling(Regime::NavierStokes);
+        let e = r.series("Ethernet (hypothetical 64 taps)").unwrap();
+        assert!(e.at(64.0).unwrap() > e.at(8.0).unwrap(), "the bus saturates long before 64");
+    }
+
+    #[test]
+    fn leaner_libraries_strictly_help_and_am_class_beats_the_t3d() {
+        let r = now_projection(Regime::NavierStokes);
+        let stock = r.series("ALLNODE-S + PVM (stock)").unwrap();
+        let direct = r.series("ALLNODE-S + PVM direct route").unwrap();
+        let lean = r.series("ALLNODE-S + AM-class library").unwrap();
+        let t3d = r.series("Cray T3D (reference)").unwrap();
+        for &(p, t_stock) in &stock.points {
+            let t_direct = direct.at(p).unwrap();
+            let t_lean = lean.at(p).unwrap();
+            assert!(t_direct <= t_stock, "direct routing helps at P={p}");
+            assert!(t_lean <= t_direct, "AM-class helps more at P={p}");
+        }
+        // the paper's claim quantified: with an efficient library the NOW is
+        // competitive with (here: beats) the MPP at scale
+        assert!(lean.at(16.0).unwrap() < t3d.at(16.0).unwrap(), "NOW + lean library beats the T3D at 16");
+    }
+
+    #[test]
+    fn small_excitation_responds_linearly() {
+        let grid = Grid::new(60, 20, 50.0, 5.0);
+        let levels = [0.004, 0.008];
+        let r = excitation_linearity(grid, &levels, 2.0);
+        let s = &r.series[0];
+        let a1 = s.at(levels[0]).unwrap();
+        let a2 = s.at(levels[1]).unwrap();
+        assert!(a1 > 0.0 && a2 > 0.0);
+        let gain = a2 / a1;
+        // doubling the forcing should ~double the response in the linear regime
+        assert!(gain > 1.6 && gain < 2.4, "response gain {gain} for a 2x forcing increase");
+    }
+
+    #[test]
+    fn phase_profile_accounts_for_all_busy_time() {
+        let procs = [2usize, 8];
+        let r = phase_profile(Platform::lace560_allnode_s(), Regime::NavierStokes, &procs);
+        for &p in &procs {
+            let res = simulate(&SimConfig::paper(Platform::lace560_allnode_s(), p, Regime::NavierStokes));
+            let total_busy: f64 = res.busy.iter().sum();
+            let phase_sum: f64 = r.series.iter().map(|s| s.at(p as f64).unwrap_or(0.0)).sum();
+            let rel = (phase_sum - total_busy).abs() / total_busy;
+            assert!(rel < 1e-9, "P={p}: phases must sum to busy time, off by {rel}");
+        }
+    }
+
+    #[test]
+    fn flux_evaluation_dominates_compute_and_comm_grows_with_p() {
+        let procs = [2usize, 16];
+        let r = phase_profile(Platform::lace560_allnode_s(), Regime::NavierStokes, &procs);
+        let flux: f64 = r
+            .series
+            .iter()
+            .filter(|s| s.label.contains("flux"))
+            .map(|s| s.at(2.0).unwrap_or(0.0))
+            .sum();
+        let total: f64 = r.series.iter().map(|s| s.at(2.0).unwrap_or(0.0)).sum();
+        assert!(flux > 0.4 * total, "flux kernels dominate: {flux} of {total}");
+        // message software cost grows with processor count (aggregate)
+        let comm = |p: f64| -> f64 {
+            r.series.iter().filter(|s| s.label.starts_with("comm:")).map(|s| s.at(p).unwrap_or(0.0)).sum()
+        };
+        assert!(comm(16.0) > comm(2.0), "comm share grows with P: {} vs {}", comm(16.0), comm(2.0));
+    }
+
+    #[test]
+    fn weak_scaling_is_flat_for_the_torus() {
+        let r = weak_scaling(Regime::Euler);
+        let t3d = r.series("Cray T3D").unwrap();
+        let t1 = t3d.at(1.0).unwrap();
+        let t16 = t3d.at(16.0).unwrap();
+        // some cache-effect wiggle allowed, but within ~25% of flat
+        assert!((t16 - t1).abs() / t1 < 0.25, "weak scaling ~flat: {t1} vs {t16}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Figures 11 and 12: MPL vs PVMe on the IBM SP.
+
+use crate::report::{Report, Series};
+use ns_archsim::{simulate, Platform, SimConfig};
+use ns_core::config::Regime;
+
+/// Processor counts of the SP study.
+pub const PROCS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Figures 11 (N-S) and 12 (Euler): busy time and non-overlapped
+/// communication under the two libraries.
+pub fn fig11_12(regime: Regime) -> Report {
+    let fig = if regime == Regime::NavierStokes { 11 } else { 12 };
+    let mut r = Report::new(
+        format!("Figure {fig}: Comparison of MPL and PVMe ({}; IBM SP)", regime.name()),
+        "processors",
+        "seconds",
+    );
+    for (platform, lib) in [(Platform::ibm_sp_mpl(), "MPL"), (Platform::ibm_sp_pvme(), "PVMe")] {
+        let mut busy = Vec::new();
+        let mut wait = Vec::new();
+        for &p in &PROCS {
+            let res = simulate(&SimConfig::paper(platform, p, regime));
+            busy.push((p as f64, res.mean_busy()));
+            wait.push((p as f64, res.max_wait().max(1e-3)));
+        }
+        r.series.push(Series::new(format!("Processor busy time with {lib}"), busy));
+        r.series.push(Series::new(format!("Non overlapped comm with {lib}"), wait));
+    }
+    r.notes.push(
+        "paper: MPL ~75% (N-S) / ~40% (Euler) faster than PVMe; non-overlapped communication is negligibly small and decreases with P (library overheads are busy time)".into(),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpl_beats_pvme_consistently() {
+        for regime in [Regime::NavierStokes, Regime::Euler] {
+            let r = fig11_12(regime);
+            let mpl = r.series("Processor busy time with MPL").unwrap();
+            let pvme = r.series("Processor busy time with PVMe").unwrap();
+            for &p in &[2.0, 4.0, 8.0, 16.0] {
+                assert!(pvme.at(p).unwrap() > mpl.at(p).unwrap(), "{regime:?} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn ns_gap_is_paper_sized() {
+        let r = fig11_12(Regime::NavierStokes);
+        let mpl = r.series("Processor busy time with MPL").unwrap().at(16.0).unwrap();
+        let pvme = r.series("Processor busy time with PVMe").unwrap().at(16.0).unwrap();
+        let gap = pvme / mpl;
+        // paper: ~1.75 for N-S
+        assert!(gap > 1.3 && gap < 2.3, "N-S PVMe/MPL gap {gap}");
+    }
+
+    #[test]
+    fn non_overlapped_comm_is_small_on_the_sp() {
+        let r = fig11_12(Regime::NavierStokes);
+        let busy = r.series("Processor busy time with MPL").unwrap();
+        let wait = r.series("Non overlapped comm with MPL").unwrap();
+        for &p in &[4.0, 8.0, 16.0] {
+            assert!(
+                wait.at(p).unwrap() < 0.15 * busy.at(p).unwrap(),
+                "SP wait stays small at P={p}: {} vs {}",
+                wait.at(p).unwrap(),
+                busy.at(p).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn libraries_converge_at_one_processor() {
+        let r = fig11_12(Regime::Euler);
+        let mpl = r.series("Processor busy time with MPL").unwrap().at(1.0).unwrap();
+        let pvme = r.series("Processor busy time with PVMe").unwrap().at(1.0).unwrap();
+        assert!((mpl - pvme).abs() / mpl < 1e-9, "no messages at P=1");
+    }
+}

@@ -1,0 +1,210 @@
+//! Report formatting: series tables and ASCII log-log charts, so every
+//! regenerated figure prints both the numbers and the paper's visual shape.
+
+/// One curve of a figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label (matches the paper's legends).
+    pub label: String,
+    /// `(x, y)` points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points }
+    }
+
+    /// y value at a given x, if present.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| (px - x).abs() < 1e-9).map(|&(_, y)| y)
+    }
+}
+
+/// A regenerated table or figure.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// e.g. "Figure 3: Navier-Stokes execution time on LACE".
+    pub title: String,
+    /// x-axis label.
+    pub xlabel: String,
+    /// y-axis label.
+    pub ylabel: String,
+    /// The curves.
+    pub series: Vec<Series>,
+    /// Free-form notes: paper-vs-measured commentary, substitutions.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(title: impl Into<String>, xlabel: impl Into<String>, ylabel: impl Into<String>) -> Self {
+        Self { title: title.into(), xlabel: xlabel.into(), ylabel: ylabel.into(), series: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render the numeric table.
+    pub fn table(&self) -> String {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let mut header = format!("{:>12}", self.xlabel);
+        for s in &self.series {
+            header.push_str(&format!(" | {:>18}", truncate(&s.label, 18)));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        out.push_str(&"-".repeat(header.len()));
+        out.push('\n');
+        for &x in &xs {
+            let mut row = format!("{:>12}", trim_num(x));
+            for s in &self.series {
+                match s.at(x) {
+                    Some(y) => row.push_str(&format!(" | {:>18}", trim_num(y))),
+                    None => row.push_str(&format!(" | {:>18}", "-")),
+                }
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render an ASCII log-log chart (the paper plots everything log-log).
+    pub fn loglog_chart(&self, width: usize, height: usize) -> String {
+        let pts: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).filter(|&(x, y)| x > 0.0 && y > 0.0).collect();
+        if pts.is_empty() {
+            return String::from("(no positive data)\n");
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(x, y) in &pts {
+            x0 = x0.min(x.ln());
+            x1 = x1.max(x.ln());
+            y0 = y0.min(y.ln());
+            y1 = y1.max(y.ln());
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![b' '; width]; height];
+        let marks = [b'*', b'o', b'+', b'x', b'#', b'@', b'%', b'&'];
+        for (si, s) in self.series.iter().enumerate() {
+            let m = marks[si % marks.len()];
+            for &(x, y) in &s.points {
+                if x <= 0.0 || y <= 0.0 {
+                    continue;
+                }
+                let cx = (((x.ln() - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+                let cy = (((y.ln() - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+                grid[height - 1 - cy][cx] = m;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{} (log-log; y: {})\n", self.title, self.ylabel));
+        for row in grid {
+            out.push('|');
+            out.push_str(std::str::from_utf8(&row).unwrap());
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", marks[si % marks.len()] as char, s.label));
+        }
+        out
+    }
+
+    /// Full render: table plus chart.
+    pub fn render(&self) -> String {
+        format!("{}\n{}", self.table(), self.loglog_chart(60, 18))
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+/// Compact numeric formatting.
+fn trim_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{:.3e}", v)
+    } else if a >= 100.0 {
+        format!("{:.0}", v)
+    } else if a >= 1.0 {
+        format!("{:.2}", v)
+    } else {
+        format!("{:.4}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Figure X", "P", "seconds");
+        r.series.push(Series::new("a", vec![(1.0, 100.0), (2.0, 50.0), (4.0, 25.0)]));
+        r.series.push(Series::new("b", vec![(1.0, 200.0), (4.0, 60.0)]));
+        r.notes.push("shape holds".into());
+        r
+    }
+
+    #[test]
+    fn table_contains_all_rows_and_labels() {
+        let t = sample().table();
+        assert!(t.contains("Figure X"));
+        assert!(t.contains("100"));
+        assert!(t.contains("note: shape holds"));
+        // series b has no x=2 point
+        let row2: Vec<&str> = t.lines().filter(|l| l.trim_start().starts_with("2.00")).collect();
+        assert_eq!(row2.len(), 1);
+        assert!(row2[0].contains('-'));
+    }
+
+    #[test]
+    fn chart_renders_marks_for_each_series() {
+        let c = sample().loglog_chart(40, 10);
+        assert!(c.contains('*'));
+        assert!(c.contains('o'));
+        assert!(c.contains("a\n") || c.contains(" a"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let r = sample();
+        assert_eq!(r.series("a").unwrap().at(2.0), Some(50.0));
+        assert!(r.series("missing").is_none());
+    }
+
+    #[test]
+    fn chart_handles_empty_and_degenerate() {
+        let r = Report::new("empty", "x", "y");
+        assert!(r.loglog_chart(20, 5).contains("no positive data"));
+        let mut one = Report::new("one", "x", "y");
+        one.series.push(Series::new("s", vec![(1.0, 1.0)]));
+        let _ = one.loglog_chart(20, 5); // must not panic
+    }
+}

@@ -1,0 +1,43 @@
+//! Cross-validation of the analytic workload model against the live solver:
+//! the platform simulator replays `ns_core::workload`, so that model must
+//! track what the instrumented solver actually does.
+
+use ns_core::config::{Regime, SolverConfig};
+use ns_core::driver::Solver;
+use ns_core::workload;
+use ns_numerics::Grid;
+
+/// Relative error between the workload model's per-step FLOPs and the live
+/// solver's measured ledger delta (interior kernels only; the ledger also
+/// carries boundary work the model ignores).
+pub fn workload_vs_ledger_error(grid: Grid, regime: Regime, steps: u64) -> f64 {
+    let cfg = SolverConfig::paper(grid.clone(), regime);
+    let mut s = Solver::new(cfg);
+    s.run(1); // exclude any first-step effects from the sample
+    let before = s.ledger;
+    s.run(steps);
+    let interior_measured = (s.ledger.prims + s.ledger.flux + s.ledger.source + s.ledger.update)
+        - (before.prims + before.flux + before.source + before.update);
+    let per_step_measured = interior_measured as f64 / steps as f64;
+    let model = workload::step_workload(regime, &grid, grid.nx).compute_flops() as f64;
+    (per_step_measured - model).abs() / model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_solver_within_one_percent() {
+        for regime in [Regime::NavierStokes, Regime::Euler] {
+            let err = workload_vs_ledger_error(Grid::small(), regime, 4);
+            assert!(err < 0.01, "{regime:?}: workload model off by {err}");
+        }
+    }
+
+    #[test]
+    fn model_tracks_solver_on_other_grids() {
+        let err = workload_vs_ledger_error(Grid::new(80, 40, 50.0, 5.0), Regime::NavierStokes, 2);
+        assert!(err < 0.01, "workload model off by {err}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Cubic extrapolation to artificial points outside the domain.
+//!
+//! "In order to advance the scheme near boundaries the fluxes are
+//! extrapolated outside the domain to artificial points using a cubic
+//! extrapolation" (paper, Section 3). A cubic through the last four interior
+//! values, evaluated one and two spacings beyond the boundary, gives the
+//! classic coefficients below.
+
+/// Cubic extrapolation one spacing past the last point.
+///
+/// Given equally spaced values `f0..f3` with `f3` the boundary-most point,
+/// returns the cubic-extrapolated value at the first artificial point.
+#[inline(always)]
+pub fn cubic_extrap_1(f0: f64, f1: f64, f2: f64, f3: f64) -> f64 {
+    // p(4) for the cubic interpolating p(0..3) = f0..f3
+    4.0 * f3 - 6.0 * f2 + 4.0 * f1 - f0
+}
+
+/// Cubic extrapolation two spacings past the last point.
+#[inline(always)]
+pub fn cubic_extrap_2(f0: f64, f1: f64, f2: f64, f3: f64) -> f64 {
+    // p(5) for the cubic interpolating p(0..3) = f0..f3
+    10.0 * f3 - 20.0 * f2 + 15.0 * f1 - 4.0 * f0
+}
+
+/// Fill `ghost[0]` (nearest) and `ghost[1]` (farthest) past the *right* end
+/// of `interior` using cubic extrapolation of its last four values.
+pub fn fill_right_ghosts(interior: &[f64], ghost: &mut [f64; 2]) {
+    let n = interior.len();
+    assert!(n >= 4, "cubic extrapolation needs 4 interior points");
+    let (f0, f1, f2, f3) = (interior[n - 4], interior[n - 3], interior[n - 2], interior[n - 1]);
+    ghost[0] = cubic_extrap_1(f0, f1, f2, f3);
+    ghost[1] = cubic_extrap_2(f0, f1, f2, f3);
+}
+
+/// Fill `ghost[0]` (nearest) and `ghost[1]` (farthest) past the *left* end
+/// of `interior` using cubic extrapolation of its first four values.
+pub fn fill_left_ghosts(interior: &[f64], ghost: &mut [f64; 2]) {
+    let n = interior.len();
+    assert!(n >= 4, "cubic extrapolation needs 4 interior points");
+    // mirror the right-end formulas
+    let (f0, f1, f2, f3) = (interior[3], interior[2], interior[1], interior[0]);
+    ghost[0] = cubic_extrap_1(f0, f1, f2, f3);
+    ghost[1] = cubic_extrap_2(f0, f1, f2, f3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_cubics() {
+        let f = |x: f64| 2.0 * x * x * x - x * x + 3.0 * x - 5.0;
+        let vals: Vec<f64> = (0..4).map(|k| f(k as f64)).collect();
+        let e1 = cubic_extrap_1(vals[0], vals[1], vals[2], vals[3]);
+        let e2 = cubic_extrap_2(vals[0], vals[1], vals[2], vals[3]);
+        assert!((e1 - f(4.0)).abs() < 1e-10);
+        assert!((e2 - f(5.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exact_on_constants_and_linears() {
+        let c1 = cubic_extrap_1(7.0, 7.0, 7.0, 7.0);
+        let c2 = cubic_extrap_2(7.0, 7.0, 7.0, 7.0);
+        assert_eq!(c1, 7.0);
+        assert_eq!(c2, 7.0);
+        // linear f(x) = 2x
+        assert!((cubic_extrap_1(0.0, 2.0, 4.0, 6.0) - 8.0).abs() < 1e-12);
+        assert!((cubic_extrap_2(0.0, 2.0, 4.0, 6.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_ghost_helper_matches_direct_formula() {
+        let f = |x: f64| x * x * x;
+        let interior: Vec<f64> = (0..8).map(|k| f(k as f64)).collect();
+        let mut g = [0.0; 2];
+        fill_right_ghosts(&interior, &mut g);
+        assert!((g[0] - f(8.0)).abs() < 1e-9);
+        assert!((g[1] - f(9.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn left_ghost_helper_extrapolates_backwards() {
+        let f = |x: f64| x * x * x - 2.0 * x;
+        let interior: Vec<f64> = (0..8).map(|k| f(k as f64)).collect();
+        let mut g = [0.0; 2];
+        fill_left_ghosts(&interior, &mut g);
+        assert!((g[0] - f(-1.0)).abs() < 1e-9);
+        assert!((g[1] - f(-2.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Discrete norms and field comparisons, used by the verification tests
+//! (order-of-accuracy studies, serial-vs-parallel agreement).
+
+use crate::array::Array2;
+
+/// Discrete L1 norm (mean absolute value).
+pub fn l1(a: &Array2) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.as_slice().iter().map(|v| v.abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Discrete L2 norm (root mean square).
+pub fn l2(a: &Array2) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    (a.as_slice().iter().map(|v| v * v).sum::<f64>() / a.len() as f64).sqrt()
+}
+
+/// L-infinity norm (max absolute value).
+pub fn linf(a: &Array2) -> f64 {
+    a.max_abs()
+}
+
+/// L2 norm of the difference of two same-shaped fields.
+pub fn l2_diff(a: &Array2, b: &Array2) -> f64 {
+    assert_eq!((a.ni(), a.nj()), (b.ni(), b.nj()), "shape mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum();
+    (s / a.len() as f64).sqrt()
+}
+
+/// Max absolute difference of two same-shaped fields.
+pub fn linf_diff(a: &Array2, b: &Array2) -> f64 {
+    assert_eq!((a.ni(), a.nj()), (b.ni(), b.nj()), "shape mismatch");
+    a.as_slice().iter().zip(b.as_slice()).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Observed order of accuracy from two errors at resolutions `h` and `h/2`.
+pub fn observed_order(err_coarse: f64, err_fine: f64) -> f64 {
+    (err_coarse / err_fine).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_of_simple_field() {
+        let a = Array2::from_fn(2, 2, |i, j| if (i, j) == (1, 1) { -2.0 } else { 0.0 });
+        assert!((l1(&a) - 0.5).abs() < 1e-15);
+        assert!((l2(&a) - 1.0).abs() < 1e-15);
+        assert_eq!(linf(&a), 2.0);
+    }
+
+    #[test]
+    fn diff_norms_are_zero_for_identical() {
+        let a = Array2::from_fn(3, 3, |i, j| (i * j) as f64);
+        assert_eq!(l2_diff(&a, &a), 0.0);
+        assert_eq!(linf_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn diff_norms_detect_single_perturbation() {
+        let a = Array2::zeros(3, 3);
+        let mut b = Array2::zeros(3, 3);
+        b[(2, 1)] = 3.0;
+        assert!((l2_diff(&a, &b) - 1.0).abs() < 1e-15);
+        assert_eq!(linf_diff(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn observed_order_recovers_power_law() {
+        // err ~ C h^4 => halving h divides err by 16
+        assert!((observed_order(16.0, 1.0) - 4.0).abs() < 1e-12);
+        assert!((observed_order(4.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_field_norms() {
+        let a = Array2::zeros(0, 5);
+        assert_eq!(l1(&a), 0.0);
+        assert_eq!(l2(&a), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Jet mean-flow profiles.
+//!
+//! The paper's inflow (Section 3) is a tanh shear layer
+//!
+//! ```text
+//! U(r)  = U_inf + (U_c - U_inf) g(r)
+//! T(r)  = T_inf + (T_c - T_inf) g(r) + (gamma-1)/2 * M_c^2 * (1 - g) g
+//! g(r)  = 1/2 [1 + tanh((R - r) / (2 theta))]
+//! ```
+//!
+//! where `theta` is the momentum thickness, subscript `c` the centerline and
+//! `inf` the free stream. The temperature relation is the Crocco–Busemann
+//! profile. The radial velocity is zero at inflow and the static pressure is
+//! constant.
+
+use serde::{Deserialize, Serialize};
+
+/// Tanh shear-layer profile parameters (nondimensional; jet radius = 1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShearLayer {
+    /// Centerline axial velocity.
+    pub u_c: f64,
+    /// Free-stream (coflow) axial velocity.
+    pub u_inf: f64,
+    /// Centerline temperature.
+    pub t_c: f64,
+    /// Free-stream temperature.
+    pub t_inf: f64,
+    /// Momentum thickness of the shear layer.
+    pub theta: f64,
+    /// Centerline Mach number (enters the Crocco–Busemann term).
+    pub mach_c: f64,
+    /// Ratio of specific heats.
+    pub gamma: f64,
+}
+
+impl ShearLayer {
+    /// The paper's configuration: `M_c = 1.5`, `U_inf / U_c = 1/4`,
+    /// `T_inf / T_c = 1/2`, `theta = R/8` (see DESIGN.md Section 2 for the
+    /// OCR-recovered parameter choices).
+    pub fn paper() -> Self {
+        let u_c = 1.5; // M_c * c_c with c_c = 1
+        Self { u_c, u_inf: 0.25 * u_c, t_c: 1.0, t_inf: 0.5, theta: 0.125, mach_c: 1.5, gamma: 1.4 }
+    }
+
+    /// Shape function `g(r) = 1/2 [1 + tanh((1 - r) / (2 theta))]`.
+    #[inline(always)]
+    pub fn g(&self, r: f64) -> f64 {
+        0.5 * (1.0 + ((1.0 - r) / (2.0 * self.theta)).tanh())
+    }
+
+    /// Mean axial velocity at radius `r`.
+    #[inline(always)]
+    pub fn u(&self, r: f64) -> f64 {
+        self.u_inf + (self.u_c - self.u_inf) * self.g(r)
+    }
+
+    /// Mean temperature at radius `r` (Crocco–Busemann).
+    #[inline(always)]
+    pub fn t(&self, r: f64) -> f64 {
+        let g = self.g(r);
+        self.t_inf + (self.t_c - self.t_inf) * g + 0.5 * (self.gamma - 1.0) * self.mach_c * self.mach_c * (1.0 - g) * g
+    }
+
+    /// Mean density at radius `r`, from constant static pressure
+    /// `p = rho_c R_gas T_c` and the perfect-gas law.
+    #[inline(always)]
+    pub fn rho(&self, r: f64) -> f64 {
+        // rho(r) T(r) = rho_c T_c = 1 * t_c
+        self.t_c / self.t(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_function_limits() {
+        let s = ShearLayer::paper();
+        assert!((s.g(0.0) - 1.0).abs() < 1e-3, "g -> 1 on the axis");
+        assert!(s.g(5.0).abs() < 1e-6, "g -> 0 in the free stream");
+        assert!((s.g(1.0) - 0.5).abs() < 1e-12, "g = 1/2 at the lip line");
+    }
+
+    #[test]
+    fn velocity_limits() {
+        let s = ShearLayer::paper();
+        assert!((s.u(0.0) - s.u_c).abs() < 1e-2);
+        assert!((s.u(5.0) - s.u_inf).abs() < 1e-6);
+        // monotone decreasing across the shear layer
+        assert!(s.u(0.5) > s.u(1.0));
+        assert!(s.u(1.0) > s.u(1.5));
+    }
+
+    #[test]
+    fn crocco_busemann_exceeds_linear_mix_inside_layer() {
+        let s = ShearLayer::paper();
+        let g = s.g(1.0);
+        let linear = s.t_inf + (s.t_c - s.t_inf) * g;
+        assert!(s.t(1.0) > linear, "friction heating raises T in the layer");
+    }
+
+    #[test]
+    fn density_balances_pressure() {
+        let s = ShearLayer::paper();
+        for &r in &[0.0, 0.5, 1.0, 2.0, 5.0] {
+            let p_over_rgas = s.rho(r) * s.t(r);
+            assert!((p_over_rgas - 1.0).abs() < 1e-12, "constant static pressure at r={r}");
+        }
+    }
+
+    #[test]
+    fn centerline_density_is_unity() {
+        let s = ShearLayer::paper();
+        assert!((s.rho(0.0) - 1.0).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,114 @@
+//! One-sided and central difference stencils used by the 2-4 MacCormack
+//! scheme and by the viscous-stress evaluation.
+//!
+//! The Gottlieb–Turkel "2-4" operators use the second-order one-sided
+//! differences
+//!
+//! ```text
+//! forward:  D+ f_i = [ 7 (f_{i+1} - f_i) - (f_{i+2} - f_{i+1}) ] / (6 h)
+//! backward: D- f_i = [ 7 (f_i - f_{i-1}) - (f_{i-1} - f_{i-2}) ] / (6 h)
+//! ```
+//!
+//! which become fourth-order accurate in space when the predictor/corrector
+//! pairs are alternated (Gottlieb & Turkel 1976).
+
+/// Forward one-sided 2-4 difference: needs `f_i, f_{i+1}, f_{i+2}`.
+#[inline(always)]
+pub fn d_forward(fi: f64, fip1: f64, fip2: f64, h: f64) -> f64 {
+    (7.0 * (fip1 - fi) - (fip2 - fip1)) / (6.0 * h)
+}
+
+/// Backward one-sided 2-4 difference: needs `f_{i-2}, f_{i-1}, f_i`.
+#[inline(always)]
+pub fn d_backward(fim2: f64, fim1: f64, fi: f64, h: f64) -> f64 {
+    (7.0 * (fi - fim1) - (fim1 - fim2)) / (6.0 * h)
+}
+
+/// Second-order central difference.
+#[inline(always)]
+pub fn d_central(fm1: f64, fp1: f64, h: f64) -> f64 {
+    (fp1 - fm1) / (2.0 * h)
+}
+
+/// Second-order one-sided difference at a left boundary (`f_0, f_1, f_2`).
+#[inline(always)]
+pub fn d_one_sided_left(f0: f64, f1: f64, f2: f64, h: f64) -> f64 {
+    (-3.0 * f0 + 4.0 * f1 - f2) / (2.0 * h)
+}
+
+/// Second-order one-sided difference at a right boundary (`f_{n-3..n-1}`).
+#[inline(always)]
+pub fn d_one_sided_right(fm2: f64, fm1: f64, f0: f64, h: f64) -> f64 {
+    (3.0 * f0 - 4.0 * fm1 + fm2) / (2.0 * h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The central and classic one-sided stencils are exact on quadratics.
+    /// The 2-4 one-sided pair is exact only on linears individually — each
+    /// carries a `+-h f''/3` bias by design — but their *average* is exact on
+    /// quadratics (the biases cancel; that is the point of alternation).
+    #[test]
+    fn exact_on_quadratics() {
+        let f = |x: f64| 3.0 * x * x - 2.0 * x + 1.0;
+        let df = |x: f64| 6.0 * x - 2.0;
+        let h = 0.1;
+        let x = 0.7;
+        let tol = 1e-12;
+        assert!((d_central(f(x - h), f(x + h), h) - df(x)).abs() < tol);
+        assert!((d_one_sided_left(f(x), f(x + h), f(x + 2.0 * h), h) - df(x)).abs() < tol);
+        assert!((d_one_sided_right(f(x - 2.0 * h), f(x - h), f(x), h) - df(x)).abs() < tol);
+        let fwd = d_forward(f(x), f(x + h), f(x + 2.0 * h), h);
+        let bwd = d_backward(f(x - 2.0 * h), f(x - h), f(x), h);
+        // individual bias is +-h f''/3 = +-0.2 here
+        assert!((fwd - df(x) - h * 6.0 / 3.0).abs() < tol);
+        assert!((bwd - df(x) + h * 6.0 / 3.0).abs() < tol);
+        assert!((0.5 * (fwd + bwd) - df(x)).abs() < tol);
+    }
+
+    /// 2-4 one-sided differences are exact on linear functions.
+    #[test]
+    fn one_sided_24_exact_on_linears() {
+        let f = |x: f64| 4.0 * x - 7.0;
+        let h = 0.3;
+        let x = 1.1;
+        assert!((d_forward(f(x), f(x + h), f(x + 2.0 * h), h) - 4.0).abs() < 1e-12);
+        assert!((d_backward(f(x - 2.0 * h), f(x - h), f(x), h) - 4.0).abs() < 1e-12);
+    }
+
+    /// The averaged forward/backward 2-4 pair must be fourth-order: the
+    /// leading error terms cancel, so on a quartic the average is much more
+    /// accurate than either one-sided difference alone.
+    #[test]
+    fn alternation_cancels_third_order_error() {
+        let f = |x: f64| x.powi(4);
+        let df = |x: f64| 4.0 * x.powi(3);
+        let h = 0.05;
+        let x = 1.0;
+        let fwd = d_forward(f(x), f(x + h), f(x + 2.0 * h), h);
+        let bwd = d_backward(f(x - 2.0 * h), f(x - h), f(x), h);
+        let avg = 0.5 * (fwd + bwd);
+        let err_fwd = (fwd - df(x)).abs();
+        let err_avg = (avg - df(x)).abs();
+        assert!(err_avg < err_fwd / 50.0, "avg err {err_avg} vs fwd err {err_fwd}");
+    }
+
+    /// Convergence-rate check: halving h must reduce the averaged error ~16x.
+    #[test]
+    fn averaged_pair_is_fourth_order() {
+        let f = |x: f64| (1.3 * x).sin();
+        let df = |x: f64| 1.3 * (1.3 * x).cos();
+        let x = 0.4;
+        let err = |h: f64| {
+            let fwd = d_forward(f(x), f(x + h), f(x + 2.0 * h), h);
+            let bwd = d_backward(f(x - 2.0 * h), f(x - h), f(x), h);
+            (0.5 * (fwd + bwd) - df(x)).abs()
+        };
+        let e1 = err(0.02);
+        let e2 = err(0.01);
+        let rate = (e1 / e2).log2();
+        assert!(rate > 3.7, "observed rate {rate}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Minimal collectives over the point-to-point endpoints: barrier and
+//! all-reduce, built as gather-to-root plus broadcast (what PVM programs of
+//! the period typically hand-rolled).
+
+use crate::comm::{CommError, Endpoint, MsgKind, Tag};
+use crate::pack::{PackBuf, UnpackBuf};
+
+/// Gather one double from every rank to rank 0, reduce, broadcast the
+/// result. `epoch` must be identical and strictly increasing across calls on
+/// all ranks.
+pub fn allreduce(ep: &mut Endpoint, x: f64, epoch: u64, op: impl Fn(f64, f64) -> f64) -> Result<f64, CommError> {
+    let size = ep.size();
+    if size == 1 {
+        return Ok(x);
+    }
+    let gtag = Tag { kind: MsgKind::Gather, seq: epoch };
+    let btag = Tag { kind: MsgKind::Bcast, seq: epoch };
+    if ep.rank() == 0 {
+        let mut acc = x;
+        for src in 1..size {
+            let payload = ep.recv(src, gtag)?;
+            let mut u = UnpackBuf::new(payload);
+            acc = op(acc, u.unpack_f64().map_err(|_| CommError::Disconnected)?);
+        }
+        for dst in 1..size {
+            let mut b = PackBuf::new();
+            b.pack_f64(acc);
+            ep.send(dst, btag, b)?;
+        }
+        Ok(acc)
+    } else {
+        let mut b = PackBuf::new();
+        b.pack_f64(x);
+        ep.send(0, gtag, b)?;
+        let payload = ep.recv(0, btag)?;
+        let mut u = UnpackBuf::new(payload);
+        u.unpack_f64().map_err(|_| CommError::Disconnected)
+    }
+}
+
+/// All-reduce with max.
+pub fn allreduce_max(ep: &mut Endpoint, x: f64, epoch: u64) -> Result<f64, CommError> {
+    allreduce(ep, x, epoch, f64::max)
+}
+
+/// All-reduce with sum.
+pub fn allreduce_sum(ep: &mut Endpoint, x: f64, epoch: u64) -> Result<f64, CommError> {
+    allreduce(ep, x, epoch, |a, b| a + b)
+}
+
+/// Barrier: an all-reduce whose value is discarded.
+pub fn barrier(ep: &mut Endpoint, epoch: u64) -> Result<(), CommError> {
+    allreduce(ep, 0.0, epoch, |a, _| a).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::universe;
+    use std::thread;
+
+    #[test]
+    fn allreduce_max_and_sum_across_ranks() {
+        let eps = universe(4);
+        let results: Vec<(f64, f64)> = thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .into_iter()
+                .map(|mut ep| {
+                    s.spawn(move || {
+                        let mine = ep.rank() as f64 + 1.0;
+                        let mx = allreduce_max(&mut ep, mine, 0).unwrap();
+                        let sm = allreduce_sum(&mut ep, mine, 1).unwrap();
+                        (mx, sm)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (mx, sm) in results {
+            assert_eq!(mx, 4.0);
+            assert_eq!(sm, 10.0);
+        }
+    }
+
+    #[test]
+    fn barrier_completes_on_all_ranks() {
+        let eps = universe(3);
+        thread::scope(|s| {
+            for mut ep in eps {
+                s.spawn(move || {
+                    for epoch in 0..5 {
+                        barrier(&mut ep, epoch).unwrap();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_is_trivial() {
+        let mut eps = universe(1);
+        let ep = &mut eps[0];
+        assert_eq!(allreduce_max(ep, 3.0, 0).unwrap(), 3.0);
+        barrier(ep, 1).unwrap();
+        assert_eq!(ep.stats.sends, 0);
+    }
+}

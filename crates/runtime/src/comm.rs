@@ -1,0 +1,294 @@
+//! Message endpoints: tagged point-to-point communication over in-process
+//! channels, with the accounting the paper's Tables 1-2 need.
+//!
+//! Each rank owns an [`Endpoint`]: senders to every peer and one inbox.
+//! Receives match on `(source, tag)`; out-of-order arrivals are stashed, so
+//! the protocol layers above never see interleaving. Every send and receive
+//! increments the start-up counters — the paper counts both sides, which is
+//! how 8 messages per step per neighbour pair become "16 start-ups per
+//! step".
+
+use crate::pack::PackBuf;
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Message kinds of the solver protocol plus collective plumbing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Grouped primitive columns (`u, v, T`) before the predictor.
+    Prims1,
+    /// Two-column flux packet after the stage-1 flux evaluation.
+    Flux1,
+    /// Grouped primitive columns before the corrector (N-S only).
+    Prims2,
+    /// Two-column flux packet after the stage-2 flux evaluation.
+    Flux2,
+    /// Second half of a split flux packet (Version 7 burst avoidance).
+    FluxSplit,
+    /// Gather leg of a collective.
+    Gather,
+    /// Broadcast leg of a collective.
+    Bcast,
+}
+
+/// Full message tag: protocol kind plus a sequence number (the step for
+/// solver messages, a collective epoch for collectives).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// Protocol kind.
+    pub kind: MsgKind,
+    /// Sequence number disambiguating steps/epochs.
+    pub seq: u64,
+}
+
+/// A tagged message.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Tag.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Per-rank communication statistics (start-ups and volume).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages sent.
+    pub sends: u64,
+    /// Messages received.
+    pub recvs: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_recvd: u64,
+}
+
+impl CommStats {
+    /// Total start-ups, counting each send and each receive (the paper's
+    /// convention).
+    pub fn startups(&self) -> u64 {
+        self.sends + self.recvs
+    }
+}
+
+/// Errors from endpoint operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// Destination rank does not exist.
+    NoSuchRank(usize),
+    /// The peer hung up (its endpoint was dropped, e.g. after a panic).
+    Disconnected,
+    /// No matching message arrived within the deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::NoSuchRank(r) => write!(f, "no such rank {r}"),
+            CommError::Disconnected => write!(f, "peer disconnected"),
+            CommError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// A rank's communication endpoint.
+pub struct Endpoint {
+    rank: usize,
+    txs: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    stash: Vec<Message>,
+    /// Accumulated statistics.
+    pub stats: CommStats,
+    /// Accumulated blocking time inside `recv` (the "non-overlapped
+    /// communication" component of the paper's time breakdown).
+    pub wait_time: Duration,
+    /// Receive deadline; a hung peer surfaces as [`CommError::Timeout`].
+    pub timeout: Duration,
+}
+
+impl Endpoint {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    pub fn size(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Send a packed buffer to `to` (non-blocking; channels are unbounded,
+    /// like PVM's buffered sends).
+    pub fn send(&mut self, to: usize, tag: Tag, buf: PackBuf) -> Result<(), CommError> {
+        let payload = buf.freeze();
+        let tx = self.txs.get(to).ok_or(CommError::NoSuchRank(to))?;
+        self.stats.sends += 1;
+        self.stats.bytes_sent += payload.len() as u64;
+        tx.send(Message { src: self.rank, tag, payload }).map_err(|_| CommError::Disconnected)
+    }
+
+    /// Blocking receive matching `(from, tag)`; non-matching arrivals are
+    /// stashed for later receives.
+    pub fn recv(&mut self, from: usize, tag: Tag) -> Result<Bytes, CommError> {
+        // check the stash first
+        if let Some(pos) = self.stash.iter().position(|m| m.src == from && m.tag == tag) {
+            let m = self.stash.swap_remove(pos);
+            self.stats.recvs += 1;
+            self.stats.bytes_recvd += m.payload.len() as u64;
+            return Ok(m.payload);
+        }
+        let start = Instant::now();
+        let deadline = start + self.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.wait_time += now - start;
+                return Err(CommError::Timeout);
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(m) if m.src == from && m.tag == tag => {
+                    self.wait_time += start.elapsed();
+                    self.stats.recvs += 1;
+                    self.stats.bytes_recvd += m.payload.len() as u64;
+                    return Ok(m.payload);
+                }
+                Ok(m) => self.stash.push(m),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.wait_time += start.elapsed();
+                    return Err(CommError::Timeout);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.wait_time += start.elapsed();
+                    return Err(CommError::Disconnected);
+                }
+            }
+        }
+    }
+}
+
+/// Create a fully connected universe of `size` endpoints.
+pub fn universe(size: usize) -> Vec<Endpoint> {
+    assert!(size >= 1);
+    let mut txs = Vec::with_capacity(size);
+    let mut rxs = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    rxs.into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Endpoint {
+            rank,
+            txs: txs.clone(),
+            rx,
+            stash: Vec::new(),
+            stats: CommStats::default(),
+            wait_time: Duration::ZERO,
+            timeout: Duration::from_secs(30),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn tag(kind: MsgKind, seq: u64) -> Tag {
+        Tag { kind, seq }
+    }
+
+    fn buf(vals: &[f64]) -> PackBuf {
+        let mut p = PackBuf::new();
+        p.pack_f64_slice(vals);
+        p
+    }
+
+    #[test]
+    fn ping_pong_between_threads() {
+        let mut eps = universe(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        thread::scope(|s| {
+            s.spawn(move || {
+                a.send(1, tag(MsgKind::Flux1, 0), buf(&[1.0, 2.0])).unwrap();
+                let got = a.recv(1, tag(MsgKind::Flux2, 0)).unwrap();
+                assert_eq!(got.len(), 8);
+            });
+            s.spawn(move || {
+                let got = b.recv(0, tag(MsgKind::Flux1, 0)).unwrap();
+                assert_eq!(got.len(), 16);
+                b.send(0, tag(MsgKind::Flux2, 0), buf(&[9.0])).unwrap();
+            });
+        });
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let mut eps = universe(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, tag(MsgKind::Prims1, 7), buf(&[1.0])).unwrap();
+        a.send(1, tag(MsgKind::Flux1, 7), buf(&[2.0, 3.0])).unwrap();
+        // receive in the opposite order
+        let f = b.recv(0, tag(MsgKind::Flux1, 7)).unwrap();
+        assert_eq!(f.len(), 16);
+        let p = b.recv(0, tag(MsgKind::Prims1, 7)).unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(b.stats.recvs, 2);
+    }
+
+    #[test]
+    fn stats_count_both_sides() {
+        let mut eps = universe(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, tag(MsgKind::Prims1, 0), buf(&[0.0; 10])).unwrap();
+        let _ = b.recv(0, tag(MsgKind::Prims1, 0)).unwrap();
+        assert_eq!(a.stats.sends, 1);
+        assert_eq!(a.stats.startups(), 1);
+        assert_eq!(b.stats.recvs, 1);
+        assert_eq!(a.stats.bytes_sent, 80);
+        assert_eq!(b.stats.bytes_recvd, 80);
+    }
+
+    #[test]
+    fn send_to_missing_rank_errors() {
+        let mut eps = universe(2);
+        let mut a = eps.remove(0);
+        let err = a.send(5, tag(MsgKind::Prims1, 0), buf(&[1.0])).unwrap_err();
+        assert_eq!(err, CommError::NoSuchRank(5));
+    }
+
+    #[test]
+    fn recv_times_out_when_peer_is_silent() {
+        let mut eps = universe(2);
+        let mut a = eps.remove(0);
+        a.timeout = Duration::from_millis(20);
+        let err = a.recv(1, tag(MsgKind::Prims1, 0)).unwrap_err();
+        assert_eq!(err, CommError::Timeout);
+        assert!(a.wait_time >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn recv_detects_dead_peer() {
+        let mut eps = universe(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        drop(b); // peer "panicked"
+        // a's own sender clones keep the channel alive only for a's inbox;
+        // receiving from the dropped peer can only time out (the message
+        // will never come), while a send to it still succeeds into a's copy
+        // of the sender -> use a short timeout
+        a.timeout = Duration::from_millis(10);
+        let err = a.recv(1, tag(MsgKind::Prims1, 0)).unwrap_err();
+        assert_eq!(err, CommError::Timeout);
+    }
+}

@@ -1,0 +1,335 @@
+//! The paper's halo protocol as an [`XHalo`] implementation.
+//!
+//! Per axial-operator application each rank exchanges with its left/right
+//! neighbours (paper Section 5):
+//!
+//! 1. the grouped primitive columns — "first, all the velocity and
+//!    temperature values along a boundary are calculated and then packaged
+//!    into a single send";
+//! 2. the two-column flux packet — "the two 'flux columns' nearest each
+//!    boundary are combined into a single send";
+//! 3. (N-S only) a second grouped primitive exchange before the corrector;
+//! 4. the predictor-flux packet.
+//!
+//! Version 7 ("avoid bursty communication") splits each two-column flux
+//! packet into two single-column sends, doubling the start-ups — supported
+//! here with [`CommVersion::V7`] so its cost shows up in the live runtime,
+//! not just the simulator.
+
+use crate::comm::{Endpoint, MsgKind, Tag};
+use crate::pack::{PackBuf, UnpackBuf};
+use ns_core::field::{FluxField, PrimField, NG};
+use ns_core::scheme::XHalo;
+
+/// Communication protocol variant (paper Versions 5-7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommVersion {
+    /// Grouped sends, exchange-then-compute (the production protocol).
+    V5,
+    /// Overlap: post the boundary primitive columns, let the solver compute
+    /// the interior flux while they are in flight, complete the receives,
+    /// then finish the edge columns (paper Section 6).
+    V6,
+    /// Split flux packets into single-column sends (less bursty, more
+    /// start-ups).
+    V7,
+}
+
+/// Thread-backed halo exchanger for one rank.
+pub struct ThreadHalo<'a> {
+    ep: &'a mut Endpoint,
+    left: Option<usize>,
+    right: Option<usize>,
+    nxl: usize,
+    nr: usize,
+    version: CommVersion,
+    step: u64,
+    prim_calls: u8,
+    flux_calls: u8,
+    /// Kind of a posted-but-unreceived split-phase prim exchange (V6).
+    pending_prims: Option<Tag>,
+}
+
+impl<'a> ThreadHalo<'a> {
+    /// Create the halo for a rank with the given neighbours.
+    pub fn new(
+        ep: &'a mut Endpoint,
+        left: Option<usize>,
+        right: Option<usize>,
+        nxl: usize,
+        nr: usize,
+        version: CommVersion,
+    ) -> Self {
+        Self { ep, left, right, nxl, nr, version, step: 0, prim_calls: 0, flux_calls: 0, pending_prims: None }
+    }
+
+    /// Mark the start of a time step (resets the per-step phase counters
+    /// that map exchange calls onto protocol tags).
+    pub fn begin_step(&mut self, step: u64) {
+        assert!(self.pending_prims.is_none(), "split-phase exchange left dangling");
+        self.step = step;
+        self.prim_calls = 0;
+        self.flux_calls = 0;
+    }
+
+    /// Borrow the endpoint (stats inspection).
+    pub fn endpoint(&self) -> &Endpoint {
+        self.ep
+    }
+
+    fn pack_prim_col(&self, prim: &PrimField, i_local: usize) -> PackBuf {
+        let mut b = PackBuf::with_capacity_f64(3 * self.nr);
+        let ii = i_local + NG;
+        for plane in [&prim.u, &prim.v, &prim.t] {
+            for j in 0..self.nr {
+                b.pack_f64(plane.at(ii, j + NG));
+            }
+        }
+        b
+    }
+
+    fn unpack_prim_col(&self, prim: &mut PrimField, ii: usize, payload: bytes::Bytes) {
+        let mut u = UnpackBuf::new(payload);
+        let mut col = vec![0.0; self.nr];
+        for plane in [&mut prim.u, &mut prim.v, &mut prim.t] {
+            u.unpack_f64_slice(&mut col).expect("prim halo payload");
+            for (j, &v) in col.iter().enumerate() {
+                plane.set(ii, j + NG, v);
+            }
+        }
+        u.finish().expect("prim halo framing");
+    }
+
+    fn pack_flux_cols(&self, flux: &FluxField, cols: &[usize]) -> PackBuf {
+        let mut b = PackBuf::with_capacity_f64(4 * cols.len() * self.nr);
+        for c in 0..4 {
+            for &i_local in cols {
+                for j in 0..self.nr {
+                    b.pack_f64(flux.at(c, i_local as isize, j as isize));
+                }
+            }
+        }
+        b
+    }
+
+    fn receive_prims(&mut self, prim: &mut PrimField, tag: Tag) {
+        if let Some(l) = self.left {
+            let payload = self.ep.recv(l, tag).expect("prim halo recv left");
+            self.unpack_prim_col(prim, NG - 1, payload);
+        }
+        if let Some(r) = self.right {
+            let payload = self.ep.recv(r, tag).expect("prim halo recv right");
+            self.unpack_prim_col(prim, NG + self.nxl, payload);
+        }
+    }
+
+    fn unpack_flux_cols(&self, flux: &mut FluxField, ghost_cols: &[isize], payload: bytes::Bytes) {
+        let mut u = UnpackBuf::new(payload);
+        let mut col = vec![0.0; self.nr];
+        for c in 0..4 {
+            for &gi in ghost_cols {
+                u.unpack_f64_slice(&mut col).expect("flux halo payload");
+                for (j, &v) in col.iter().enumerate() {
+                    flux.set(c, gi, j as isize, v);
+                }
+            }
+        }
+        u.finish().expect("flux halo framing");
+    }
+}
+
+impl XHalo for ThreadHalo<'_> {
+    fn reduce_max(&mut self, x: f64) -> f64 {
+        // one reduction per step; the step number is the collective epoch
+        crate::collectives::allreduce_max(self.ep, x, self.step).expect("adaptive-dt reduction")
+    }
+
+    fn post_prims(&mut self, prim: &mut PrimField) {
+        let kind = if self.prim_calls == 0 { MsgKind::Prims1 } else { MsgKind::Prims2 };
+        self.prim_calls += 1;
+        let tag = Tag { kind, seq: self.step };
+        // post sends first (buffered, deadlock free)
+        if let Some(l) = self.left {
+            let b = self.pack_prim_col(prim, 0);
+            self.ep.send(l, tag, b).expect("prim halo send left");
+        }
+        if let Some(r) = self.right {
+            let b = self.pack_prim_col(prim, self.nxl - 1);
+            self.ep.send(r, tag, b).expect("prim halo send right");
+        }
+        if self.version == CommVersion::V6 {
+            // Version 6: let the caller compute the interior while the
+            // boundary columns are in flight
+            self.pending_prims = Some(tag);
+        } else {
+            self.receive_prims(prim, tag);
+        }
+    }
+
+    fn finish_prims(&mut self, prim: &mut PrimField) {
+        if let Some(tag) = self.pending_prims.take() {
+            self.receive_prims(prim, tag);
+        }
+    }
+
+    fn exchange_prims(&mut self, prim: &mut PrimField) {
+        self.post_prims(prim);
+        self.finish_prims(prim);
+    }
+
+    fn exchange_flux(&mut self, flux: &mut FluxField) {
+        let kind = if self.flux_calls == 0 { MsgKind::Flux1 } else { MsgKind::Flux2 };
+        self.flux_calls += 1;
+        let tag = Tag { kind, seq: self.step };
+        let split_tag = Tag { kind: MsgKind::FluxSplit, seq: self.step * 2 + u64::from(self.flux_calls) };
+        let n = self.nxl;
+        match self.version {
+            // flux packets are never overlapped (the predictor needs them
+            // whole), so V6 sends them exactly like V5
+            CommVersion::V5 | CommVersion::V6 => {
+                if let Some(l) = self.left {
+                    let b = self.pack_flux_cols(flux, &[0, 1]);
+                    self.ep.send(l, tag, b).expect("flux halo send left");
+                }
+                if let Some(r) = self.right {
+                    let b = self.pack_flux_cols(flux, &[n - 2, n - 1]);
+                    self.ep.send(r, tag, b).expect("flux halo send right");
+                }
+                if let Some(l) = self.left {
+                    let payload = self.ep.recv(l, tag).expect("flux halo recv left");
+                    self.unpack_flux_cols(flux, &[-2, -1], payload);
+                }
+                if let Some(r) = self.right {
+                    let payload = self.ep.recv(r, tag).expect("flux halo recv right");
+                    self.unpack_flux_cols(flux, &[n as isize, n as isize + 1], payload);
+                }
+            }
+            CommVersion::V7 => {
+                // one column per message: twice the start-ups, half the burst
+                if let Some(l) = self.left {
+                    self.ep.send(l, tag, self.pack_flux_cols(flux, &[1])).expect("flux send");
+                    self.ep.send(l, split_tag, self.pack_flux_cols(flux, &[0])).expect("flux send");
+                }
+                if let Some(r) = self.right {
+                    self.ep.send(r, tag, self.pack_flux_cols(flux, &[n - 2])).expect("flux send");
+                    self.ep.send(r, split_tag, self.pack_flux_cols(flux, &[n - 1])).expect("flux send");
+                }
+                if let Some(l) = self.left {
+                    let p1 = self.ep.recv(l, tag).expect("flux recv");
+                    self.unpack_flux_cols(flux, &[-2], p1);
+                    let p2 = self.ep.recv(l, split_tag).expect("flux recv");
+                    self.unpack_flux_cols(flux, &[-1], p2);
+                }
+                if let Some(r) = self.right {
+                    let p1 = self.ep.recv(r, tag).expect("flux recv");
+                    self.unpack_flux_cols(flux, &[n as isize + 1], p1);
+                    let p2 = self.ep.recv(r, split_tag).expect("flux recv");
+                    self.unpack_flux_cols(flux, &[n as isize], p2);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::universe;
+    use ns_core::field::Patch;
+    use ns_numerics::Grid;
+    use std::thread;
+
+    /// Two ranks exchange hand-built planes; each side must see exactly the
+    /// other's edge columns in its ghosts.
+    #[test]
+    fn prim_exchange_moves_edge_columns() {
+        let grid = Grid::small();
+        let p0 = Patch::block(grid.clone(), 0, 2);
+        let p1 = Patch::block(grid.clone(), 1, 2);
+        let eps = universe(2);
+        let nr = grid.nr;
+        let results: Vec<(f64, f64)> = thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .into_iter()
+                .zip([p0.clone(), p1.clone()])
+                .map(|(mut ep, patch)| {
+                    s.spawn(move || {
+                        let rank = ep.rank();
+                        let (left, right) = if rank == 0 { (None, Some(1)) } else { (Some(0), None) };
+                        let mut prim = PrimField::zeros(&patch);
+                        // mark every interior point with rank*1000 + i_local
+                        for i in 0..patch.nxl {
+                            for j in 0..nr {
+                                prim.u.set(i + NG, j + NG, (rank * 1000 + i) as f64);
+                            }
+                        }
+                        let mut halo = ThreadHalo::new(&mut ep, left, right, patch.nxl, nr, CommVersion::V5);
+                        halo.begin_step(0);
+                        halo.exchange_prims(&mut prim);
+                        if rank == 0 {
+                            // ghost col nxl must hold rank 1's column 0
+                            (prim.u.at(NG + patch.nxl, NG), f64::NAN)
+                        } else {
+                            // ghost col -1 must hold rank 0's last column
+                            (f64::NAN, prim.u.at(NG - 1, NG))
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(results[0].0, 1000.0, "rank 0 sees rank 1 col 0");
+        let last_of_rank0 = (p0.nxl - 1) as f64;
+        assert_eq!(results[1].1, last_of_rank0, "rank 1 sees rank 0 last col");
+    }
+
+    /// V5 and V7 must deliver identical ghost flux columns; V7 just uses
+    /// twice as many messages.
+    #[test]
+    fn v7_split_matches_v5_values_with_more_startups() {
+        let grid = Grid::small();
+        let run = |version: CommVersion| {
+            let p0 = Patch::block(grid.clone(), 0, 2);
+            let p1 = Patch::block(grid.clone(), 1, 2);
+            let eps = universe(2);
+            let nr = grid.nr;
+            thread::scope(|s| {
+                let handles: Vec<_> = eps
+                    .into_iter()
+                    .zip([p0.clone(), p1.clone()])
+                    .map(|(mut ep, patch)| {
+                        s.spawn(move || {
+                            let rank = ep.rank();
+                            let (left, right) = if rank == 0 { (None, Some(1)) } else { (Some(0), None) };
+                            let mut flux = FluxField::zeros(&patch);
+                            for c in 0..4 {
+                                for i in 0..patch.nxl {
+                                    for j in 0..nr {
+                                        flux.set(c, i as isize, j as isize, (c * 100 + rank * 10 + i) as f64 + j as f64 * 0.001);
+                                    }
+                                }
+                            }
+                            let mut halo = ThreadHalo::new(&mut ep, left, right, patch.nxl, nr, version);
+                            halo.begin_step(3);
+                            halo.exchange_flux(&mut flux);
+                            let ghosts = if rank == 0 {
+                                let n = patch.nxl as isize;
+                                (0..4).map(|c| (flux.at(c, n, 5), flux.at(c, n + 1, 5))).collect::<Vec<_>>()
+                            } else {
+                                (0..4).map(|c| (flux.at(c, -2, 5), flux.at(c, -1, 5))).collect::<Vec<_>>()
+                            };
+                            (ghosts, halo.endpoint().stats)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+            })
+        };
+        let v5 = run(CommVersion::V5);
+        let v7 = run(CommVersion::V7);
+        assert_eq!(v5[0].0, v7[0].0, "rank 0 ghost values agree");
+        assert_eq!(v5[1].0, v7[1].0, "rank 1 ghost values agree");
+        assert_eq!(v7[0].1.sends, 2 * v5[0].1.sends, "V7 doubles flux start-ups");
+        assert_eq!(v5[0].1.bytes_sent, v7[0].1.bytes_sent, "same total volume");
+    }
+}

@@ -1,0 +1,187 @@
+//! PVM-style pack/unpack buffers.
+//!
+//! The paper parallelizes with PVM 3.2.2, whose idiom is to *pack* values
+//! into a typed send buffer (`pvm_pkdouble`), send it as one message, and
+//! *unpack* on the receiving side. [`PackBuf`] reproduces that workflow over
+//! [`bytes::BytesMut`]: doubles are packed little-endian, counts are
+//! explicit, and unpacking is checked so a truncated or mis-tagged message
+//! surfaces as an error instead of garbage.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors surfaced while unpacking a message payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PackError {
+    /// The payload ended before the requested items could be read.
+    Truncated {
+        /// Items requested.
+        wanted: usize,
+        /// Full f64 items remaining.
+        available: usize,
+    },
+    /// Unpacking finished with bytes left over (protocol mismatch).
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::Truncated { wanted, available } => {
+                write!(f, "truncated payload: wanted {wanted} f64s, {available} available")
+            }
+            PackError::TrailingBytes(n) => write!(f, "{n} trailing bytes after unpack"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// A write-side pack buffer.
+#[derive(Debug, Default)]
+pub struct PackBuf {
+    buf: BytesMut,
+}
+
+impl PackBuf {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity for `n` doubles.
+    pub fn with_capacity_f64(n: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(n * 8) }
+    }
+
+    /// Pack one double.
+    #[inline]
+    pub fn pack_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Pack a slice of doubles.
+    pub fn pack_f64_slice(&mut self, vs: &[f64]) {
+        self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.buf.put_f64_le(v);
+        }
+    }
+
+    /// Number of packed bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been packed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freeze into an immutable payload (zero-copy handoff to the channel).
+    pub fn freeze(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// A read-side unpack cursor over a received payload.
+#[derive(Debug)]
+pub struct UnpackBuf {
+    buf: Bytes,
+}
+
+impl UnpackBuf {
+    /// Wrap a received payload.
+    pub fn new(payload: Bytes) -> Self {
+        Self { buf: payload }
+    }
+
+    /// Full f64 items remaining.
+    pub fn remaining_f64(&self) -> usize {
+        self.buf.remaining() / 8
+    }
+
+    /// Unpack one double.
+    pub fn unpack_f64(&mut self) -> Result<f64, PackError> {
+        if self.buf.remaining() < 8 {
+            return Err(PackError::Truncated { wanted: 1, available: 0 });
+        }
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Unpack exactly `out.len()` doubles into `out`.
+    pub fn unpack_f64_slice(&mut self, out: &mut [f64]) -> Result<(), PackError> {
+        if self.remaining_f64() < out.len() {
+            return Err(PackError::Truncated { wanted: out.len(), available: self.remaining_f64() });
+        }
+        for o in out.iter_mut() {
+            *o = self.buf.get_f64_le();
+        }
+        Ok(())
+    }
+
+    /// Assert the payload is fully consumed.
+    pub fn finish(self) -> Result<(), PackError> {
+        if self.buf.has_remaining() {
+            Err(PackError::TrailingBytes(self.buf.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_slices() {
+        let mut p = PackBuf::new();
+        p.pack_f64(1.5);
+        p.pack_f64_slice(&[2.0, -3.25, f64::MIN_POSITIVE]);
+        assert_eq!(p.len(), 4 * 8);
+        let mut u = UnpackBuf::new(p.freeze());
+        assert_eq!(u.unpack_f64().unwrap(), 1.5);
+        let mut out = [0.0; 3];
+        u.unpack_f64_slice(&mut out).unwrap();
+        assert_eq!(out, [2.0, -3.25, f64::MIN_POSITIVE]);
+        u.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut p = PackBuf::new();
+        p.pack_f64_slice(&[1.0, 2.0]);
+        let mut u = UnpackBuf::new(p.freeze());
+        let mut out = [0.0; 3];
+        let err = u.unpack_f64_slice(&mut out).unwrap_err();
+        assert_eq!(err, PackError::Truncated { wanted: 3, available: 2 });
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut p = PackBuf::new();
+        p.pack_f64(7.0);
+        p.pack_f64(8.0);
+        let mut u = UnpackBuf::new(p.freeze());
+        u.unpack_f64().unwrap();
+        let err = u.finish().unwrap_err();
+        assert_eq!(err, PackError::TrailingBytes(8));
+    }
+
+    #[test]
+    fn nan_and_inf_survive() {
+        let mut p = PackBuf::new();
+        p.pack_f64_slice(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        let mut u = UnpackBuf::new(p.freeze());
+        assert!(u.unpack_f64().unwrap().is_nan());
+        assert_eq!(u.unpack_f64().unwrap(), f64::INFINITY);
+        assert_eq!(u.unpack_f64().unwrap(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn capacity_constructor_packs_without_growth() {
+        let mut p = PackBuf::with_capacity_f64(100);
+        p.pack_f64_slice(&vec![1.0; 100]);
+        assert_eq!(p.len(), 800);
+    }
+}

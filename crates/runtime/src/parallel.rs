@@ -1,0 +1,292 @@
+//! The distributed-memory parallel driver: one OS thread per rank, the
+//! paper's axial block decomposition, real message passing through the
+//! in-process endpoints.
+//!
+//! Beyond real wall-clock speedup, the driver records the same breakdown the
+//! paper plots: per-rank *processor busy time* and *non-overlapped
+//! communication time* (Figures 5, 6, 13), message start-ups and volume
+//! (Tables 1, 2).
+
+use crate::comm::{universe, CommStats};
+use crate::halo::{CommVersion, ThreadHalo};
+use ns_core::config::SolverConfig;
+use ns_core::field::{Field, Patch};
+use ns_core::opcount::FlopLedger;
+use ns_core::Solver;
+use std::time::{Duration, Instant};
+
+/// Result of one rank's run.
+#[derive(Debug)]
+pub struct RankResult {
+    /// The rank id.
+    pub rank: usize,
+    /// Final local field (interior is authoritative).
+    pub field: Field,
+    /// Communication statistics.
+    pub stats: CommStats,
+    /// Time blocked in receives (non-overlapped communication).
+    pub wait: Duration,
+    /// Wall time minus wait (processor busy time, including message setup,
+    /// exactly the paper's decomposition).
+    pub busy: Duration,
+    /// FLOP ledger.
+    pub ledger: FlopLedger,
+}
+
+/// Result of a parallel run.
+#[derive(Debug)]
+pub struct ParallelRun {
+    /// Per-rank results, index = rank.
+    pub ranks: Vec<RankResult>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Configuration used.
+    pub cfg: SolverConfig,
+    /// Steps taken.
+    pub nsteps: u64,
+}
+
+impl ParallelRun {
+    /// Assemble the distributed solution into one whole-grid field.
+    pub fn gather_field(&self) -> Field {
+        let whole = Patch::whole(self.cfg.grid.clone());
+        let mut out = Field::zeros(whole);
+        for r in &self.ranks {
+            for c in 0..4 {
+                for i in 0..r.field.nxl() {
+                    let gi = r.field.patch.i0 + i;
+                    for j in 0..r.field.nr() {
+                        out.set(c, gi as isize, j as isize, r.field.at(c, i as isize, j as isize));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregate FLOPs over all ranks.
+    pub fn total_flops(&self) -> u64 {
+        self.ranks.iter().map(|r| r.ledger.total()).sum()
+    }
+
+    /// Aggregate communication statistics.
+    pub fn total_stats(&self) -> CommStats {
+        let mut s = CommStats::default();
+        for r in &self.ranks {
+            s.sends += r.stats.sends;
+            s.recvs += r.stats.recvs;
+            s.bytes_sent += r.stats.bytes_sent;
+            s.bytes_recvd += r.stats.bytes_recvd;
+        }
+        s
+    }
+
+    /// Per-rank busy times in seconds (Figure 13's bars).
+    pub fn busy_seconds(&self) -> Vec<f64> {
+        self.ranks.iter().map(|r| r.busy.as_secs_f64()).collect()
+    }
+}
+
+/// Run the solver on `p` ranks for `nsteps` steps, starting from the
+/// standard initial condition.
+///
+/// Panics if the decomposition is too fine for the 2-4 stencil and the
+/// cubic boundary extrapolation (every rank needs at least 4 columns).
+pub fn run_parallel(cfg: &SolverConfig, p: usize, nsteps: u64, version: CommVersion) -> ParallelRun {
+    run_parallel_from(cfg, p, nsteps, version, None)
+}
+
+/// Restart a distributed run from a whole-grid checkpoint: the state is
+/// scattered over the ranks and the clock/step parity continue where the
+/// checkpoint left off. With `restart = None` this is a fresh run.
+pub fn run_parallel_from(
+    cfg: &SolverConfig,
+    p: usize,
+    nsteps: u64,
+    version: CommVersion,
+    restart: Option<&ns_core::checkpoint::Checkpoint>,
+) -> ParallelRun {
+    assert!(p >= 1);
+    assert_eq!(cfg.dissipation, 0.0, "dissipation is serial-only (the paper's protocol has no smoothing halo)");
+    let min_cols = cfg.grid.nx / p;
+    assert!(min_cols >= 4, "{p} ranks over {} columns leaves ranks with fewer than 4 columns", cfg.grid.nx);
+
+    if let Some(cp) = restart {
+        assert_eq!(cp.patch.grid, cfg.grid, "checkpoint grid must match");
+        assert!(cp.patch.nxl == cfg.grid.nx, "distributed restart needs a whole-grid checkpoint");
+    }
+    let endpoints = universe(p);
+    let start = Instant::now();
+    let mut ranks: Vec<RankResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|mut ep| {
+                let cfg = cfg.clone();
+                s.spawn(move || {
+                    let rank = ep.rank();
+                    let patch = Patch::block(cfg.grid.clone(), rank, p);
+                    let left = (rank > 0).then(|| rank - 1);
+                    let right = (rank + 1 < p).then_some(rank + 1);
+                    let (nxl, nr) = (patch.nxl, patch.nr());
+                    let mut solver = Solver::on_patch(cfg, patch);
+                    if let Some(cp) = restart {
+                        // scatter the whole-grid state into this rank's slab
+                        let i0 = solver.field.patch.i0;
+                        for c in 0..4 {
+                            for i in 0..nxl {
+                                for j in 0..nr {
+                                    let v = cp.q[c].at(i0 + i + ns_core::field::NG, j + ns_core::field::NG);
+                                    solver.field.set(c, i as isize, j as isize, v);
+                                }
+                            }
+                        }
+                        solver.t = cp.t;
+                        solver.nstep = cp.nstep;
+                    }
+                    let t0 = Instant::now();
+                    {
+                        let mut halo = ThreadHalo::new(&mut ep, left, right, nxl, nr, version);
+                        for _ in 0..nsteps {
+                            halo.begin_step(solver.nstep);
+                            solver.step_with_halo(&mut halo);
+                        }
+                    }
+                    let wall = t0.elapsed();
+                    let wait = ep.wait_time;
+                    RankResult {
+                        rank,
+                        field: solver.field,
+                        stats: ep.stats,
+                        wait,
+                        busy: wall.saturating_sub(wait),
+                        ledger: solver.ledger,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    });
+    let elapsed = start.elapsed();
+    ranks.sort_by_key(|r| r.rank);
+    ParallelRun { ranks, elapsed, cfg: cfg.clone(), nsteps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_core::config::Regime;
+    use ns_core::workload;
+    use ns_numerics::Grid;
+
+    fn cfg(regime: Regime) -> SolverConfig {
+        SolverConfig::paper(Grid::small(), regime)
+    }
+
+    /// Euler exchanges everything its stencils need, so the distributed
+    /// solution is bitwise identical to the serial one. Navier-Stokes uses
+    /// local one-sided stencils for the radial operator's viscous
+    /// cross-derivatives at internal edges (the paper's protocol carries no
+    /// radial-sweep messages), which is O(dx^2 * mu)-consistent: the
+    /// difference must be at viscous truncation level, orders below the
+    /// solution scale.
+    #[test]
+    fn parallel_matches_serial() {
+        for (regime, tol) in [(Regime::Euler, 0.0), (Regime::NavierStokes, 1e-9)] {
+            let cfg = cfg(regime);
+            let mut serial = Solver::new(cfg.clone());
+            serial.run(6);
+            for p in [2, 3, 5] {
+                let run = run_parallel(&cfg, p, 6, CommVersion::V5);
+                let gathered = run.gather_field();
+                let d = serial.field.max_diff(&gathered);
+                assert!(d <= tol, "{regime:?} p={p}: diff {d} exceeds {tol}");
+            }
+        }
+    }
+
+    #[test]
+    fn v7_protocol_matches_v5_bitwise() {
+        let cfg = cfg(Regime::NavierStokes);
+        let a = run_parallel(&cfg, 3, 4, CommVersion::V5);
+        let b = run_parallel(&cfg, 3, 4, CommVersion::V7);
+        assert_eq!(a.gather_field().max_diff(&b.gather_field()), 0.0, "V7 moves the same data");
+    }
+
+    #[test]
+    fn startup_counts_match_table1_protocol() {
+        let nsteps = 5;
+        for (regime, per_step) in [(Regime::NavierStokes, 16u64), (Regime::Euler, 12u64)] {
+            let run = run_parallel(&cfg(regime), 4, nsteps, CommVersion::V5);
+            // interior ranks (1, 2) have two neighbours
+            for r in &run.ranks[1..3] {
+                assert_eq!(
+                    r.stats.startups(),
+                    per_step * nsteps,
+                    "{regime:?} rank {}: paper protocol start-ups",
+                    r.rank
+                );
+            }
+            // edge ranks have one neighbour: half the start-ups
+            assert_eq!(run.ranks[0].stats.startups(), per_step * nsteps / 2);
+            assert_eq!(run.ranks[3].stats.startups(), per_step * nsteps / 2);
+        }
+    }
+
+    #[test]
+    fn message_volume_matches_workload_model() {
+        let nsteps = 3;
+        let c = cfg(Regime::NavierStokes);
+        let run = run_parallel(&c, 4, nsteps, CommVersion::V5);
+        let w = workload::step_workload(Regime::NavierStokes, &c.grid, c.grid.nx / 4);
+        let expected_interior = w.bytes_sent_per_step(2) * nsteps;
+        assert_eq!(run.ranks[1].stats.bytes_sent, expected_interior);
+        assert_eq!(run.ranks[0].stats.bytes_sent, expected_interior / 2);
+    }
+
+    #[test]
+    fn ledger_total_is_close_to_serial() {
+        let c = cfg(Regime::Euler);
+        let mut serial = Solver::new(c.clone());
+        serial.run(4);
+        let run = run_parallel(&c, 4, 4, CommVersion::V5);
+        let par = run.total_flops() as f64;
+        let ser = serial.ledger.total() as f64;
+        // parallel does a little extra boundary/ghost work; totals must be
+        // within a few percent
+        assert!((par - ser).abs() / ser < 0.05, "serial {ser} vs parallel {par}");
+    }
+
+    #[test]
+    fn distributed_restart_is_transparent() {
+        use ns_core::checkpoint::Checkpoint;
+        let c = cfg(Regime::Euler);
+        // uninterrupted reference: 9 steps serial
+        let mut reference = Solver::new(c.clone());
+        reference.run(9);
+        // 4 serial steps, checkpoint, then 5 more on 3 ranks
+        let mut first = Solver::new(c.clone());
+        first.run(4);
+        let cp = Checkpoint::capture(&first);
+        let resumed = run_parallel_from(&c, 3, 5, CommVersion::V5, Some(&cp));
+        assert_eq!(reference.field.max_diff(&resumed.gather_field()), 0.0, "scatter restart is bitwise");
+        // the resumed ranks continued the global clock
+        assert_eq!(resumed.ranks[0].ledger.total() > 0, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole-grid checkpoint")]
+    fn partial_checkpoint_is_rejected_for_restart() {
+        use ns_core::checkpoint::Checkpoint;
+        let c = cfg(Regime::Euler);
+        let partial = Solver::on_patch(c.clone(), Patch::block(c.grid.clone(), 0, 2));
+        let cp = Checkpoint::capture(&partial);
+        let _ = run_parallel_from(&c, 2, 1, CommVersion::V5, Some(&cp));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than 4 columns")]
+    fn too_many_ranks_is_rejected() {
+        let c = cfg(Regime::Euler);
+        let _ = run_parallel(&c, 20, 1, CommVersion::V5);
+    }
+}

@@ -1,0 +1,21 @@
+//! The NOW study (the paper's emphasis): Tables 1-2 and Figures 3-8 —
+//! LACE under five networks, the busy/communication breakdown, and the
+//! communication-optimization variants.
+//!
+//! ```text
+//! cargo run --release --example network_study
+//! ```
+
+use ns_core::config::Regime;
+use ns_experiments::{fig_lace, fig_versions, tables};
+
+fn main() {
+    println!("{}", tables::table1().table());
+    println!("{}", tables::table2().table());
+    println!("{}", fig_versions::simulated_1995().render());
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        println!("{}", fig_lace::fig3_4(regime).render());
+        println!("{}", fig_lace::fig5_6(regime).render());
+        println!("{}", fig_lace::fig7_8(regime).table());
+    }
+}

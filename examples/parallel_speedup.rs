@@ -1,0 +1,42 @@
+//! Real wall-clock scalability of the actual Rust solver on this machine:
+//! the thread-backed message-passing runtime (the paper's distributed-memory
+//! style) and the Rayon shared-memory driver (the paper's Y-MP DOALL style),
+//! plus the serial-vs-parallel agreement check.
+//!
+//! ```text
+//! cargo run --release --example parallel_speedup
+//! ```
+
+use ns_core::config::{Regime, SolverConfig};
+use ns_core::Solver;
+use ns_experiments::speedup;
+use ns_numerics::Grid;
+use ns_runtime::{run_parallel, CommVersion};
+
+fn main() {
+    let grid = Grid::new(200, 80, 50.0, 5.0);
+    let steps = 60;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let counts: Vec<usize> = [2usize, 4, 8, 16].into_iter().filter(|&p| p <= cores.max(2)).collect();
+    println!("host has {cores} cores; grid {}x{}, {} steps per measurement\n", grid.nx, grid.nr, steps);
+
+    let mp = speedup::message_passing_speedup(grid.clone(), steps, &counts, Regime::NavierStokes);
+    println!("{}", mp.table());
+    let base = mp.series[0].at(1.0).unwrap();
+    for &(p, t) in &mp.series[0].points {
+        println!("  {p:>4.0} ranks: {t:8.3}s  speedup {:.2}x", base / t);
+    }
+
+    let sm = speedup::shared_memory_speedup(grid.clone(), steps, &counts, Regime::NavierStokes);
+    println!("\n{}", sm.table());
+
+    // correctness alongside the speed: distributed == serial
+    let cfg = SolverConfig::paper(Grid::new(100, 40, 50.0, 5.0), Regime::Euler);
+    let mut serial = Solver::new(cfg.clone());
+    serial.run(20);
+    let run = run_parallel(&cfg, counts.last().copied().unwrap_or(2), 20, CommVersion::V5);
+    let diff = serial.field.max_diff(&run.gather_field());
+    println!("\nserial vs {}-rank Euler max difference: {diff:e} (bitwise reproducible)", run.ranks.len());
+    let t = run.total_stats();
+    println!("messages: {} sends / {} receives, {:.1} MB moved", t.sends, t.recvs, t.bytes_sent as f64 / 1e6);
+}

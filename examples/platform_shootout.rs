@@ -1,0 +1,26 @@
+//! Figures 9, 10 and 13: the cross-platform comparison — Cray Y-MP, IBM SP,
+//! Cray T3D and the two ALLNODE-connected LACE halves — plus the SP load
+//! balance, regenerated from the calibrated platform simulator.
+//!
+//! ```text
+//! cargo run --release --example platform_shootout
+//! ```
+
+use ns_core::config::Regime;
+use ns_experiments::fig_platforms;
+
+fn main() {
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        let r = fig_platforms::fig9_10(regime);
+        println!("{}", r.render());
+    }
+    let r = fig_platforms::fig13();
+    println!("{}", r.table());
+    println!("busy-time bars (Figure 13):");
+    let s = &r.series[0];
+    let mx = s.points.iter().map(|&(_, y)| y).fold(0.0, f64::max);
+    for &(k, y) in &s.points {
+        let bar = "#".repeat((y / mx * 60.0).round() as usize);
+        println!("  proc {:>2} | {bar} {:.0}s", k as usize, y);
+    }
+}

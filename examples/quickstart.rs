@@ -1,0 +1,34 @@
+//! Quickstart: build the paper's solver, run a few hundred steps of the
+//! excited supersonic jet on a reduced grid, and look at the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ns_core::config::{Regime, SolverConfig};
+use ns_core::{diag, Solver};
+use ns_experiments::contour;
+use ns_numerics::Grid;
+
+fn main() {
+    // a quarter-resolution version of the paper's 250x100 domain
+    let grid = Grid::new(125, 50, 50.0, 5.0);
+    let cfg = SolverConfig::paper(grid, Regime::NavierStokes);
+    println!("grid {}x{}, dt = {:.5}, Re_D = 1.2e6, M_c = 1.5", cfg.grid.nx, cfg.grid.nr, cfg.time_step());
+
+    let mut solver = Solver::new(cfg);
+    let inv0 = solver.invariants();
+    solver.run(400);
+
+    let gas = *solver.gas();
+    let inv1 = solver.invariants();
+    println!("after {} steps (t = {:.2}):", solver.nstep, solver.t);
+    println!("  healthy            : {}", solver.healthy());
+    println!("  max Mach           : {:.3}", diag::max_mach(&solver.field, &gas));
+    println!("  mass drift         : {:+.3e}", (inv1.mass - inv0.mass) / inv0.mass);
+    println!("  FP operations      : {:.2e}", solver.ledger.total() as f64);
+
+    println!("\naxial momentum (rho u), jet core at the bottom:");
+    let momentum = diag::axial_momentum(&solver.field, &gas);
+    print!("{}", contour::ascii(&momentum, 100, 20));
+}

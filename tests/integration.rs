@@ -1,0 +1,163 @@
+//! End-to-end integration across all crates: the live solver feeds the
+//! workload model, the workload model feeds the platform simulator, and the
+//! measured runtime statistics must line up with both.
+
+use ns_archsim::{simulate, Platform, SimConfig};
+use ns_core::config::{Regime, SolverConfig};
+use ns_core::driver::Solver;
+use ns_core::workload;
+use ns_experiments::{all_reports, fig_flow};
+use ns_numerics::Grid;
+use ns_runtime::{run_parallel, CommVersion};
+
+#[test]
+fn live_runtime_and_simulator_agree_on_protocol_counts() {
+    // the same (regime, P) must produce identical start-up and byte counts
+    // in the real thread runtime and in the discrete-event simulator
+    let grid = Grid::new(64, 24, 50.0, 5.0);
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        let cfg = SolverConfig::paper(grid.clone(), regime);
+        let steps = 4u64;
+        let live = run_parallel(&cfg, 4, steps, CommVersion::V5);
+
+        let mut sim_cfg = SimConfig::paper(Platform::lace560_allnode_s(), 4, regime);
+        sim_cfg.grid = grid.clone();
+        sim_cfg.report_steps = steps;
+        sim_cfg.sim_steps = steps;
+        let sim = simulate(&sim_cfg);
+
+        for rank in 0..4 {
+            assert_eq!(
+                live.ranks[rank].stats.sends + live.ranks[rank].stats.recvs,
+                sim.startups[rank],
+                "{regime:?} rank {rank} start-ups"
+            );
+            assert_eq!(live.ranks[rank].stats.bytes_sent, sim.bytes_sent[rank], "{regime:?} rank {rank} bytes");
+        }
+    }
+}
+
+#[test]
+fn workload_model_matches_live_message_sizes() {
+    let grid = Grid::new(64, 24, 50.0, 5.0);
+    let cfg = SolverConfig::paper(grid.clone(), Regime::NavierStokes);
+    let live = run_parallel(&cfg, 4, 3, CommVersion::V5);
+    let w = workload::step_workload(Regime::NavierStokes, &grid, grid.nx / 4);
+    assert_eq!(live.ranks[1].stats.bytes_sent, w.bytes_sent_per_step(2) * 3);
+}
+
+#[test]
+fn ledger_flops_feed_the_simulator_consistently() {
+    // per-step interior flops measured by the solver == the flops the
+    // simulator charges per step (same constants, by construction — this
+    // guards against the two drifting apart)
+    let grid = Grid::new(64, 24, 50.0, 5.0);
+    let cfg = SolverConfig::paper(grid.clone(), Regime::Euler);
+    let mut s = Solver::new(cfg);
+    s.run(1);
+    let before = s.ledger;
+    s.run(2);
+    let measured = (s.ledger.prims + s.ledger.flux + s.ledger.source + s.ledger.update)
+        - (before.prims + before.flux + before.source + before.update);
+    let model = workload::step_workload(Regime::Euler, &grid, grid.nx).compute_flops() * 2;
+    let rel = (measured as f64 - model as f64).abs() / model as f64;
+    assert!(rel < 0.01, "ledger vs model: {rel}");
+}
+
+#[test]
+fn every_report_renders_with_data() {
+    for r in all_reports() {
+        assert!(!r.series.is_empty(), "{}: has series", r.title);
+        for s in &r.series {
+            assert!(!s.points.is_empty(), "{} / {}: has points", r.title, s.label);
+            for &(x, y) in &s.points {
+                assert!(x.is_finite() && y.is_finite(), "{} / {}: finite data", r.title, s.label);
+            }
+        }
+        let text = r.render();
+        assert!(text.contains(&r.title), "rendered report carries its title");
+    }
+}
+
+#[test]
+fn excited_jet_contour_is_renderable_from_parallel_run() {
+    // gather a distributed run and render its momentum plane: the full
+    // Figure 1 pipeline through the runtime crate
+    let grid = Grid::new(64, 24, 50.0, 5.0);
+    let cfg = SolverConfig::paper(grid, Regime::Euler);
+    let run = run_parallel(&cfg, 4, 30, CommVersion::V5);
+    let field = run.gather_field();
+    let gas = cfg.effective_gas();
+    let momentum = ns_core::diag::axial_momentum(&field, &gas);
+    let ascii = ns_experiments::contour::ascii(&momentum, 64, 16);
+    assert!(ascii.contains("range:"));
+    // jet core must be visibly hotter than the coflow
+    let core = momentum[(32, 0)];
+    let ambient = momentum[(32, 22)];
+    assert!(core > ambient, "core {core} vs ambient {ambient}");
+}
+
+#[test]
+fn quick_excited_jet_matches_serial_reference() {
+    let grid = Grid::new(48, 20, 50.0, 5.0);
+    let flow = fig_flow::excited_jet(grid.clone(), 25, Regime::Euler, 0.0);
+    let mut s = Solver::new(SolverConfig::paper(grid, Regime::Euler));
+    s.run(25);
+    let gas = *s.gas();
+    let reference = ns_core::diag::axial_momentum(&s.field, &gas);
+    let d = ns_numerics::norms::linf_diff(&flow.momentum, &reference);
+    assert_eq!(d, 0.0, "fig_flow wraps the same solver");
+}
+
+#[test]
+fn adaptive_checkpoint_probe_pipeline() {
+    // a production-style session: adaptive stepping, probes attached,
+    // checkpoint mid-run, resume, and the resumed run's probe samples line
+    // up with an uninterrupted reference
+    use ns_core::checkpoint::Checkpoint;
+    use ns_core::probe::ProbeArray;
+    let grid = Grid::new(48, 20, 50.0, 5.0);
+    let mut cfg = SolverConfig::paper(grid, Regime::Euler);
+    cfg.adaptive_dt = true;
+
+    let mut reference = Solver::new(cfg.clone());
+    let gas = *reference.gas();
+    let mut ref_probes = ProbeArray::new(&reference.field, &[(5.0, 1.0)]);
+    for _ in 0..12 {
+        reference.step();
+        ref_probes.sample(&reference.field, &gas, reference.t);
+    }
+
+    let mut first = Solver::new(cfg);
+    let mut probes = ProbeArray::new(&first.field, &[(5.0, 1.0)]);
+    for _ in 0..5 {
+        first.step();
+        probes.sample(&first.field, &gas, first.t);
+    }
+    let bytes = Checkpoint::capture(&first).to_bytes().unwrap();
+    let mut resumed = Checkpoint::from_bytes(&bytes).unwrap().restore();
+    for _ in 0..7 {
+        resumed.step();
+        probes.sample(&resumed.field, &gas, resumed.t);
+    }
+    assert_eq!(resumed.field.max_diff(&reference.field), 0.0, "restart transparent under adaptive dt");
+    assert_eq!(probes.len(), ref_probes.len());
+    for (a, b) in probes.series[0].p.iter().zip(&ref_probes.series[0].p) {
+        assert_eq!(a.to_bits(), b.to_bits(), "probe histories identical");
+    }
+}
+
+#[test]
+fn simulator_handles_every_platform_at_every_p() {
+    for platform in Platform::all() {
+        for p in [1usize, 3, 16] {
+            let mut cfg = SimConfig::paper(platform, p, Regime::Euler);
+            cfg.sim_steps = 3;
+            let r = simulate(&cfg);
+            assert!(r.total > 0.0, "{} P={p}", platform.name);
+            assert_eq!(r.busy.len(), p);
+            // busy time dominates over pure waiting on all healthy setups
+            assert!(r.mean_busy() > 0.0);
+        }
+    }
+}
