@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn lru_keeps_recent_lines() {
         let mut c = CacheSim::new(CacheGeometry::new(256, 64, 2)); // 2 sets x 2 ways
-        // set 0 lines: 0, 128, 256 (three lines, two ways)
+                                                                   // set 0 lines: 0, 128, 256 (three lines, two ways)
         c.access(0);
         c.access(128);
         c.access(0); // 0 is now MRU

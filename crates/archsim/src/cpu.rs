@@ -64,17 +64,35 @@ pub struct CpuSpec {
 impl CpuSpec {
     /// RS6000/560: 50 MHz, 64 KB 4-way.
     pub fn rs6000_560() -> Self {
-        Self { name: "RS6000/560", clock_hz: 50e6, cache: CacheGeometry::rs6000_560(), penalty_scale: 1.0, base_scale: 1.0 }
+        Self {
+            name: "RS6000/560",
+            clock_hz: 50e6,
+            cache: CacheGeometry::rs6000_560(),
+            penalty_scale: 1.0,
+            base_scale: 1.0,
+        }
     }
 
     /// RS6000/590: 66.5 MHz, 256 KB 4-way, 4x wider memory bus.
     pub fn rs6000_590() -> Self {
-        Self { name: "RS6000/590", clock_hz: 66.5e6, cache: CacheGeometry::rs6000_590(), penalty_scale: 0.5, base_scale: 1.0 }
+        Self {
+            name: "RS6000/590",
+            clock_hz: 66.5e6,
+            cache: CacheGeometry::rs6000_590(),
+            penalty_scale: 0.5,
+            base_scale: 1.0,
+        }
     }
 
     /// IBM SP node (RS6K/370): 62.5 MHz, 32 KB cache.
     pub fn rs6000_370() -> Self {
-        Self { name: "RS6K/370", clock_hz: 62.5e6, cache: CacheGeometry::rs6000_370(), penalty_scale: 1.2, base_scale: 1.5 }
+        Self {
+            name: "RS6K/370",
+            clock_hz: 62.5e6,
+            cache: CacheGeometry::rs6000_370(),
+            penalty_scale: 1.2,
+            base_scale: 1.5,
+        }
     }
 
     /// Cray T3D node (Alpha 21064): 150 MHz, 8 KB direct-mapped,

@@ -33,4 +33,4 @@ pub use cpu::{Calibration, CpuSpec, YmpModel};
 pub use msglib::MsgLib;
 pub use network::{NetKind, Network};
 pub use platform::Platform;
-pub use spmd::{simulate, CommMode, SimConfig, SimResult};
+pub use spmd::{simulate, simulate_traced, CommMode, SimConfig, SimResult};

@@ -49,21 +49,39 @@ impl MsgLib {
 
     /// Cray's customized PVM on the T3D: thin shim over fast hardware.
     pub fn cray_pvm() -> Self {
-        Self { name: "CrayPVM", send_overhead: 0.25e-3, recv_overhead: 0.25e-3, per_byte: 0.02e-6, blocking_send: false }
+        Self {
+            name: "CrayPVM",
+            send_overhead: 0.25e-3,
+            recv_overhead: 0.25e-3,
+            per_byte: 0.02e-6,
+            blocking_send: false,
+        }
     }
 
     /// PVM with `PvmRouteDirect`: task-to-task TCP, skipping the daemon hop
     /// (one fewer context switch and copy per side) — the standard tuning
     /// knob 1995 PVM users reached for first.
     pub fn pvm_direct() -> Self {
-        Self { name: "PVM-direct", send_overhead: 0.45e-3, recv_overhead: 0.45e-3, per_byte: 0.10e-6, blocking_send: false }
+        Self {
+            name: "PVM-direct",
+            send_overhead: 0.45e-3,
+            recv_overhead: 0.45e-3,
+            per_byte: 0.10e-6,
+            blocking_send: false,
+        }
     }
 
     /// A lean user-level library of the Active-Messages class — what the
     /// Berkeley NOW project (the paper's reference \[18\]) was building. Used
     /// by the projection study that tests the paper's concluding claim.
     pub fn lean_user_level() -> Self {
-        Self { name: "AM-class", send_overhead: 0.05e-3, recv_overhead: 0.05e-3, per_byte: 0.02e-6, blocking_send: false }
+        Self {
+            name: "AM-class",
+            send_overhead: 0.05e-3,
+            recv_overhead: 0.05e-3,
+            per_byte: 0.02e-6,
+            blocking_send: false,
+        }
     }
 
     /// Busy seconds charged to the sender for a message of `bytes`.

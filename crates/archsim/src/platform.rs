@@ -24,22 +24,46 @@ pub struct Platform {
 impl Platform {
     /// LACE lower half over dedicated Ethernet (10 Mbps).
     pub fn lace560_ethernet() -> Self {
-        Self { name: "LACE/560 Ethernet", cpu: CpuSpec::rs6000_560(), lib: MsgLib::pvm(), net: NetKind::Ethernet, max_procs: 16 }
+        Self {
+            name: "LACE/560 Ethernet",
+            cpu: CpuSpec::rs6000_560(),
+            lib: MsgLib::pvm(),
+            net: NetKind::Ethernet,
+            max_procs: 16,
+        }
     }
 
     /// LACE lower half over the ALLNODE prototype (32 Mbps/link).
     pub fn lace560_allnode_s() -> Self {
-        Self { name: "ALLNODE-S", cpu: CpuSpec::rs6000_560(), lib: MsgLib::pvm(), net: NetKind::AllnodeS, max_procs: 16 }
+        Self {
+            name: "ALLNODE-S",
+            cpu: CpuSpec::rs6000_560(),
+            lib: MsgLib::pvm(),
+            net: NetKind::AllnodeS,
+            max_procs: 16,
+        }
     }
 
     /// LACE nodes 9-24 over FDDI (100 Mbps shared).
     pub fn lace560_fddi() -> Self {
-        Self { name: "LACE/560 FDDI", cpu: CpuSpec::rs6000_560(), lib: MsgLib::pvm(), net: NetKind::Fddi, max_procs: 16 }
+        Self {
+            name: "LACE/560 FDDI",
+            cpu: CpuSpec::rs6000_560(),
+            lib: MsgLib::pvm(),
+            net: NetKind::Fddi,
+            max_procs: 16,
+        }
     }
 
     /// LACE upper half over the fast ALLNODE switch (64 Mbps/link).
     pub fn lace590_allnode_f() -> Self {
-        Self { name: "ALLNODE-F", cpu: CpuSpec::rs6000_590(), lib: MsgLib::pvm(), net: NetKind::AllnodeF, max_procs: 16 }
+        Self {
+            name: "ALLNODE-F",
+            cpu: CpuSpec::rs6000_590(),
+            lib: MsgLib::pvm(),
+            net: NetKind::AllnodeF,
+            max_procs: 16,
+        }
     }
 
     /// LACE upper half over ATM (155 Mbps).
@@ -49,12 +73,24 @@ impl Platform {
 
     /// IBM SP with the native MPL library.
     pub fn ibm_sp_mpl() -> Self {
-        Self { name: "IBM SP (MPL)", cpu: CpuSpec::rs6000_370(), lib: MsgLib::mpl(), net: NetKind::SpSwitch, max_procs: 16 }
+        Self {
+            name: "IBM SP (MPL)",
+            cpu: CpuSpec::rs6000_370(),
+            lib: MsgLib::mpl(),
+            net: NetKind::SpSwitch,
+            max_procs: 16,
+        }
     }
 
     /// IBM SP with PVMe.
     pub fn ibm_sp_pvme() -> Self {
-        Self { name: "IBM SP (PVMe)", cpu: CpuSpec::rs6000_370(), lib: MsgLib::pvme(), net: NetKind::SpSwitch, max_procs: 16 }
+        Self {
+            name: "IBM SP (PVMe)",
+            cpu: CpuSpec::rs6000_370(),
+            lib: MsgLib::pvme(),
+            net: NetKind::SpSwitch,
+            max_procs: 16,
+        }
     }
 
     /// Cray T3D with Cray's PVM.

@@ -19,6 +19,7 @@ use crate::platform::Platform;
 use ns_core::config::{Regime, Version};
 use ns_core::workload::{self, Decomposition, PhaseOp};
 use ns_numerics::Grid;
+use ns_telemetry::{EventKind, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -128,13 +129,7 @@ impl SimResult {
 
 /// Compile one rank's per-step program into low-level events.
 #[allow(clippy::too_many_arguments)]
-fn compile_rank(
-    cal: &Calibration,
-    cpu: &CpuSpec,
-    lib: &MsgLib,
-    cfg: &SimConfig,
-    rank: usize,
-) -> Vec<Ev> {
+fn compile_rank(cal: &Calibration, cpu: &CpuSpec, lib: &MsgLib, cfg: &SimConfig, rank: usize) -> Vec<Ev> {
     let left = (rank > 0).then(|| rank - 1);
     let right = (rank + 1 < cfg.nprocs).then_some(rank + 1);
     // local block length along the decomposed direction, and the local
@@ -177,7 +172,8 @@ fn compile_rank(
             PhaseOp::ExchangePrims { bytes } => {
                 // Version 6: overlap this wait with the interior part of the
                 // flux phase that follows.
-                let next_is_flux = matches!(ops.get(k + 1), Some(PhaseOp::Compute { label, .. }) if label.contains("flux"));
+                let next_is_flux =
+                    matches!(ops.get(k + 1), Some(PhaseOp::Compute { label, .. }) if label.contains("flux"));
                 if cfg.comm == CommMode::V6 && next_is_flux {
                     let Some(PhaseOp::Compute { label, flops }) = ops.get(k + 1) else { unreachable!() };
                     let flux_time = busy_for(*flops) * V6_SPLIT_PENALTY;
@@ -217,6 +213,20 @@ const V6_SPLIT_PENALTY: f64 = 1.06;
 
 /// Run the discrete-event simulation.
 pub fn simulate(cfg: &SimConfig) -> SimResult {
+    simulate_impl(cfg, false).0
+}
+
+/// Run the simulation and also return the virtual-time event trace: the
+/// same [`TraceEvent`] schema the live runtime records, so the simulated
+/// timeline opens in the same viewers (JSONL, Chrome `trace_event`, the
+/// ASCII Gantt). Timestamps are virtual microseconds over the `sim_steps`
+/// horizon — unlike the aggregate numbers in [`SimResult`], the trace is
+/// *not* scaled up to `report_steps`.
+pub fn simulate_traced(cfg: &SimConfig) -> (SimResult, Vec<TraceEvent>) {
+    simulate_impl(cfg, true)
+}
+
+fn simulate_impl(cfg: &SimConfig, traced: bool) -> (SimResult, Vec<TraceEvent>) {
     assert!(cfg.nprocs >= 1 && cfg.nprocs <= cfg.platform.max_procs, "processor count out of range");
     assert!(cfg.sim_steps >= 1 && cfg.sim_steps <= cfg.report_steps);
     let cal = Calibration::standard();
@@ -248,6 +258,8 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
     let mut inflight: Vec<VecDeque<f64>> = vec![VecDeque::new(); cfg.nprocs * cfg.nprocs];
     let key = |src: usize, dst: usize| src * cfg.nprocs + dst;
     let mut phase_seconds: std::collections::BTreeMap<&'static str, f64> = std::collections::BTreeMap::new();
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    let us = |secs: f64| (secs * 1e6).round() as u64;
 
     loop {
         // pick the earliest runnable process
@@ -265,41 +277,74 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
             }
         }
         let Some(idx) = pick else {
-            assert!(
-                procs.iter().all(|p| p.pc >= p.evs.len()),
-                "deadlock: some rank blocked on a message never sent"
-            );
+            assert!(procs.iter().all(|p| p.pc >= p.evs.len()), "deadlock: some rank blocked on a message never sent");
             break;
         };
         let ev = procs[idx].evs[procs[idx].pc];
         procs[idx].pc += 1;
         match ev {
             Ev::Busy { secs: t, label } => {
+                let now = procs[idx].clock;
                 procs[idx].clock += t;
                 procs[idx].busy += t;
                 *phase_seconds.entry(label).or_insert(0.0) += t;
+                if traced {
+                    trace.push(TraceEvent {
+                        t_us: us(now),
+                        dur_us: us(t),
+                        rank: idx,
+                        kind: EventKind::Phase,
+                        label: label.to_string(),
+                        peer: None,
+                        bytes: 0,
+                    });
+                }
             }
             Ev::Send { to, bytes } => {
                 let now = procs[idx].clock;
                 let delivery = net.transfer(now, idx, to, bytes);
                 procs[idx].startups += 1;
                 procs[idx].bytes_sent += bytes;
+                let mut stall = 0.0;
                 if lib.blocking_send {
                     // the CPU spins in the library until the wire is done —
                     // measured as *busy* time by the paper's instrumentation
-                    let stall = (delivery - now).max(0.0);
+                    stall = (delivery - now).max(0.0);
                     procs[idx].busy += stall;
                     procs[idx].clock = now.max(delivery);
                     *phase_seconds.entry("comm:stall").or_insert(0.0) += stall;
                 }
                 inflight[key(idx, to)].push_back(delivery);
+                if traced {
+                    trace.push(TraceEvent {
+                        t_us: us(now),
+                        dur_us: us(stall),
+                        rank: idx,
+                        kind: EventKind::Send,
+                        label: "msg".to_string(),
+                        peer: Some(to),
+                        bytes,
+                    });
+                }
             }
             Ev::Recv { from } => {
                 let delivery = inflight[key(from, idx)].pop_front().expect("runnable recv");
                 procs[idx].startups += 1;
-                if delivery > procs[idx].clock {
-                    procs[idx].wait += delivery - procs[idx].clock;
+                let now = procs[idx].clock;
+                if delivery > now {
+                    procs[idx].wait += delivery - now;
                     procs[idx].clock = delivery;
+                }
+                if traced {
+                    trace.push(TraceEvent {
+                        t_us: us(now),
+                        dur_us: us((delivery - now).max(0.0)),
+                        rank: idx,
+                        kind: EventKind::Recv,
+                        label: "msg".to_string(),
+                        peer: Some(from),
+                        bytes: 0,
+                    });
                 }
             }
         }
@@ -310,14 +355,20 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
     for v in phase_seconds.values_mut() {
         *v *= scale;
     }
-    SimResult {
-        total,
-        busy: procs.iter().map(|p| p.busy * scale).collect(),
-        wait: procs.iter().map(|p| p.wait * scale).collect(),
-        startups: procs.iter().map(|p| (p.startups as f64 * scale) as u64).collect(),
-        bytes_sent: procs.iter().map(|p| (p.bytes_sent as f64 * scale) as u64).collect(),
-        phase_seconds,
+    if traced {
+        trace.sort_by_key(|e| (e.t_us, e.rank));
     }
+    (
+        SimResult {
+            total,
+            busy: procs.iter().map(|p| p.busy * scale).collect(),
+            wait: procs.iter().map(|p| p.wait * scale).collect(),
+            startups: procs.iter().map(|p| (p.startups as f64 * scale) as u64).collect(),
+            bytes_sent: procs.iter().map(|p| (p.bytes_sent as f64 * scale) as u64).collect(),
+            phase_seconds,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]
@@ -351,8 +402,10 @@ mod tests {
 
     #[test]
     fn ethernet_gets_worse_past_its_peak() {
-        let times: Vec<f64> =
-            [4, 8, 12, 16].iter().map(|&p| quick(Platform::lace560_ethernet(), p, Regime::NavierStokes).total).collect();
+        let times: Vec<f64> = [4, 8, 12, 16]
+            .iter()
+            .map(|&p| quick(Platform::lace560_ethernet(), p, Regime::NavierStokes).total)
+            .collect();
         // paper: N-S Ethernet peaks around 8 processors, then degrades
         let t8 = times[1];
         let t16 = times[3];
@@ -404,6 +457,25 @@ mod tests {
         // (6.7% compute imbalance) and the edge ranks do half the message
         // work; the distribution must still be tight
         assert!((mx - mn) / mx < 0.2, "busy spread {mn}..{mx}");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_covers_all_ranks() {
+        let mut cfg = SimConfig::paper(Platform::lace560_allnode_s(), 4, Regime::NavierStokes);
+        cfg.sim_steps = 3;
+        let plain = simulate(&cfg);
+        let (traced, trace) = simulate_traced(&cfg);
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        assert!(!trace.is_empty());
+        assert!(trace.windows(2).all(|w| w[0].t_us <= w[1].t_us), "sorted by start");
+        for rank in 0..4 {
+            assert!(trace.iter().any(|e| e.rank == rank && e.kind == ns_telemetry::EventKind::Phase));
+        }
+        // interior ranks exchange with both neighbours
+        assert!(trace.iter().any(|e| e.rank == 1 && e.kind == ns_telemetry::EventKind::Send && e.peer == Some(2)));
+        assert!(trace.iter().any(|e| e.rank == 1 && e.kind == ns_telemetry::EventKind::Recv && e.peer == Some(0)));
+        // phase labels on the timeline use the shared vocabulary
+        assert!(trace.iter().any(|e| e.label == "x:flux"));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use ns_archsim::network::{Network, SharedBus, Torus3d};
 use ns_archsim::{simulate, CacheGeometry, CacheSim, CommMode, NetKind, Platform, SimConfig};
 use ns_core::config::Regime;
+use ns_core::workload::Decomposition;
 use proptest::prelude::*;
 
 proptest! {
@@ -141,6 +142,35 @@ proptest! {
             let neighbors = usize::from(k > 0) + usize::from(k + 1 < p);
             prop_assert_eq!(s, (8 * neighbors) as u64 * cfg.sim_steps, "rank {}", k);
         }
+    }
+
+    /// The per-phase attribution is exhaustive: `phase_seconds` summed over
+    /// labels equals busy time summed over ranks (blocking-send stalls are
+    /// charged to `comm:stall` *and* to busy, so both sides agree) for random
+    /// decompositions, comm modes and P ∈ {2, 4, 8, 16}.
+    #[test]
+    fn phase_seconds_sum_to_total_busy(
+        pidx in 0usize..4,
+        which in 0usize..8,
+        viscous in prop::bool::ANY,
+        radial in prop::bool::ANY,
+        mode in 0usize..3,
+    ) {
+        let platform = Platform::all()[which];
+        let p = [2usize, 4, 8, 16][pidx].min(platform.max_procs);
+        let regime = if viscous { Regime::NavierStokes } else { Regime::Euler };
+        let mut cfg = SimConfig::paper(platform, p, regime);
+        cfg.sim_steps = 2;
+        cfg.decomposition = if radial { Decomposition::Radial } else { Decomposition::Axial };
+        cfg.comm = [CommMode::V5, CommMode::V6, CommMode::V7][mode];
+        let r = simulate(&cfg);
+        let busy: f64 = r.busy.iter().sum();
+        let phases: f64 = r.phase_seconds.values().sum();
+        prop_assert!(
+            (phases - busy).abs() <= 1e-9 * busy.max(1.0),
+            "phase sum {phases} vs busy sum {busy} on {}",
+            platform.name
+        );
     }
 
     /// V7 moves exactly the same volume as V5 with strictly more start-ups;

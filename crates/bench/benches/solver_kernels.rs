@@ -80,6 +80,16 @@ fn bench_operators(c: &mut Criterion) {
         g.bench_function(format!("r_operator_{}", regime.name()), |b| {
             b.iter(|| scheme::r_operator(Variant::L1, &mut field, &mut ws, &cfg, &gas, dt, &mut ledger))
         });
+        // same operator with phase attribution armed: the difference against
+        // the rows above is the telemetry-on cost; the disabled-timer cost
+        // (one branch per phase switch) is below run-to-run noise
+        ws.timers.enable();
+        g.bench_function(format!("x_operator_timed_{}", regime.name()), |b| {
+            b.iter(|| {
+                scheme::x_operator(Variant::L1, &mut field, &mut ws, &cfg, &gas, &mut NoHalo, 0.0, dt, &mut ledger)
+            })
+        });
+        ws.timers = Default::default();
     }
     g.finish();
 }

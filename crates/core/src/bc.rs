@@ -162,13 +162,7 @@ pub fn fill_rflux_ghosts(flux: &mut FluxField, nxl: usize, nr: usize, ledger: &m
 /// Amplitude variations are evaluated with second-order one-sided interior
 /// derivatives; for subsonic outflow the incoming amplitude is zeroed
 /// (`p_t - rho c u_t = 0`), for supersonic outflow all are upwinded.
-pub fn outflow_characteristic(
-    field: &mut Field,
-    prim: &PrimField,
-    gas: &GasModel,
-    dt: f64,
-    ledger: &mut FlopLedger,
-) {
+pub fn outflow_characteristic(field: &mut Field, prim: &PrimField, gas: &GasModel, dt: f64, ledger: &mut FlopLedger) {
     debug_assert!(field.patch.is_global_right());
     let nxl = field.nxl();
     let nr = field.nr();
@@ -179,7 +173,8 @@ pub fn outflow_characteristic(
 
     for j in 0..nr {
         let jj = j + NG;
-        let one_sided = |a: &Array2| -> f64 { (3.0 * a.at(ii, jj) - 4.0 * a.at(ii - 1, jj) + a.at(ii - 2, jj)) * inv_2dx };
+        let one_sided =
+            |a: &Array2| -> f64 { (3.0 * a.at(ii, jj) - 4.0 * a.at(ii - 1, jj) + a.at(ii - 2, jj)) * inv_2dx };
         let rho = prim.rho.at(ii, jj);
         let u = prim.u.at(ii, jj);
         let v = prim.v.at(ii, jj);
@@ -211,11 +206,7 @@ pub fn outflow_characteristic(
 
         let r = field.patch.r(j);
         let q = field.qvec(i, j);
-        field.set_qvec(
-            i,
-            j,
-            [q[0] + dt * r * rho_t, q[1] + dt * r * m_t, q[2] + dt * r * n_t, q[3] + dt * r * e_t],
-        );
+        field.set_qvec(i, j, [q[0] + dt * r * rho_t, q[1] + dt * r * m_t, q[2] + dt * r * n_t, q[3] + dt * r * e_t]);
     }
     ledger.boundary += nr as u64 * 64;
 }

@@ -159,7 +159,11 @@ mod tests {
         // which only happens if nstep survives the roundtrip
         let mut a = solver();
         a.run(3);
-        let mut b = Checkpoint::capture(&a).to_bytes().and_then(|v| Checkpoint::from_bytes(&v)).map(Checkpoint::restore).unwrap();
+        let mut b = Checkpoint::capture(&a)
+            .to_bytes()
+            .and_then(|v| Checkpoint::from_bytes(&v))
+            .map(Checkpoint::restore)
+            .unwrap();
         a.run(1);
         b.run(1);
         assert_eq!(a.field.max_diff(&b.field), 0.0);

@@ -42,37 +42,61 @@ pub fn pressure(field: &Field, gas: &GasModel) -> Array2 {
     field.map_interior(gas, |w| w.p)
 }
 
+/// All stability watchdogs, gathered in one pass over the interior.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Watchdogs {
+    /// Maximum Mach number.
+    pub max_mach: f64,
+    /// Maximum convective+acoustic wave speed `max(|u| + c, |v| + c)` —
+    /// the CFL-limiting signal speed.
+    pub max_wave_speed: f64,
+    /// Minimum density (positivity watchdog).
+    pub min_rho: f64,
+    /// Minimum pressure (positivity watchdog).
+    pub min_p: f64,
+    /// False when any interior primitive is NaN/inf. The extrema above
+    /// cannot signal this themselves: `f64::max`/`min` silently drop NaNs.
+    pub finite: bool,
+}
+
+/// Compute every watchdog in a single sweep. The health monitor samples
+/// this each cadence step, so the point of fusing the passes is to pay for
+/// one `primitive()` decode per cell instead of three.
+pub fn watchdogs(field: &Field, gas: &GasModel) -> Watchdogs {
+    let mut max_mach = 0.0f64;
+    let mut wave = 0.0f64;
+    let mut rho = f64::INFINITY;
+    let mut p = f64::INFINITY;
+    let mut finite = true;
+    for i in 0..field.nxl() {
+        for j in 0..field.nr() {
+            let w = field.primitive(i, j, gas);
+            let c = w.sound_speed(gas);
+            max_mach = max_mach.max(w.mach(gas).abs());
+            wave = wave.max(w.u.abs() + c).max(w.v.abs() + c);
+            rho = rho.min(w.rho);
+            p = p.min(w.p);
+            finite = finite && w.rho.is_finite() && w.u.is_finite() && w.v.is_finite() && w.p.is_finite();
+        }
+    }
+    Watchdogs { max_mach, max_wave_speed: wave, min_rho: rho, min_p: p, finite }
+}
+
 /// Maximum Mach number over the interior (stability watchdog).
 pub fn max_mach(field: &Field, gas: &GasModel) -> f64 {
-    mach(field, gas).max_abs()
+    watchdogs(field, gas).max_mach
 }
 
 /// Maximum convective+acoustic wave speed over the interior,
 /// `max(|u| + c, |v| + c)` — the CFL-limiting signal speed.
 pub fn max_wave_speed(field: &Field, gas: &GasModel) -> f64 {
-    let mut m = 0.0f64;
-    for i in 0..field.nxl() {
-        for j in 0..field.nr() {
-            let w = field.primitive(i, j, gas);
-            let c = w.sound_speed(gas);
-            m = m.max(w.u.abs() + c).max(w.v.abs() + c);
-        }
-    }
-    m
+    watchdogs(field, gas).max_wave_speed
 }
 
 /// Minimum density and pressure (positivity watchdog).
 pub fn min_rho_p(field: &Field, gas: &GasModel) -> (f64, f64) {
-    let mut rho = f64::INFINITY;
-    let mut p = f64::INFINITY;
-    for i in 0..field.nxl() {
-        for j in 0..field.nr() {
-            let w = field.primitive(i, j, gas);
-            rho = rho.min(w.rho);
-            p = p.min(w.p);
-        }
-    }
-    (rho, p)
+    let w = watchdogs(field, gas);
+    (w.min_rho, w.min_p)
 }
 
 #[cfg(test)]
@@ -117,5 +141,36 @@ mod tests {
         assert!((max_mach(&f, &gas) - 1.5).abs() < 1e-9);
         let (rho, p) = min_rho_p(&f, &gas);
         assert!(rho > 0.9 && p > 0.0);
+    }
+
+    #[test]
+    fn fused_watchdogs_match_individual_passes() {
+        let gas = GasModel::air(1.2e6, 1.5);
+        let f = Field::from_primitives(Patch::whole(Grid::small()), &gas, |x, r| Primitive {
+            rho: 1.0 + 0.1 * (x + r),
+            u: if r < 1.0 { 1.5 } else { 0.1 * x },
+            v: 0.05 * r,
+            p: gas.pressure(1.0, 1.0) * (1.0 + 0.05 * x),
+        });
+        let w = watchdogs(&f, &gas);
+        assert!(w.finite);
+        assert_eq!(w.max_mach, mach(&f, &gas).max_abs());
+        assert!(w.max_wave_speed > 0.0);
+        assert!(w.min_rho > 0.0 && w.min_p > 0.0);
+        assert_eq!((w.min_rho, w.min_p), min_rho_p(&f, &gas));
+    }
+
+    #[test]
+    fn watchdogs_flag_non_finite_values() {
+        let gas = GasModel::air(1.2e6, 1.5);
+        let mut f = Field::from_primitives(Patch::whole(Grid::small()), &gas, |_, _| Primitive {
+            rho: 1.0,
+            u: 0.5,
+            v: 0.0,
+            p: gas.pressure(1.0, 1.0),
+        });
+        assert!(watchdogs(&f, &gas).finite);
+        f.set(1, 2, 2, f64::NAN);
+        assert!(!watchdogs(&f, &gas).finite);
     }
 }

@@ -110,8 +110,11 @@ impl Solver {
     pub fn step_with_halo(&mut self, halo: &mut dyn XHalo) {
         let cfg = self.cfg.clone();
         if cfg.adaptive_dt {
+            self.ws.timers.start("diag:watchdog");
             let local = diag::max_wave_speed(&self.field, &self.gas);
+            self.ws.timers.start("comm:reduce");
             let global = halo.reduce_max(local);
+            self.ws.timers.pause();
             self.dt = cfg.cfl * self.cfg.grid.dx.min(self.cfg.grid.dr) / global;
             self.ledger.boundary += (self.field.nxl() * self.field.nr()) as u64 * 6;
         }
@@ -144,6 +147,7 @@ impl Solver {
             );
             scheme::r_operator(Variant::L2, &mut self.field, &mut self.ws, &cfg, &self.gas, dt, &mut self.ledger);
         }
+        self.ws.timers.start("bc:step");
         if self.field.patch.is_global_left() {
             bc::apply_inflow(&mut self.field, &cfg, &self.gas, t + dt, &mut self.ledger);
         }
@@ -155,6 +159,7 @@ impl Solver {
             );
             dissipation::apply_about(&mut self.field, self.base.as_deref(), cfg.dissipation, &mut self.ledger);
         }
+        self.ws.timers.pause();
         self.t += dt;
         self.nstep += 1;
     }
@@ -166,18 +171,74 @@ impl Solver {
         }
     }
 
+    /// Advance up to `n` steps serially, sampling the watchdogs into `mon`
+    /// on its cadence and stopping early the moment a sample violates the
+    /// limits. Returns the number of steps actually taken.
+    pub fn run_monitored(&mut self, n: u64, mon: &mut ns_telemetry::HealthMonitor) -> u64 {
+        if mon.due(self.nstep) && !mon.observe(self.health_sample()) {
+            return 0;
+        }
+        let mut taken = 0;
+        for _ in 0..n {
+            self.step();
+            taken += 1;
+            if mon.due(self.nstep) && !mon.observe(self.health_sample()) {
+                break;
+            }
+        }
+        taken
+    }
+
+    /// Turn on phase accumulation (see [`ns_telemetry::PhaseTimer`]).
+    pub fn enable_phase_timing(&mut self) {
+        self.ws.timers.enable();
+    }
+
+    /// Turn on phase accumulation *and* timestamped span recording against
+    /// the shared origin `t0`.
+    pub fn enable_phase_trace(&mut self, t0: std::time::Instant) {
+        self.ws.timers.enable_traced(t0);
+    }
+
+    /// The accumulated per-phase costs so far.
+    pub fn phase_ledger(&self) -> &ns_telemetry::PhaseLedger {
+        &self.ws.timers.ledger
+    }
+
+    /// Take the accumulated phase ledger and spans, leaving the timer
+    /// running with empty accumulators.
+    pub fn take_phase_telemetry(&mut self) -> (ns_telemetry::PhaseLedger, Vec<ns_telemetry::PhaseEvent>) {
+        self.ws.timers.take()
+    }
+
     /// Integrated invariants of the current state.
     pub fn invariants(&self) -> diag::Invariants {
         diag::invariants(&self.field)
     }
 
+    /// One watchdog sample of the current state (all diagnostics gathered
+    /// by the fused [`diag::watchdogs`] pass plus the invariants).
+    pub fn health_sample(&self) -> ns_telemetry::HealthSample {
+        let w = diag::watchdogs(&self.field, &self.gas);
+        let inv = diag::invariants(&self.field);
+        ns_telemetry::HealthSample {
+            step: self.nstep,
+            t: self.t,
+            dt: self.dt,
+            max_mach: w.max_mach,
+            max_wave_speed: w.max_wave_speed,
+            min_rho: w.min_rho,
+            min_p: w.min_p,
+            mass: inv.mass,
+            energy: inv.energy,
+            finite: w.finite,
+        }
+    }
+
     /// True while the state is finite and positivity holds.
     pub fn healthy(&self) -> bool {
-        if !self.field.interior_finite() {
-            return false;
-        }
-        let (rho, p) = diag::min_rho_p(&self.field, &self.gas);
-        rho > 0.0 && p > 0.0
+        let w = diag::watchdogs(&self.field, &self.gas);
+        w.finite && w.min_rho > 0.0 && w.min_p > 0.0
     }
 }
 
@@ -271,6 +332,53 @@ mod tests {
         let wave = diag::max_wave_speed(&s.field, &gas);
         let cfl_eff = s.dt() * wave / s.cfg.grid.dx.min(s.cfg.grid.dr);
         assert!(cfl_eff <= s.cfg.cfl * 1.0001, "effective CFL {cfl_eff}");
+    }
+
+    #[test]
+    fn monitored_run_samples_on_cadence_and_times_phases() {
+        let cfg = SolverConfig::paper(Grid::small(), Regime::Euler);
+        let mut s = Solver::new(cfg);
+        s.enable_phase_timing();
+        let mut mon = ns_telemetry::HealthMonitor::new(ns_telemetry::HealthConfig { cadence: 5, ..Default::default() });
+        let taken = s.run_monitored(10, &mut mon);
+        assert_eq!(taken, 10);
+        assert!(mon.healthy());
+        // sampled at steps 0, 5, 10
+        assert_eq!(mon.samples.len(), 3);
+        assert!(mon.samples[2].max_mach > 1.0);
+        // every workload-model phase label showed up in the measured ledger
+        let ledger = s.phase_ledger();
+        for label in [
+            "r:prims",
+            "r:flux",
+            "r:predict",
+            "r:prims2",
+            "r:flux2",
+            "r:correct",
+            "x:prims",
+            "x:flux",
+            "x:predict",
+            "x:prims2",
+            "x:flux2",
+            "x:correct",
+            "bc:step",
+        ] {
+            assert!(ledger.by_label.contains_key(label), "missing phase {label}");
+        }
+        assert!(ledger.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn monitored_run_aborts_on_violated_limits() {
+        let cfg = SolverConfig::paper(Grid::small(), Regime::Euler);
+        let mut s = Solver::new(cfg);
+        let mut limits = ns_telemetry::HealthLimits::default();
+        limits.max_mach = 0.1; // the jet core is Mach 1.5: instant violation
+        let mut mon = ns_telemetry::HealthMonitor::new(ns_telemetry::HealthConfig { cadence: 1, limits });
+        let taken = s.run_monitored(10, &mut mon);
+        assert_eq!(taken, 0, "step-0 sample must already abort");
+        assert!(!mon.healthy());
+        assert!(mon.abort.as_deref().unwrap().contains("Mach"));
     }
 
     #[test]

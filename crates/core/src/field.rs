@@ -304,6 +304,9 @@ pub struct Workspace {
     pub src: Array2,
     /// Predictor-stage source.
     pub src_bar: Array2,
+    /// Phase profiler threaded through the operators (off by default, so
+    /// the uninstrumented path pays one branch per phase boundary).
+    pub timers: ns_telemetry::PhaseTimer,
 }
 
 impl Workspace {
@@ -316,6 +319,7 @@ impl Workspace {
             qbar: Field::zeros(patch.clone()),
             src: Array2::zeros(patch.nxl + 2 * NG, patch.nr() + 2 * NG),
             src_bar: Array2::zeros(patch.nxl + 2 * NG, patch.nr() + 2 * NG),
+            timers: ns_telemetry::PhaseTimer::default(),
         }
     }
 }
@@ -411,9 +415,7 @@ mod tests {
     fn max_diff_detects_perturbation() {
         let patch = Patch::whole(Grid::small());
         let g = gas();
-        let mk = || {
-            Field::from_primitives(patch.clone(), &g, |_, _| Primitive { rho: 1.0, u: 0.1, v: 0.0, p: 0.7 })
-        };
+        let mk = || Field::from_primitives(patch.clone(), &g, |_, _| Primitive { rho: 1.0, u: 0.1, v: 0.0, p: 0.7 });
         let a = mk();
         let mut b = mk();
         assert_eq!(a.max_diff(&b), 0.0);

@@ -63,12 +63,7 @@ pub fn right_eigenvectors_x(w: &Primitive, gas: &GasModel) -> Mat4 {
     let e = gas.total_energy(w.rho, u, v, w.p);
     let h = (e + w.p) / w.rho;
     // columns: acoustic-, entropy, shear, acoustic+
-    let cols = [
-        [1.0, u - c, v, h - u * c],
-        [1.0, u, v, q2h],
-        [0.0, 0.0, 1.0, v],
-        [1.0, u + c, v, h + u * c],
-    ];
+    let cols = [[1.0, u - c, v, h - u * c], [1.0, u, v, q2h], [0.0, 0.0, 1.0, v], [1.0, u + c, v, h + u * c]];
     // transpose columns into a row-major matrix
     std::array::from_fn(|i| std::array::from_fn(|j| cols[j][i]))
 }

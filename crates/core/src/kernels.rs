@@ -58,13 +58,7 @@ impl EdgeFlags {
 
 /// Recover primitives `rho, u, v, p, T` from the r-weighted conservative
 /// field on the interior `[0, nxl) x [0, nr)`.
-pub fn compute_prims(
-    version: Version,
-    field: &Field,
-    prim: &mut PrimField,
-    gas: &GasModel,
-    ledger: &mut FlopLedger,
-) {
+pub fn compute_prims(version: Version, field: &Field, prim: &mut PrimField, gas: &GasModel, ledger: &mut FlopLedger) {
     match version {
         Version::V1 => prims_indexed::<true, false, true>(field, prim, gas),
         Version::V2 => prims_indexed::<false, false, true>(field, prim, gas),
@@ -92,7 +86,8 @@ fn prims_indexed<const POWF: bool, const RECIP: bool, const IINNER: bool>(
 
     let mut body = |i: usize, j: usize| {
         let (ii, jj) = (i + NG, j + NG);
-        let (q0, q1, q2, q3) = (field.q[0].at(ii, jj), field.q[1].at(ii, jj), field.q[2].at(ii, jj), field.q[3].at(ii, jj));
+        let (q0, q1, q2, q3) =
+            (field.q[0].at(ii, jj), field.q[1].at(ii, jj), field.q[2].at(ii, jj), field.q[3].at(ii, jj));
         let (rho, mx, mr, e) = if RECIP {
             let w = inv_r[j];
             (q0 * w, q1 * w, q2 * w, q3 * w)
@@ -531,7 +526,17 @@ mod tests {
             for dir in [FluxDir::X, FluxDir::R] {
                 let mut reference = FluxField::zeros(&patch);
                 let mut src_ref = Array2::zeros(patch.nxl + 2 * NG, patch.nr() + 2 * NG);
-                compute_flux(Version::V5, dir, &prim, &patch, edges, &gas, &mut reference, Some(&mut src_ref), &mut ledger);
+                compute_flux(
+                    Version::V5,
+                    dir,
+                    &prim,
+                    &patch,
+                    edges,
+                    &gas,
+                    &mut reference,
+                    Some(&mut src_ref),
+                    &mut ledger,
+                );
                 for v in Version::ALL {
                     let mut flux = FluxField::zeros(&patch);
                     let mut src = Array2::zeros(patch.nxl + 2 * NG, patch.nr() + 2 * NG);
@@ -539,7 +544,8 @@ mod tests {
                     for c in 0..4 {
                         for i in 0..patch.nxl {
                             for j in 0..patch.nr() {
-                                let d = (flux.at(c, i as isize, j as isize) - reference.at(c, i as isize, j as isize)).abs();
+                                let d = (flux.at(c, i as isize, j as isize) - reference.at(c, i as isize, j as isize))
+                                    .abs();
                                 assert!(d < 1e-11, "{regime:?} {v:?} {dir:?} comp {c} at ({i},{j}): {d}");
                             }
                         }
@@ -589,7 +595,17 @@ mod tests {
         fill_ghost_rows(&mut prim, patch.nxl, patch.nr());
         let mut flux = FluxField::zeros(&patch);
         let mut src = Array2::zeros(patch.nxl + 2 * NG, patch.nr() + 2 * NG);
-        compute_flux(Version::V5, FluxDir::R, &prim, &patch, EdgeFlags::of(&patch), &gas, &mut flux, Some(&mut src), &mut ledger);
+        compute_flux(
+            Version::V5,
+            FluxDir::R,
+            &prim,
+            &patch,
+            EdgeFlags::of(&patch),
+            &gas,
+            &mut flux,
+            Some(&mut src),
+            &mut ledger,
+        );
         // source reduces to p alone
         for i in 0..patch.nxl {
             for j in 0..patch.nr() {

@@ -72,24 +72,14 @@ pub fn stresses(gas: &GasModel, d: &Derivs, v_over_r: f64) -> Stresses {
 #[inline(always)]
 pub fn xflux(rho: f64, u: f64, v: f64, p: f64, e: f64, s: &Stresses) -> [f64; 4] {
     let m = rho * u;
-    [
-        m,
-        m * u + p - s.txx,
-        m * v - s.txr,
-        (e + p) * u - u * s.txx - v * s.txr + s.qx,
-    ]
+    [m, m * u + p - s.txx, m * v - s.txr, (e + p) * u - u * s.txx - v * s.txr + s.qx]
 }
 
 /// Unweighted radial flux `g` (multiply by `r` for the paper's `G`).
 #[inline(always)]
 pub fn rflux(rho: f64, u: f64, v: f64, p: f64, e: f64, s: &Stresses) -> [f64; 4] {
     let n = rho * v;
-    [
-        n,
-        n * u - s.txr,
-        n * v + p - s.trr,
-        (e + p) * v - u * s.txr - v * s.trr + s.qr,
-    ]
+    [n, n * u - s.txr, n * v + p - s.trr, (e + p) * v - u * s.txr - v * s.trr + s.qr]
 }
 
 /// The radial source term `S = (0, 0, p - t_theta_theta, 0)`; only the third

@@ -96,7 +96,13 @@ pub fn x_operator(
     let lam = dt / (6.0 * patch.grid.dx);
     let viscous = !gas.is_inviscid();
 
+    // Phase attribution uses the labels of `crate::workload`, so measured
+    // breakdowns line up with the simulator's. The timer is paused around
+    // every halo call: exchange time belongs to the runtime's communication
+    // accounting, not to a compute phase.
+
     // --- stage 1: fluxes of Q^n -------------------------------------------
+    ws.timers.start("x:prims");
     kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
     bc::mirror_prims_axis(&mut ws.prim);
     bc::extrap_prims_top(&mut ws.prim, nr);
@@ -105,13 +111,52 @@ pub fn x_operator(
     // edge columns. With an overlapping transport this is exactly the
     // paper's Version 6; with a plain transport (or serially) it degenerates
     // to exchange-then-compute (Version 5) with identical arithmetic.
+    ws.timers.pause();
     halo.post_prims(&mut ws.prim);
     let (flo, fhi) = (usize::from(!edges.left), nxl - usize::from(!edges.right));
-    kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux, None, flo..fhi, ledger);
+    ws.timers.start("x:flux");
+    kernels::compute_flux_range(
+        cfg.version,
+        FluxDir::X,
+        &ws.prim,
+        &patch,
+        edges,
+        gas,
+        &mut ws.flux,
+        None,
+        flo..fhi,
+        ledger,
+    );
+    ws.timers.pause();
     halo.finish_prims(&mut ws.prim);
-    kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux, None, 0..flo, ledger);
-    kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux, None, fhi..nxl, ledger);
+    ws.timers.start("x:flux");
+    kernels::compute_flux_range(
+        cfg.version,
+        FluxDir::X,
+        &ws.prim,
+        &patch,
+        edges,
+        gas,
+        &mut ws.flux,
+        None,
+        0..flo,
+        ledger,
+    );
+    kernels::compute_flux_range(
+        cfg.version,
+        FluxDir::X,
+        &ws.prim,
+        &patch,
+        edges,
+        gas,
+        &mut ws.flux,
+        None,
+        fhi..nxl,
+        ledger,
+    );
+    ws.timers.pause();
     halo.exchange_flux(&mut ws.flux);
+    ws.timers.start("x:flux");
     bc::extrap_flux_x(&mut ws.flux, nxl, nr, edges.left, edges.right, ledger);
 
     // Characteristic outflow update of the owned global-right column, from
@@ -121,6 +166,7 @@ pub fn x_operator(
     }
 
     // --- predictor ----------------------------------------------------------
+    ws.timers.start("x:predict");
     let istart = usize::from(edges.left);
     let iend = nxl - usize::from(edges.right);
     predictor_x(variant, field, &ws.flux, &mut ws.qbar, istart, iend, nr, lam, cfg, ledger);
@@ -134,6 +180,7 @@ pub fn x_operator(
     }
 
     // --- stage 2: fluxes of the predictor state ----------------------------
+    ws.timers.start("x:prims2");
     kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
     bc::mirror_prims_axis(&mut ws.prim);
     bc::extrap_prims_top(&mut ws.prim, nr);
@@ -141,23 +188,65 @@ pub fn x_operator(
         // The second grouped primitive exchange; Euler skips it (its edge
         // fluxes need no derivative stencils), which is why the paper's
         // Euler run does 12 message start-ups per step against 16 for N-S.
+        ws.timers.pause();
         halo.post_prims(&mut ws.prim);
-        kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, flo..fhi, ledger);
+        ws.timers.start("x:flux2");
+        kernels::compute_flux_range(
+            cfg.version,
+            FluxDir::X,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux_bar,
+            None,
+            flo..fhi,
+            ledger,
+        );
+        ws.timers.pause();
         halo.finish_prims(&mut ws.prim);
-        kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, 0..flo, ledger);
-        kernels::compute_flux_range(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, fhi..nxl, ledger);
+        ws.timers.start("x:flux2");
+        kernels::compute_flux_range(
+            cfg.version,
+            FluxDir::X,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux_bar,
+            None,
+            0..flo,
+            ledger,
+        );
+        kernels::compute_flux_range(
+            cfg.version,
+            FluxDir::X,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux_bar,
+            None,
+            fhi..nxl,
+            ledger,
+        );
     } else {
+        ws.timers.start("x:flux2");
         kernels::compute_flux(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, ledger);
     }
+    ws.timers.pause();
     halo.exchange_flux(&mut ws.flux_bar);
+    ws.timers.start("x:flux2");
     bc::extrap_flux_x(&mut ws.flux_bar, nxl, nr, edges.left, edges.right, ledger);
 
     // --- corrector ----------------------------------------------------------
+    ws.timers.start("x:correct");
     corrector_x(variant, field, &ws.qbar, &ws.flux_bar, istart, iend, nr, lam, cfg, ledger);
 
     if edges.left {
         bc::apply_inflow(field, cfg, gas, t + dt, ledger);
     }
+    ws.timers.pause();
 }
 
 /// Apply the radial operator (`Q_t + G_r = S`) over one time step. The
@@ -186,13 +275,26 @@ pub fn r_operator(
     let lam = dt / (6.0 * patch.grid.dr);
 
     // --- stage 1 -------------------------------------------------------------
+    ws.timers.start("r:prims");
     kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
     bc::mirror_prims_axis(&mut ws.prim);
     bc::extrap_prims_top(&mut ws.prim, nr);
-    kernels::compute_flux(cfg.version, FluxDir::R, &ws.prim, &patch, edges, gas, &mut ws.flux, Some(&mut ws.src), ledger);
+    ws.timers.start("r:flux");
+    kernels::compute_flux(
+        cfg.version,
+        FluxDir::R,
+        &ws.prim,
+        &patch,
+        edges,
+        gas,
+        &mut ws.flux,
+        Some(&mut ws.src),
+        ledger,
+    );
     bc::fill_rflux_ghosts(&mut ws.flux, nxl, nr, ledger);
 
     // --- predictor -------------------------------------------------------------
+    ws.timers.start("r:predict");
     {
         let Workspace { flux, src, qbar, .. } = ws;
         predictor_r(variant, field, flux, src, qbar, nxl, nr, lam, dt, cfg, ledger);
@@ -202,9 +304,11 @@ pub fn r_operator(
     }
 
     // --- stage 2 -------------------------------------------------------------
+    ws.timers.start("r:prims2");
     kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
     bc::mirror_prims_axis(&mut ws.prim);
     bc::extrap_prims_top(&mut ws.prim, nr);
+    ws.timers.start("r:flux2");
     kernels::compute_flux(
         cfg.version,
         FluxDir::R,
@@ -219,12 +323,14 @@ pub fn r_operator(
     bc::fill_rflux_ghosts(&mut ws.flux_bar, nxl, nr, ledger);
 
     // --- corrector -------------------------------------------------------------
+    ws.timers.start("r:correct");
     {
         let Workspace { flux_bar, src_bar, qbar, .. } = ws;
         corrector_r(variant, field, qbar, flux_bar, src_bar, nxl, nr, lam, dt, cfg, ledger);
     }
 
     bc::farfield_top(field, gas, gas.pressure(1.0, cfg.jet.t_c), ledger);
+    ws.timers.pause();
 }
 
 /// One-sided flux difference in x at `(i, j)` (signed local indices),
@@ -262,7 +368,12 @@ fn dflux_r(flux: &FluxField, c: usize, i: isize, j: isize, forward: bool, order:
 /// Iterate a 2-D index range in the version's preferred loop order
 /// (axial-innermost for V1/V2, radial-innermost for V3+).
 #[inline(always)]
-fn sweep(cfg: &SolverConfig, irange: std::ops::Range<usize>, jrange: std::ops::Range<usize>, mut body: impl FnMut(usize, usize)) {
+fn sweep(
+    cfg: &SolverConfig,
+    irange: std::ops::Range<usize>,
+    jrange: std::ops::Range<usize>,
+    mut body: impl FnMut(usize, usize),
+) {
     if cfg.version <= crate::config::Version::V2 {
         for j in jrange {
             for i in irange.clone() {
@@ -427,7 +538,8 @@ mod tests {
             for c in 0..4 {
                 for i in 0..field.nxl() {
                     for j in 0..field.nr() - 1 {
-                        max = max.max((field.at(c, i as isize, j as isize) - before.at(c, i as isize, j as isize)).abs());
+                        max =
+                            max.max((field.at(c, i as isize, j as isize) - before.at(c, i as isize, j as isize)).abs());
                     }
                 }
             }

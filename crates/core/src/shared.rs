@@ -48,7 +48,11 @@ impl SharedSolver {
     pub fn new(mut cfg: SolverConfig, threads: usize) -> Self {
         cfg.version = crate::config::Version::V5;
         assert_eq!(cfg.dissipation, 0.0, "dissipation is a serial-only feature");
-        assert_eq!(cfg.scheme, crate::config::SchemeOrder::TwoFour, "the parallel drivers implement the paper's 2-4 scheme");
+        assert_eq!(
+            cfg.scheme,
+            crate::config::SchemeOrder::TwoFour,
+            "the parallel drivers implement the paper's 2-4 scheme"
+        );
         let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool");
         let gas = cfg.effective_gas();
         let patch = Patch::whole(cfg.grid.clone());
@@ -307,13 +311,8 @@ fn par_update_x(
         let fc = &flux.c[c];
         let bq = &base.q[c];
         let pq = qbar_in.map(|f| &f.q[c]);
-        let mut rows: Vec<(usize, &mut [f64])> = out.q[c]
-            .as_mut_slice()
-            .chunks_mut(nj)
-            .enumerate()
-            .skip(NG + istart)
-            .take(iend - istart)
-            .collect();
+        let mut rows: Vec<(usize, &mut [f64])> =
+            out.q[c].as_mut_slice().chunks_mut(nj).enumerate().skip(NG + istart).take(iend - istart).collect();
         rows.par_iter_mut().for_each(|(ii, row)| {
             let ii = *ii;
             for j in 0..nr {
@@ -417,7 +416,18 @@ fn par_x_operator(
     // point it writes; the parallel bands need disjoint mutable access, so
     // stage through a double buffer and swap.
     let mut new_field = field.clone();
-    par_update_x(variant == Variant::L2, true, field, Some(&ws.qbar), &ws.flux_bar, &mut new_field, istart, iend, nr, lam);
+    par_update_x(
+        variant == Variant::L2,
+        true,
+        field,
+        Some(&ws.qbar),
+        &ws.flux_bar,
+        &mut new_field,
+        istart,
+        iend,
+        nr,
+        lam,
+    );
     ledger.update += ((iend - istart) * nr) as u64 * opcount::COST_CORRECTOR;
     std::mem::swap(field, &mut new_field);
 
@@ -464,7 +474,19 @@ fn par_r_operator(
     let mut new_field = field.clone();
     {
         let Workspace { flux_bar, src_bar, qbar, .. } = ws;
-        par_update_r(variant == Variant::L2, true, field, Some(qbar), flux_bar, src_bar, &mut new_field, nxl, nr, lam, dt);
+        par_update_r(
+            variant == Variant::L2,
+            true,
+            field,
+            Some(qbar),
+            flux_bar,
+            src_bar,
+            &mut new_field,
+            nxl,
+            nr,
+            lam,
+            dt,
+        );
     }
     ledger.update += (nxl * (nr - 1)) as u64 * (opcount::COST_CORRECTOR + 2);
     std::mem::swap(field, &mut new_field);

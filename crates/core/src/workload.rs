@@ -138,7 +138,10 @@ pub fn step_workload_decomposed(
     if comm_in_r {
         ops.push(PhaseOp::ExchangeFlux { bytes: flux_bytes });
     }
-    ops.push(PhaseOp::Compute { label: "r:predict", flops: (nxl * update_rows) as u64 * (opcount::COST_PREDICTOR + 2) });
+    ops.push(PhaseOp::Compute {
+        label: "r:predict",
+        flops: (nxl * update_rows) as u64 * (opcount::COST_PREDICTOR + 2),
+    });
     ops.push(PhaseOp::Compute { label: "r:prims2", flops: pts * opcount::COST_PRIMS });
     if comm_in_r && viscous {
         ops.push(PhaseOp::ExchangePrims { bytes: prim_bytes });
@@ -147,7 +150,10 @@ pub fn step_workload_decomposed(
     if comm_in_r {
         ops.push(PhaseOp::ExchangeFlux { bytes: flux_bytes });
     }
-    ops.push(PhaseOp::Compute { label: "r:correct", flops: (nxl * update_rows) as u64 * (opcount::COST_CORRECTOR + 2) });
+    ops.push(PhaseOp::Compute {
+        label: "r:correct",
+        flops: (nxl * update_rows) as u64 * (opcount::COST_CORRECTOR + 2),
+    });
     // --- axial operator (communicates only under axial decomposition) ---
     ops.push(PhaseOp::Compute { label: "x:prims", flops: pts * opcount::COST_PRIMS });
     if !comm_in_r {

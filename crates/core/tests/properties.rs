@@ -3,10 +3,10 @@
 
 use ns_core::checkpoint::Checkpoint;
 use ns_core::config::{Regime, SchemeOrder, SolverConfig, Version};
-use ns_core::workload::Decomposition;
 use ns_core::field::{Field, FluxField, Patch, PrimField, NG};
 use ns_core::kernels::{self, EdgeFlags, FluxDir};
 use ns_core::opcount::FlopLedger;
+use ns_core::workload::Decomposition;
 use ns_core::{bc, workload};
 use ns_numerics::gas::Primitive;
 use ns_numerics::{Array2, Grid};

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! jetns run        [--steps N] [--nx N] [--nr N] [--euler] [--eps E]   run the jet, print contour
+//!                  [--cadence N] [--summary FILE]                      …with health sampling
+//! jetns telemetry  [--ranks P] [--steps N] [--cadence N] [--out DIR]   instrumented parallel run:
+//!                                                                      phase table, Gantt, traces
 //! jetns figures    [--only NAME]                                       regenerate all tables/figures
 //! jetns platforms                                                      Figures 9/10/13
 //! jetns extensions                                                     future-work studies
@@ -13,8 +16,11 @@
 use ns_core::checkpoint::Checkpoint;
 use ns_core::config::{Regime, SolverConfig};
 use ns_core::{diag, Solver};
-use ns_experiments::{contour, extensions, fig_platforms, speedup};
+use ns_experiments::{contour, extensions, fig_platforms, report, speedup};
 use ns_numerics::Grid;
+use ns_runtime::{run_parallel_instrumented, CommVersion, TelemetryOptions};
+use ns_telemetry::{to_chrome_trace, to_jsonl, HealthConfig, HealthMonitor};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 struct Args {
@@ -65,15 +71,120 @@ fn cmd_run(args: &Args) -> ExitCode {
     let steps = args.num("steps", 500u64);
     println!("running {} on {}x{} for {steps} steps…", cfg.regime.name(), cfg.grid.nx, cfg.grid.nr);
     let mut s = Solver::new(cfg);
-    s.run(steps);
+    s.enable_phase_timing();
+    let health = HealthConfig { cadence: args.num("cadence", 50u64), ..HealthConfig::default() };
+    let mut mon = HealthMonitor::new(health);
+    let t0 = std::time::Instant::now();
+    let taken = s.run_monitored(steps, &mut mon);
+    let wall = t0.elapsed().as_secs_f64();
     let gas = *s.gas();
-    println!("t = {:.2}, healthy = {}, max Mach = {:.2}", s.t, s.healthy(), diag::max_mach(&s.field, &gas));
+    println!(
+        "t = {:.2}, healthy = {}, max Mach = {:.2} ({} health samples)",
+        s.t,
+        s.healthy(),
+        diag::max_mach(&s.field, &gas),
+        mon.samples.len()
+    );
+    if let Some(reason) = &mon.abort {
+        eprintln!("early abort after {taken} steps: {reason}");
+    }
     print!("{}", contour::ascii(&diag::axial_momentum(&s.field, &gas), 100, 20));
-    if s.healthy() {
+    if let Some(path) = args.get("summary") {
+        let summary = serial_summary(&s, &mon, steps, taken, wall);
+        if let Err(e) = std::fs::write(path, summary.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if s.healthy() && mon.abort.is_none() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Machine-readable summary of a serial (single-rank) run.
+fn serial_summary(s: &Solver, mon: &HealthMonitor, requested: u64, taken: u64, wall: f64) -> ns_telemetry::RunSummary {
+    let cfg = &s.cfg;
+    let mut summary = ns_telemetry::RunSummary {
+        case: "jet-serial".to_string(),
+        regime: match cfg.regime {
+            Regime::Euler => "euler".to_string(),
+            Regime::NavierStokes => "navier-stokes".to_string(),
+        },
+        nx: cfg.grid.nx,
+        nr: cfg.grid.nr,
+        ranks: 1,
+        steps_requested: requested,
+        steps_taken: taken,
+        wall_seconds: wall,
+        aborted: mon.abort.clone(),
+        phase_seconds: BTreeMap::new(),
+        comm: ns_telemetry::CommTotals::default(),
+        health: mon.samples.clone(),
+    };
+    summary.set_phases(s.phase_ledger());
+    summary
+}
+
+fn cmd_telemetry(args: &Args) -> ExitCode {
+    let ranks = args.num("ranks", 4usize).max(2);
+    let steps = args.num("steps", 100u64);
+    let outdir = args.get("out").unwrap_or("telemetry-out").to_string();
+    let mut cfg = config(args);
+    cfg.dissipation = 0.0; // artificial smoothing is serial-only; the parallel driver asserts this
+    let health = HealthConfig { cadence: args.num("cadence", 10u64), ..HealthConfig::default() };
+    println!(
+        "instrumented {} run: {} ranks, {steps} steps, health cadence {}…",
+        cfg.regime.name(),
+        ranks,
+        health.cadence
+    );
+    let opts = TelemetryOptions { phases: true, trace: true, health: Some(health) };
+    let run = run_parallel_instrumented(&cfg, ranks, steps, CommVersion::V5, opts);
+
+    // per-rank phase breakdown next to a simulated reference column that
+    // uses the exact same label vocabulary
+    let owned = |m: BTreeMap<&'static str, f64>| -> BTreeMap<String, f64> {
+        m.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    };
+    let mut columns: Vec<(String, BTreeMap<String, f64>)> =
+        (0..ranks).map(|r| (format!("rank {r}"), owned(run.rank_phase_seconds(r)))).collect();
+    let mut scfg = ns_archsim::SimConfig::paper(ns_archsim::Platform::lace560_allnode_s(), ranks, cfg.regime);
+    scfg.grid = cfg.grid.clone();
+    scfg.report_steps = run.steps_taken().max(1);
+    scfg.sim_steps = scfg.report_steps.min(4);
+    columns.push(("LACE sim (ref)".to_string(), owned(ns_archsim::simulate(&scfg).phase_seconds)));
+    println!("{}", report::phase_breakdown("Per-rank phase breakdown, live vs simulated LACE Allnode-S", &columns));
+
+    let trace = run.merged_trace();
+    print!("{}", report::gantt(&trace, ranks, 100));
+
+    if let Err(e) = std::fs::create_dir_all(&outdir) {
+        eprintln!("cannot create {outdir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut summary = run.summary("jet-parallel");
+    summary.case = format!("jet-parallel-p{ranks}");
+    let writes = [
+        ("trace.jsonl", to_jsonl(&trace)),
+        ("trace_chrome.json", to_chrome_trace(&trace)),
+        ("run_summary.json", summary.to_json()),
+    ];
+    for (name, content) in writes {
+        let path = format!("{outdir}/{name}");
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("\nwrote {outdir}/trace.jsonl, {outdir}/trace_chrome.json, {outdir}/run_summary.json");
+    if let Some(reason) = run.aborted() {
+        eprintln!("run aborted early: {reason}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_figures(args: &Args) -> ExitCode {
@@ -102,8 +213,7 @@ fn cmd_extensions() -> ExitCode {
     println!("{}", extensions::weak_scaling(Regime::NavierStokes).table());
     println!(
         "{}",
-        extensions::phase_profile(ns_archsim::Platform::lace560_allnode_s(), Regime::NavierStokes, &[1, 4, 16])
-            .table()
+        extensions::phase_profile(ns_archsim::Platform::lace560_allnode_s(), Regime::NavierStokes, &[1, 4, 16]).table()
     );
     ExitCode::SUCCESS
 }
@@ -172,7 +282,7 @@ fn cmd_resume(args: &Args) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jetns <run|figures|platforms|extensions|speedup|checkpoint|resume> [flags]\n\
+        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume> [flags]\n\
          see the module docs in crates/experiments/src/bin/jetns.rs"
     );
     ExitCode::FAILURE
@@ -186,6 +296,7 @@ fn main() -> ExitCode {
     let args = Args::parse(&raw[1..]);
     match cmd.as_str() {
         "run" => cmd_run(&args),
+        "telemetry" => cmd_telemetry(&args),
         "figures" => cmd_figures(&args),
         "platforms" => cmd_platforms(),
         "extensions" => cmd_extensions(),

@@ -15,11 +15,8 @@ use ns_numerics::Grid;
 /// loses exactly where communication matters — quantifying why the paper
 /// "chose to decompose the domain by blocks along the axial direction only".
 pub fn decomposition_ablation(regime: Regime) -> Report {
-    let mut r = Report::new(
-        format!("Ablation: axial vs radial decomposition ({})", regime.name()),
-        "processors",
-        "seconds",
-    );
+    let mut r =
+        Report::new(format!("Ablation: axial vs radial decomposition ({})", regime.name()), "processors", "seconds");
     let procs = [2usize, 4, 8, 16];
     for (platform, pname) in [
         (Platform::lace560_allnode_s(), "ALLNODE-S"),
@@ -47,11 +44,8 @@ pub fn decomposition_ablation(regime: Regime) -> Report {
 /// were available in single user mode") — simulate the full machine, plus a
 /// hypothetical 64-port ALLNODE-S cluster and Ethernet for contrast.
 pub fn extended_scaling(regime: Regime) -> Report {
-    let mut r = Report::new(
-        format!("Extension: scaling to the full 64-node T3D ({})", regime.name()),
-        "processors",
-        "seconds",
-    );
+    let mut r =
+        Report::new(format!("Extension: scaling to the full 64-node T3D ({})", regime.name()), "processors", "seconds");
     let procs = [1usize, 2, 4, 8, 16, 32, 64];
     let mut t3d = Platform::cray_t3d();
     t3d.max_procs = 64;
@@ -154,16 +148,11 @@ pub fn now_projection(regime: Regime) -> Report {
     ] {
         let mut platform = base;
         platform.lib = lib;
-        let pts = procs
-            .iter()
-            .map(|&p| (p as f64, simulate(&SimConfig::paper(platform, p, regime)).total))
-            .collect();
+        let pts = procs.iter().map(|&p| (p as f64, simulate(&SimConfig::paper(platform, p, regime)).total)).collect();
         r.series.push(Series::new(label, pts));
     }
-    let t3d_pts = procs
-        .iter()
-        .map(|&p| (p as f64, simulate(&SimConfig::paper(Platform::cray_t3d(), p, regime)).total))
-        .collect();
+    let t3d_pts =
+        procs.iter().map(|&p| (p as f64, simulate(&SimConfig::paper(Platform::cray_t3d(), p, regime)).total)).collect();
     r.series.push(Series::new("Cray T3D (reference)", t3d_pts));
     r.notes.push("every library generation closes more of the gap; with AM-class costs the NOW beats the MPP at every P — the paper's conclusion, quantified".into());
     r
@@ -302,12 +291,7 @@ mod tests {
     fn flux_evaluation_dominates_compute_and_comm_grows_with_p() {
         let procs = [2usize, 16];
         let r = phase_profile(Platform::lace560_allnode_s(), Regime::NavierStokes, &procs);
-        let flux: f64 = r
-            .series
-            .iter()
-            .filter(|s| s.label.contains("flux"))
-            .map(|s| s.at(2.0).unwrap_or(0.0))
-            .sum();
+        let flux: f64 = r.series.iter().filter(|s| s.label.contains("flux")).map(|s| s.at(2.0).unwrap_or(0.0)).sum();
         let total: f64 = r.series.iter().map(|s| s.at(2.0).unwrap_or(0.0)).sum();
         assert!(flux > 0.4 * total, "flux kernels dominate: {flux} of {total}");
         // message software cost grows with processor count (aggregate)

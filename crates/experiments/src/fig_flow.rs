@@ -49,10 +49,8 @@ pub fn excited_jet(grid: Grid, steps: u64, regime: Regime, dissipation: f64) -> 
 impl JetFlow {
     /// Render the Figure 1 style contour plot as ASCII.
     pub fn render_ascii(&self, width: usize, height: usize) -> String {
-        let mut out = format!(
-            "Figure 1: X MOMENTUM, excited axisymmetric jet ({} steps, t = {:.1})\n",
-            self.steps, self.t_end
-        );
+        let mut out =
+            format!("Figure 1: X MOMENTUM, excited axisymmetric jet ({} steps, t = {:.1})\n", self.steps, self.t_end);
         out.push_str(&contour::ascii(&self.momentum, width, height));
         out
     }

@@ -28,11 +28,7 @@ fn total_series(platform: Platform, regime: Regime, label: &str) -> Series {
 /// Figures 3 (N-S) and 4 (Euler): execution time on the LACE networks.
 pub fn fig3_4(regime: Regime) -> Report {
     let fig = if regime == Regime::NavierStokes { 3 } else { 4 };
-    let mut r = Report::new(
-        format!("Figure {fig}: {} execution time on LACE", regime.name()),
-        "processors",
-        "seconds",
-    );
+    let mut r = Report::new(format!("Figure {fig}: {} execution time on LACE", regime.name()), "processors", "seconds");
     r.series.push(total_series(Platform::lace590_allnode_f(), regime, "ALLNODE-F"));
     r.series.push(total_series(Platform::lace560_allnode_s(), regime, "ALLNODE-S"));
     r.series.push(total_series(Platform::lace560_ethernet(), regime, "LACE/560 Ethernet"));
@@ -97,7 +93,9 @@ pub fn fig7_8(regime: Regime) -> Report {
             r.series.push(Series::new(format!("{mname} {pname}"), pts));
         }
     }
-    r.notes.push("paper: V6 ~ V5 everywhere; V7 helps only Ethernet (fewer bursts) and hurts ALLNODE (more start-ups)".into());
+    r.notes.push(
+        "paper: V6 ~ V5 everywhere; V7 helps only Ethernet (fewer bursts) and hurts ALLNODE (more start-ups)".into(),
+    );
     r
 }
 

@@ -48,11 +48,8 @@ pub fn fig9_10(regime: Regime) -> Report {
 
 /// Figure 13: per-processor busy times (N-S, IBM SP, 16 processors).
 pub fn fig13() -> Report {
-    let mut r = Report::new(
-        "Figure 13: Processor busy times (Navier-Stokes; IBM SP, 16 procs)",
-        "processor",
-        "seconds",
-    );
+    let mut r =
+        Report::new("Figure 13: Processor busy times (Navier-Stokes; IBM SP, 16 procs)", "processor", "seconds");
     let res = simulate(&SimConfig::paper(Platform::ibm_sp_mpl(), 16, Regime::NavierStokes));
     let pts = res.busy.iter().enumerate().map(|(k, &b)| (k as f64 + 1.0, b)).collect();
     r.series.push(Series::new("busy time", pts));

@@ -23,11 +23,8 @@ pub fn simulated_1995() -> Report {
     let cal = Calibration::standard();
     let cpu = CpuSpec::rs6000_560();
     let grid = Grid::paper();
-    let mut r = Report::new(
-        "Figure 2: Execution time on a single processor (RS6000/560)",
-        "version",
-        "seconds (5000 steps)",
-    );
+    let mut r =
+        Report::new("Figure 2: Execution time on a single processor (RS6000/560)", "version", "seconds (5000 steps)");
     for (regime, label) in [(Regime::NavierStokes, "Navier-Stokes"), (Regime::Euler, "Euler")] {
         let flops = workload::step_workload(regime, &grid, grid.nx).compute_flops() * 5000;
         let pts = Version::ALL
@@ -43,11 +40,7 @@ pub fn simulated_1995() -> Report {
 /// Measured wall time of the real Rust solver per version on the host
 /// (small grid, `steps` steps, scaled to per-step milliseconds).
 pub fn measured_host(grid: Grid, steps: u64) -> Report {
-    let mut r = Report::new(
-        "Figure 2 (host): measured Rust kernel time per version",
-        "version",
-        "ms per step",
-    );
+    let mut r = Report::new("Figure 2 (host): measured Rust kernel time per version", "version", "ms per step");
     for (regime, label) in [(Regime::NavierStokes, "Navier-Stokes"), (Regime::Euler, "Euler")] {
         let mut pts = Vec::new();
         for &v in &Version::ALL {

@@ -1,5 +1,10 @@
 //! Report formatting: series tables and ASCII log-log charts, so every
 //! regenerated figure prints both the numbers and the paper's visual shape.
+//! Also the telemetry renderers: per-rank [`phase_breakdown`] tables and the
+//! ASCII [`gantt`] timeline over a merged [`TraceEvent`] stream.
+
+use ns_telemetry::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
 
 /// One curve of a figure.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,7 +45,13 @@ pub struct Report {
 impl Report {
     /// New empty report.
     pub fn new(title: impl Into<String>, xlabel: impl Into<String>, ylabel: impl Into<String>) -> Self {
-        Self { title: title.into(), xlabel: xlabel.into(), ylabel: ylabel.into(), series: Vec::new(), notes: Vec::new() }
+        Self {
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Find a series by label.
@@ -135,6 +146,127 @@ impl Report {
     }
 }
 
+/// Per-rank phase-breakdown table. Each column is one `(name, label →
+/// seconds)` pair — typically `rank 0` … `rank P-1` from
+/// `ParallelRun::rank_phase_seconds`, optionally followed by a simulated
+/// reference column built from `SimResult::phase_seconds` (both use the
+/// same label vocabulary, which is the whole point). Cells show the time
+/// and each label's share of its column's total.
+pub fn phase_breakdown(title: &str, columns: &[(String, BTreeMap<String, f64>)]) -> String {
+    let mut labels: Vec<&str> = Vec::new();
+    for (_, col) in columns {
+        for l in col.keys() {
+            if !labels.iter().any(|x| x == l) {
+                labels.push(l);
+            }
+        }
+    }
+    labels.sort_unstable();
+    let totals: Vec<f64> = columns.iter().map(|(_, c)| c.values().sum()).collect();
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let mut header = format!("{:>14}", "phase");
+    for (name, _) in columns {
+        header.push_str(&format!(" | {:>18}", truncate(name, 18)));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+    for label in &labels {
+        let mut row = format!("{label:>14}");
+        for ((_, col), &total) in columns.iter().zip(&totals) {
+            match col.get(*label) {
+                Some(&v) => {
+                    let pct = if total > 0.0 { 100.0 * v / total } else { 0.0 };
+                    row.push_str(&format!(" | {:>11} {pct:>4.1}%", fmt_secs(v)));
+                }
+                None => row.push_str(&format!(" | {:>18}", "-")),
+            }
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    let mut row = format!("{:>14}", "TOTAL");
+    for &total in &totals {
+        row.push_str(&format!(" | {:>18}", fmt_secs(total)));
+    }
+    out.push_str(&row);
+    out.push('\n');
+    out
+}
+
+/// ASCII Gantt chart of a merged trace: one row per rank, `width` time
+/// buckets across the trace's span. Each cell shows the activity that
+/// dominates the slice:
+///
+/// * `r` — radial-operator phases (`r:*`)
+/// * `x` — axial-operator phases (`x:*`)
+/// * `#` — other phases (diagnostics, reductions, boundary work)
+/// * `s` — message sends, including `comm:send` / `comm:stall` phases
+/// * `w` — receive waits, including `comm:recv` phases
+/// * space — idle (nothing recorded)
+pub fn gantt(trace: &[TraceEvent], nranks: usize, width: usize) -> String {
+    if trace.is_empty() || nranks == 0 || width == 0 {
+        return String::from("(empty trace)\n");
+    }
+    let t0 = trace.iter().map(|e| e.t_us).min().unwrap();
+    let t1 = trace.iter().map(|e| e.t_us + e.dur_us).max().unwrap().max(t0 + 1);
+    let span = (t1 - t0) as f64;
+    let bucket = span / width as f64;
+    const CHARS: [char; 5] = ['r', 'x', '#', 's', 'w'];
+    // coverage[rank][bucket][class] = µs of that class inside the bucket
+    let mut cov = vec![vec![[0.0f64; CHARS.len()]; width]; nranks];
+    for e in trace {
+        if e.rank >= nranks {
+            continue;
+        }
+        let class = match e.kind {
+            EventKind::Send => 3,
+            EventKind::Recv => 4,
+            EventKind::Phase if e.label.starts_with("r:") => 0,
+            EventKind::Phase if e.label.starts_with("x:") => 1,
+            EventKind::Phase if e.label == "comm:send" || e.label == "comm:stall" => 3,
+            EventKind::Phase if e.label == "comm:recv" => 4,
+            EventKind::Phase => 2,
+        };
+        let s = (e.t_us - t0) as f64;
+        // zero-duration events still mark their slice
+        let f = s + e.dur_us.max(1) as f64;
+        let b0 = ((s / bucket) as usize).min(width - 1);
+        let b1 = ((f / bucket).ceil() as usize).clamp(b0 + 1, width);
+        for (b, row) in cov[e.rank].iter_mut().enumerate().take(b1).skip(b0) {
+            let lo = b as f64 * bucket;
+            row[class] += (f.min(lo + bucket) - s.max(lo)).max(0.0);
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("timeline: {} µs across {width} buckets ({:.1} µs each)\n", t1 - t0, bucket));
+    for (rank, buckets) in cov.iter().enumerate() {
+        out.push_str(&format!("rank {rank:>3} |"));
+        for classes in buckets {
+            let (best, &best_cov) = classes.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+            out.push(if best_cov > 0.0 { CHARS[best] } else { ' ' });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str("legend: r radial ops, x axial ops, # other phases, s send, w recv wait\n");
+    out
+}
+
+/// Human-readable seconds with an adaptive unit.
+fn fmt_secs(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v >= 0.1 {
+        format!("{v:.3} s")
+    } else if v >= 1e-4 {
+        format!("{:.3} ms", v * 1e3)
+    } else {
+        format!("{:.1} µs", v * 1e6)
+    }
+}
+
 fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_string()
@@ -197,6 +329,52 @@ mod tests {
         let r = sample();
         assert_eq!(r.series("a").unwrap().at(2.0), Some(50.0));
         assert!(r.series("missing").is_none());
+    }
+
+    #[test]
+    fn phase_breakdown_lists_union_of_labels_with_totals() {
+        let mut a = BTreeMap::new();
+        a.insert("x:flux".to_string(), 0.2);
+        a.insert("comm:recv".to_string(), 0.05);
+        let mut b = BTreeMap::new();
+        b.insert("x:flux".to_string(), 0.3);
+        b.insert("r:prims".to_string(), 0.1);
+        let t = phase_breakdown("phases", &[("rank 0".into(), a), ("LACE sim".into(), b)]);
+        assert!(t.contains("x:flux"));
+        assert!(t.contains("comm:recv"));
+        assert!(t.contains("r:prims"));
+        assert!(t.contains("TOTAL"));
+        // rank 0 has no r:prims entry
+        let row: Vec<&str> = t.lines().filter(|l| l.trim_start().starts_with("r:prims")).collect();
+        assert_eq!(row.len(), 1);
+        assert!(row[0].contains('-'));
+        // x:flux is 80% of rank 0's total
+        let flux: Vec<&str> = t.lines().filter(|l| l.trim_start().starts_with("x:flux")).collect();
+        assert!(flux[0].contains("80.0%"), "{}", flux[0]);
+    }
+
+    #[test]
+    fn gantt_marks_dominant_activity_per_bucket() {
+        use ns_telemetry::EventKind;
+        let ev = |t_us, dur_us, rank, kind, label: &str| TraceEvent {
+            t_us,
+            dur_us,
+            rank,
+            kind,
+            label: label.to_string(),
+            peer: None,
+            bytes: 0,
+        };
+        let trace = vec![
+            ev(0, 50, 0, EventKind::Phase, "x:flux"),
+            ev(50, 50, 0, EventKind::Recv, "Flux1"),
+            ev(0, 100, 1, EventKind::Phase, "r:prims"),
+        ];
+        let g = gantt(&trace, 2, 10);
+        assert!(g.contains("rank   0 |xxxxxwwwww|"), "{g}");
+        assert!(g.contains("rank   1 |rrrrrrrrrr|"), "{g}");
+        assert!(g.contains("legend"));
+        assert!(gantt(&[], 2, 10).contains("empty trace"));
     }
 
     #[test]

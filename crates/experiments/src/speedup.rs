@@ -15,11 +15,7 @@ use std::time::Instant;
 /// Measure wall-clock speedup of the thread-backed message-passing solver.
 pub fn message_passing_speedup(grid: Grid, steps: u64, procs: &[usize], regime: Regime) -> Report {
     let cfg = SolverConfig::paper(grid, regime);
-    let mut r = Report::new(
-        format!("Host speedup, message-passing runtime ({})", regime.name()),
-        "ranks",
-        "seconds",
-    );
+    let mut r = Report::new(format!("Host speedup, message-passing runtime ({})", regime.name()), "ranks", "seconds");
     let t0 = Instant::now();
     let mut serial = Solver::new(cfg.clone());
     serial.run(steps);

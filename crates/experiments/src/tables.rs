@@ -3,9 +3,10 @@
 
 use crate::report::{Report, Series};
 use ns_archsim::Calibration;
-use ns_core::config::Regime;
+use ns_core::config::{Regime, SolverConfig};
 use ns_core::workload;
 use ns_numerics::Grid;
+use ns_runtime::{run_parallel, CommStats, CommVersion};
 
 /// Paper reference values (Table 1).
 pub mod paper {
@@ -57,7 +58,26 @@ pub fn characteristics(regime: Regime) -> AppCharacteristics {
     }
 }
 
-/// Table 1 report: ours vs the paper.
+/// Per-step communication of one *interior* rank, measured from a live
+/// `run_parallel` execution on the paper grid (not predicted): the
+/// runtime's `CommStats` divided by the step count. Interior-rank per-step
+/// traffic is independent of P, so a small `p` keeps this cheap while
+/// still exercising the two-neighbour protocol the analytic model counts.
+pub fn measured_comm_per_step(regime: Regime, p: usize) -> CommStats {
+    let cfg = SolverConfig::paper(Grid::paper(), regime);
+    let steps = 2u64;
+    let run = run_parallel(&cfg, p, steps, CommVersion::V5);
+    let s = run.ranks[p / 2].stats;
+    CommStats {
+        sends: s.sends / steps,
+        recvs: s.recvs / steps,
+        bytes_sent: s.bytes_sent / steps,
+        bytes_recvd: s.bytes_recvd / steps,
+    }
+}
+
+/// Table 1 report: ours vs the paper, with the communication rows
+/// cross-checked by a live run (see [`measured_comm_per_step`]).
 pub fn table1() -> Report {
     let mut r = Report::new(
         "Table 1: Application characteristics (250x100, 5000 steps, 16 procs)",
@@ -72,8 +92,7 @@ pub fn table1() -> Report {
         "startups/proc (ours)",
         vec![(1.0, ns.startups_per_proc as f64), (2.0, eu.startups_per_proc as f64)],
     ));
-    r.series
-        .push(Series::new("startups/proc (paper)", vec![(1.0, paper::NS_STARTUPS), (2.0, paper::EULER_STARTUPS)]));
+    r.series.push(Series::new("startups/proc (paper)", vec![(1.0, paper::NS_STARTUPS), (2.0, paper::EULER_STARTUPS)]));
     r.series.push(Series::new(
         "volume/proc MB (ours)",
         vec![(1.0, ns.volume_per_proc as f64 / 1e6), (2.0, eu.volume_per_proc as f64 / 1e6)],
@@ -81,6 +100,18 @@ pub fn table1() -> Report {
     r.series.push(Series::new(
         "volume/proc MB (paper)",
         vec![(1.0, paper::NS_VOLUME / 1e6), (2.0, paper::EULER_VOLUME / 1e6)],
+    ));
+    // live cross-check: per-step CommStats from an actual distributed run,
+    // scaled to the paper's 5000 steps
+    let live_ns = measured_comm_per_step(Regime::NavierStokes, 4);
+    let live_eu = measured_comm_per_step(Regime::Euler, 4);
+    r.series.push(Series::new(
+        "startups/proc (live run x 5000)",
+        vec![(1.0, (live_ns.startups() * 5000) as f64), (2.0, (live_eu.startups() * 5000) as f64)],
+    ));
+    r.series.push(Series::new(
+        "volume/proc MB (live run x 5000)",
+        vec![(1.0, (live_ns.bytes_sent * 5000) as f64 / 1e6), (2.0, (live_eu.bytes_sent * 5000) as f64 / 1e6)],
     ));
     r.notes.push(format!(
         "canonical FP ops: N-S {:.1}e9, Euler {:.1}e9; flop_scale {:.3} calibrated from Figure 2 anchors",
@@ -93,26 +124,30 @@ pub fn table1() -> Report {
 }
 
 /// Table 2 report: FLOPs per byte and per start-up as a function of P.
+/// The communication denominators come from a live run's `CommStats`
+/// (scaled to the paper's 5000 steps), not from the analytic model — the
+/// two agree exactly, which the unit tests assert.
 pub fn table2() -> Report {
     let mut r = Report::new("Table 2: computation-communication ratios", "processors", "ratio");
     let ps = [2usize, 4, 8, 16];
     for (regime, name) in [(Regime::NavierStokes, "Nav-Stokes"), (Regime::Euler, "Euler")] {
         let c = characteristics(regime);
+        let live = measured_comm_per_step(regime, 4);
+        let volume = (live.bytes_sent * 5000) as f64;
+        let startups = (live.startups() * 5000) as f64;
         let mut per_byte = Vec::new();
         let mut per_startup = Vec::new();
         for &p in &ps {
             let flops_per_proc = c.flops_scaled / p as f64;
-            per_byte.push((p as f64, flops_per_proc / c.volume_per_proc as f64));
-            per_startup.push((p as f64, flops_per_proc / c.startups_per_proc as f64));
+            per_byte.push((p as f64, flops_per_proc / volume));
+            per_startup.push((p as f64, flops_per_proc / startups));
         }
         r.series.push(Series::new(format!("FPs/Byte {name}"), per_byte));
         r.series.push(Series::new(format!("FPs/Start-up {name}"), per_startup));
     }
     // paper's own rows for comparison
-    r.series.push(Series::new(
-        "FPs/Byte Nav-Stokes (paper)",
-        vec![(2.0, 580.0), (4.0, 290.0), (8.0, 145.0), (16.0, 73.0)],
-    ));
+    r.series
+        .push(Series::new("FPs/Byte Nav-Stokes (paper)", vec![(2.0, 580.0), (4.0, 290.0), (8.0, 145.0), (16.0, 73.0)]));
     r.series.push(Series::new(
         "FPs/Start-up Nav-Stokes (paper)",
         vec![(2.0, 906e3), (4.0, 453e3), (8.0, 227e3), (16.0, 113e3)],
@@ -173,5 +208,33 @@ mod tests {
     fn reports_render() {
         assert!(table1().render().contains("Table 1"));
         assert!(table2().render().contains("Table 2"));
+    }
+
+    #[test]
+    fn measured_comm_matches_opcount_predictions_exactly() {
+        let grid = Grid::paper();
+        // N-S: 4 exchanges/step (prims, flux, prims2, flux2); Euler: 3
+        for (regime, exchanges) in [(Regime::NavierStokes, 4u64), (Regime::Euler, 3u64)] {
+            let live = measured_comm_per_step(regime, 4);
+            let w = workload::step_workload(regime, &grid, grid.nx / 4);
+            assert_eq!(live.startups(), w.startups_per_step(2), "{regime:?} start-ups");
+            assert_eq!(live.bytes_sent, w.bytes_sent_per_step(2), "{regime:?} bytes");
+            assert_eq!(live.sends, exchanges * 2, "{regime:?} one send per exchange per neighbour");
+            assert_eq!(live.recvs, live.sends);
+            assert_eq!(live.bytes_recvd, live.bytes_sent);
+        }
+    }
+
+    #[test]
+    fn table1_live_rows_agree_with_analytic_rows() {
+        let r = table1();
+        for x in [1.0, 2.0] {
+            let live = r.series("startups/proc (live run x 5000)").unwrap().at(x).unwrap();
+            let ours = r.series("startups/proc (ours)").unwrap().at(x).unwrap();
+            assert_eq!(live, ours);
+            let live_v = r.series("volume/proc MB (live run x 5000)").unwrap().at(x).unwrap();
+            let ours_v = r.series("volume/proc MB (ours)").unwrap().at(x).unwrap();
+            assert!((live_v - ours_v).abs() < 1e-12, "{live_v} vs {ours_v}");
+        }
     }
 }

@@ -11,6 +11,7 @@
 use crate::pack::PackBuf;
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ns_telemetry::{EventKind, Tracer};
 use std::time::{Duration, Instant};
 
 /// Message kinds of the solver protocol plus collective plumbing.
@@ -30,6 +31,21 @@ pub enum MsgKind {
     Gather,
     /// Broadcast leg of a collective.
     Bcast,
+}
+
+impl MsgKind {
+    /// The kind's name, used as the label of trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MsgKind::Prims1 => "Prims1",
+            MsgKind::Flux1 => "Flux1",
+            MsgKind::Prims2 => "Prims2",
+            MsgKind::Flux2 => "Flux2",
+            MsgKind::FluxSplit => "FluxSplit",
+            MsgKind::Gather => "Gather",
+            MsgKind::Bcast => "Bcast",
+        }
+    }
 }
 
 /// Full message tag: protocol kind plus a sequence number (the step for
@@ -110,6 +126,9 @@ pub struct Endpoint {
     pub wait_time: Duration,
     /// Receive deadline; a hung peer surfaces as [`CommError::Timeout`].
     pub timeout: Duration,
+    /// Message-trace recorder (disabled by default; enable with a shared
+    /// origin to get timestamped send/recv events).
+    pub tracer: Tracer,
 }
 
 impl Endpoint {
@@ -126,24 +145,41 @@ impl Endpoint {
     /// Send a packed buffer to `to` (non-blocking; channels are unbounded,
     /// like PVM's buffered sends).
     pub fn send(&mut self, to: usize, tag: Tag, buf: PackBuf) -> Result<(), CommError> {
+        let start = Instant::now();
         let payload = buf.freeze();
+        let bytes = payload.len() as u64;
         let tx = self.txs.get(to).ok_or(CommError::NoSuchRank(to))?;
         self.stats.sends += 1;
-        self.stats.bytes_sent += payload.len() as u64;
-        tx.send(Message { src: self.rank, tag, payload }).map_err(|_| CommError::Disconnected)
+        self.stats.bytes_sent += bytes;
+        let out = tx.send(Message { src: self.rank, tag, payload }).map_err(|_| CommError::Disconnected);
+        if self.tracer.enabled() {
+            self.tracer.record(EventKind::Send, self.rank, tag.kind.name(), Some(to), bytes, start, start.elapsed());
+        }
+        out
     }
 
     /// Blocking receive matching `(from, tag)`; non-matching arrivals are
     /// stashed for later receives.
     pub fn recv(&mut self, from: usize, tag: Tag) -> Result<Bytes, CommError> {
+        let start = Instant::now();
         // check the stash first
         if let Some(pos) = self.stash.iter().position(|m| m.src == from && m.tag == tag) {
             let m = self.stash.swap_remove(pos);
             self.stats.recvs += 1;
             self.stats.bytes_recvd += m.payload.len() as u64;
+            if self.tracer.enabled() {
+                self.tracer.record(
+                    EventKind::Recv,
+                    self.rank,
+                    tag.kind.name(),
+                    Some(from),
+                    m.payload.len() as u64,
+                    start,
+                    start.elapsed(),
+                );
+            }
             return Ok(m.payload);
         }
-        let start = Instant::now();
         let deadline = start + self.timeout;
         loop {
             let now = Instant::now();
@@ -156,6 +192,17 @@ impl Endpoint {
                     self.wait_time += start.elapsed();
                     self.stats.recvs += 1;
                     self.stats.bytes_recvd += m.payload.len() as u64;
+                    if self.tracer.enabled() {
+                        self.tracer.record(
+                            EventKind::Recv,
+                            self.rank,
+                            tag.kind.name(),
+                            Some(from),
+                            m.payload.len() as u64,
+                            start,
+                            start.elapsed(),
+                        );
+                    }
                     return Ok(m.payload);
                 }
                 Ok(m) => self.stash.push(m),
@@ -192,6 +239,7 @@ pub fn universe(size: usize) -> Vec<Endpoint> {
             stats: CommStats::default(),
             wait_time: Duration::ZERO,
             timeout: Duration::from_secs(30),
+            tracer: Tracer::default(),
         })
         .collect()
 }
@@ -260,6 +308,28 @@ mod tests {
     }
 
     #[test]
+    fn tracer_records_sends_and_receives() {
+        let t0 = Instant::now();
+        let mut eps = universe(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.tracer.enable(t0);
+        b.tracer.enable(t0);
+        a.send(1, tag(MsgKind::Prims1, 3), buf(&[0.0; 5])).unwrap();
+        let _ = b.recv(0, tag(MsgKind::Prims1, 3)).unwrap();
+        assert_eq!(a.tracer.events.len(), 1);
+        let s = &a.tracer.events[0];
+        assert_eq!(s.kind, ns_telemetry::EventKind::Send);
+        assert_eq!(s.label, "Prims1");
+        assert_eq!(s.peer, Some(1));
+        assert_eq!(s.bytes, 40);
+        let r = &b.tracer.events[0];
+        assert_eq!(r.kind, ns_telemetry::EventKind::Recv);
+        assert_eq!((r.rank, r.peer), (1, Some(0)));
+        assert_eq!(r.bytes, 40);
+    }
+
+    #[test]
     fn send_to_missing_rank_errors() {
         let mut eps = universe(2);
         let mut a = eps.remove(0);
@@ -283,10 +353,10 @@ mod tests {
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         drop(b); // peer "panicked"
-        // a's own sender clones keep the channel alive only for a's inbox;
-        // receiving from the dropped peer can only time out (the message
-        // will never come), while a send to it still succeeds into a's copy
-        // of the sender -> use a short timeout
+                 // a's own sender clones keep the channel alive only for a's inbox;
+                 // receiving from the dropped peer can only time out (the message
+                 // will never come), while a send to it still succeeds into a's copy
+                 // of the sender -> use a short timeout
         a.timeout = Duration::from_millis(10);
         let err = a.recv(1, tag(MsgKind::Prims1, 0)).unwrap_err();
         assert_eq!(err, CommError::Timeout);

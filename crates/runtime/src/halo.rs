@@ -77,6 +77,12 @@ impl<'a> ThreadHalo<'a> {
         self.ep
     }
 
+    /// Mutably borrow the endpoint (out-of-band collectives between steps,
+    /// e.g. the health monitor's abort reduction).
+    pub fn endpoint_mut(&mut self) -> &mut Endpoint {
+        self.ep
+    }
+
     fn pack_prim_col(&self, prim: &PrimField, i_local: usize) -> PackBuf {
         let mut b = PackBuf::with_capacity_f64(3 * self.nr);
         let ii = i_local + NG;
@@ -305,7 +311,12 @@ mod tests {
                             for c in 0..4 {
                                 for i in 0..patch.nxl {
                                     for j in 0..nr {
-                                        flux.set(c, i as isize, j as isize, (c * 100 + rank * 10 + i) as f64 + j as f64 * 0.001);
+                                        flux.set(
+                                            c,
+                                            i as isize,
+                                            j as isize,
+                                            (c * 100 + rank * 10 + i) as f64 + j as f64 * 0.001,
+                                        );
                                     }
                                 }
                             }

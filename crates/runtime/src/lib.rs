@@ -31,4 +31,4 @@ pub mod parallel;
 
 pub use comm::{CommStats, Endpoint};
 pub use halo::{CommVersion, ThreadHalo};
-pub use parallel::{run_parallel, ParallelRun, RankResult};
+pub use parallel::{run_parallel, run_parallel_instrumented, ParallelRun, RankResult, TelemetryOptions};

@@ -7,13 +7,35 @@
 //! communication time* (Figures 5, 6, 13), message start-ups and volume
 //! (Tables 1, 2).
 
+use crate::collectives;
 use crate::comm::{universe, CommStats};
 use crate::halo::{CommVersion, ThreadHalo};
-use ns_core::config::SolverConfig;
+use ns_core::config::{Regime, SolverConfig};
 use ns_core::field::{Field, Patch};
 use ns_core::opcount::FlopLedger;
 use ns_core::Solver;
+use ns_telemetry::{
+    CommTotals, EventKind, HealthConfig, HealthMonitor, HealthSample, PhaseLedger, RunSummary, TraceEvent,
+};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// Which telemetry instruments to arm for a parallel run. Everything is off
+/// by default; the uninstrumented paths pay one branch per hook.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TelemetryOptions {
+    /// Attribute each rank's wall time to the solver's named phases.
+    pub phases: bool,
+    /// Record timestamped phase/send/recv events on a shared timeline.
+    pub trace: bool,
+    /// Sample the watchdogs on this cadence, with a collective early abort
+    /// the moment any rank's sample violates the limits.
+    pub health: Option<HealthConfig>,
+}
+
+/// Epoch namespace for the health monitor's abort reduction, disjoint from
+/// the adaptive-dt reduction (which uses the raw step number).
+const HEALTH_EPOCH: u64 = 1 << 62;
 
 /// Result of one rank's run.
 #[derive(Debug)]
@@ -31,6 +53,17 @@ pub struct RankResult {
     pub busy: Duration,
     /// FLOP ledger.
     pub ledger: FlopLedger,
+    /// Per-phase wall time (empty unless phases/trace telemetry was on).
+    pub phases: PhaseLedger,
+    /// This rank's timeline: phase spans and message events, sorted by
+    /// start time (empty unless trace telemetry was on).
+    pub trace: Vec<TraceEvent>,
+    /// This rank's watchdog samples (empty unless health telemetry was on).
+    pub health: Vec<HealthSample>,
+    /// Steps this rank actually took (fewer than requested on abort).
+    pub steps: u64,
+    /// Why this rank stopped early, if it did.
+    pub abort: Option<String>,
 }
 
 /// Result of a parallel run.
@@ -85,6 +118,96 @@ impl ParallelRun {
     pub fn busy_seconds(&self) -> Vec<f64> {
         self.ranks.iter().map(|r| r.busy.as_secs_f64()).collect()
     }
+
+    /// One rank's measured `label -> seconds` phase breakdown (the shape
+    /// `ns_archsim::SimResult::phase_seconds` reports for the same labels).
+    pub fn rank_phase_seconds(&self, rank: usize) -> BTreeMap<&'static str, f64> {
+        self.ranks[rank].phases.seconds_by_label()
+    }
+
+    /// The phase breakdown summed over ranks.
+    pub fn phase_seconds(&self) -> BTreeMap<&'static str, f64> {
+        let mut all = PhaseLedger::default();
+        for r in &self.ranks {
+            all.merge(&r.phases);
+        }
+        all.seconds_by_label()
+    }
+
+    /// All ranks' trace events on the shared timeline, sorted by start.
+    pub fn merged_trace(&self) -> Vec<TraceEvent> {
+        let mut evs: Vec<TraceEvent> = self.ranks.iter().flat_map(|r| r.trace.iter().cloned()).collect();
+        evs.sort_by_key(|e| (e.t_us, e.rank));
+        evs
+    }
+
+    /// The watchdog series reduced over ranks: per sampled step, the max of
+    /// the maxima, the min of the minima, and the sum of the integrals.
+    pub fn merged_health(&self) -> Vec<HealthSample> {
+        let mut by_step: BTreeMap<u64, HealthSample> = BTreeMap::new();
+        for r in &self.ranks {
+            for s in &r.health {
+                by_step
+                    .entry(s.step)
+                    .and_modify(|g| {
+                        g.max_mach = g.max_mach.max(s.max_mach);
+                        g.max_wave_speed = g.max_wave_speed.max(s.max_wave_speed);
+                        g.min_rho = g.min_rho.min(s.min_rho);
+                        g.min_p = g.min_p.min(s.min_p);
+                        g.mass += s.mass;
+                        g.energy += s.energy;
+                        g.finite &= s.finite;
+                    })
+                    .or_insert(*s);
+            }
+        }
+        by_step.into_values().collect()
+    }
+
+    /// Why the run aborted early, if any rank did.
+    pub fn aborted(&self) -> Option<String> {
+        // prefer a rank that saw the violation itself over peers that were
+        // stopped by the collective flag
+        self.ranks.iter().filter_map(|r| r.abort.clone()).reduce(|a, b| if a.contains("peer") { b } else { a })
+    }
+
+    /// Steps completed by every rank (the minimum across ranks).
+    pub fn steps_taken(&self) -> u64 {
+        self.ranks.iter().map(|r| r.steps).min().unwrap_or(0)
+    }
+
+    /// The machine-readable run summary the `jetns` CLI writes as JSON.
+    pub fn summary(&self, case: &str) -> RunSummary {
+        let stats = self.total_stats();
+        let mut s = RunSummary {
+            case: case.to_string(),
+            regime: match self.cfg.regime {
+                Regime::Euler => "euler".to_string(),
+                Regime::NavierStokes => "navier-stokes".to_string(),
+            },
+            nx: self.cfg.grid.nx,
+            nr: self.cfg.grid.nr,
+            ranks: self.ranks.len(),
+            steps_requested: self.nsteps,
+            steps_taken: self.steps_taken(),
+            wall_seconds: self.elapsed.as_secs_f64(),
+            aborted: self.aborted(),
+            phase_seconds: BTreeMap::new(),
+            comm: CommTotals {
+                sends: stats.sends,
+                recvs: stats.recvs,
+                bytes_sent: stats.bytes_sent,
+                bytes_recvd: stats.bytes_recvd,
+            },
+            health: self.merged_health(),
+        };
+        let mut all = PhaseLedger::default();
+        for r in &self.ranks {
+            all.merge(&r.phases);
+        }
+        s.set_phases(&all);
+        s
+    }
 }
 
 /// Run the solver on `p` ranks for `nsteps` steps, starting from the
@@ -94,6 +217,21 @@ impl ParallelRun {
 /// cubic boundary extrapolation (every rank needs at least 4 columns).
 pub fn run_parallel(cfg: &SolverConfig, p: usize, nsteps: u64, version: CommVersion) -> ParallelRun {
     run_parallel_from(cfg, p, nsteps, version, None)
+}
+
+/// Run the solver on `p` ranks with the requested telemetry armed: phase
+/// attribution, message/phase tracing on a shared timeline, and health
+/// sampling with a collective early abort (every rank stops within one
+/// cadence interval of the first violation, so no rank deadlocks waiting
+/// for a peer that bailed out).
+pub fn run_parallel_instrumented(
+    cfg: &SolverConfig,
+    p: usize,
+    nsteps: u64,
+    version: CommVersion,
+    opts: TelemetryOptions,
+) -> ParallelRun {
+    run_impl(cfg, p, nsteps, version, None, opts)
 }
 
 /// Restart a distributed run from a whole-grid checkpoint: the state is
@@ -106,6 +244,36 @@ pub fn run_parallel_from(
     version: CommVersion,
     restart: Option<&ns_core::checkpoint::Checkpoint>,
 ) -> ParallelRun {
+    run_impl(cfg, p, nsteps, version, restart, TelemetryOptions::default())
+}
+
+/// One collective health check. Every rank samples at the same
+/// (synchronized) steps and a max-reduction of the local violation flags
+/// decides for all of them, so the ranks always break out together instead
+/// of deadlocking on a peer that bailed out. Returns `true` while the run
+/// is globally healthy.
+fn health_check(solver: &Solver, halo: &mut ThreadHalo<'_>, mon: &mut HealthMonitor) -> bool {
+    if !mon.due(solver.nstep) {
+        return true;
+    }
+    let local_ok = mon.observe(solver.health_sample());
+    let flag = if local_ok { 0.0 } else { 1.0 };
+    let global = collectives::allreduce_max(halo.endpoint_mut(), flag, HEALTH_EPOCH + solver.nstep)
+        .expect("health abort reduction failed");
+    if global > 0.0 && mon.healthy() {
+        mon.abort = Some(format!("stopped by peer rank abort at step {}", solver.nstep));
+    }
+    global == 0.0
+}
+
+fn run_impl(
+    cfg: &SolverConfig,
+    p: usize,
+    nsteps: u64,
+    version: CommVersion,
+    restart: Option<&ns_core::checkpoint::Checkpoint>,
+    opts: TelemetryOptions,
+) -> ParallelRun {
     assert!(p >= 1);
     assert_eq!(cfg.dissipation, 0.0, "dissipation is serial-only (the paper's protocol has no smoothing halo)");
     let min_cols = cfg.grid.nx / p;
@@ -116,6 +284,8 @@ pub fn run_parallel_from(
         assert!(cp.patch.nxl == cfg.grid.nx, "distributed restart needs a whole-grid checkpoint");
     }
     let endpoints = universe(p);
+    // One origin for every rank's clock, so the per-rank timelines align.
+    let trace_origin = Instant::now();
     let start = Instant::now();
     let mut ranks: Vec<RankResult> = std::thread::scope(|s| {
         let handles: Vec<_> = endpoints
@@ -143,16 +313,52 @@ pub fn run_parallel_from(
                         solver.t = cp.t;
                         solver.nstep = cp.nstep;
                     }
+                    if opts.trace {
+                        solver.enable_phase_trace(trace_origin);
+                        ep.tracer.enable(trace_origin);
+                    } else if opts.phases {
+                        solver.enable_phase_timing();
+                    }
+                    let mut mon = opts.health.map(HealthMonitor::new);
+                    let mut steps = 0u64;
                     let t0 = Instant::now();
                     {
                         let mut halo = ThreadHalo::new(&mut ep, left, right, nxl, nr, version);
-                        for _ in 0..nsteps {
-                            halo.begin_step(solver.nstep);
-                            solver.step_with_halo(&mut halo);
+                        let healthy_start = mon.as_mut().is_none_or(|m| health_check(&solver, &mut halo, m));
+                        if healthy_start {
+                            for _ in 0..nsteps {
+                                halo.begin_step(solver.nstep);
+                                solver.step_with_halo(&mut halo);
+                                steps += 1;
+                                if let Some(m) = mon.as_mut() {
+                                    if !health_check(&solver, &mut halo, m) {
+                                        break;
+                                    }
+                                }
+                            }
                         }
                     }
                     let wall = t0.elapsed();
                     let wait = ep.wait_time;
+                    let (mut phases, phase_events) = solver.take_phase_telemetry();
+                    let mut trace: Vec<TraceEvent> = Vec::new();
+                    if opts.trace {
+                        trace.extend(phase_events.iter().map(|e| TraceEvent::from_phase(rank, e)));
+                        trace.append(&mut ep.tracer.take());
+                        trace.sort_by_key(|e| e.t_us);
+                    }
+                    if opts.phases || opts.trace {
+                        // The timer pauses around halo calls; blocking
+                        // receive time is measured by the endpoint instead,
+                        // and send packaging shows up in the trace spans.
+                        phases.add("comm:recv", wait.as_secs_f64());
+                        let send_secs: f64 =
+                            trace.iter().filter(|e| e.kind == EventKind::Send).map(|e| e.dur_us as f64 * 1e-6).sum();
+                        if send_secs > 0.0 {
+                            phases.add("comm:send", send_secs);
+                        }
+                    }
+                    let (health, abort) = mon.map_or((Vec::new(), None), |m| (m.samples, m.abort));
                     RankResult {
                         rank,
                         field: solver.field,
@@ -160,6 +366,11 @@ pub fn run_parallel_from(
                         wait,
                         busy: wall.saturating_sub(wait),
                         ledger: solver.ledger,
+                        phases,
+                        trace,
+                        health,
+                        steps,
+                        abort,
                     }
                 })
             })
@@ -271,6 +482,83 @@ mod tests {
         assert_eq!(reference.field.max_diff(&resumed.gather_field()), 0.0, "scatter restart is bitwise");
         // the resumed ranks continued the global clock
         assert_eq!(resumed.ranks[0].ledger.total() > 0, true);
+    }
+
+    #[test]
+    fn instrumented_run_collects_phases_trace_and_health() {
+        let c = cfg(Regime::NavierStokes);
+        let opts = TelemetryOptions {
+            phases: true,
+            trace: true,
+            health: Some(ns_telemetry::HealthConfig { cadence: 2, ..Default::default() }),
+        };
+        let run = run_parallel_instrumented(&c, 3, 4, CommVersion::V5, opts);
+        assert_eq!(run.steps_taken(), 4);
+        assert!(run.aborted().is_none());
+        // phases: the measured breakdown uses the simulator's vocabulary
+        let phases = run.phase_seconds();
+        for label in ["r:prims", "x:flux", "x:correct", "comm:recv"] {
+            assert!(phases.contains_key(label), "missing {label}");
+        }
+        // per-rank breakdown exists and interior rank saw comm time
+        assert!(run.rank_phase_seconds(1).contains_key("x:flux2"));
+        // trace: phase spans and message events on one timeline, sorted
+        let trace = run.merged_trace();
+        assert!(trace.iter().any(|e| e.kind == ns_telemetry::EventKind::Phase));
+        assert!(trace.iter().any(|e| e.kind == ns_telemetry::EventKind::Send));
+        assert!(trace.iter().any(|e| e.kind == ns_telemetry::EventKind::Recv));
+        assert!(trace.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        // every rank appears on the timeline
+        for rank in 0..3 {
+            assert!(trace.iter().any(|e| e.rank == rank), "rank {rank} missing");
+        }
+        // health: sampled at steps 0, 2, 4 and merged over ranks
+        let health = run.merged_health();
+        assert_eq!(health.iter().map(|s| s.step).collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert!(health.iter().all(|s| s.finite && s.min_p > 0.0));
+        // summary ties it all together and serializes
+        let summary = run.summary("test-case");
+        assert_eq!(summary.ranks, 3);
+        assert_eq!(summary.steps_taken, 4);
+        assert_eq!(summary.comm.sends, run.total_stats().sends);
+        let json = summary.to_json();
+        assert!(json.contains("\"phase_seconds\""));
+        assert!(json.contains("navier-stokes"));
+    }
+
+    #[test]
+    fn telemetry_off_leaves_results_empty_and_state_identical() {
+        let c = cfg(Regime::Euler);
+        let plain = run_parallel(&c, 2, 3, CommVersion::V5);
+        let inst = run_parallel_instrumented(
+            &c,
+            2,
+            3,
+            CommVersion::V5,
+            TelemetryOptions { phases: true, trace: true, health: Some(Default::default()) },
+        );
+        assert!(plain.ranks.iter().all(|r| r.phases.is_empty() && r.trace.is_empty() && r.health.is_empty()));
+        // instrumentation observes, never perturbs
+        assert_eq!(plain.gather_field().max_diff(&inst.gather_field()), 0.0);
+    }
+
+    #[test]
+    fn health_abort_stops_all_ranks_together() {
+        let c = cfg(Regime::Euler);
+        let mut limits = ns_telemetry::HealthLimits::default();
+        limits.max_mach = 0.5; // jet core is Mach 1.5: violated immediately
+        let opts = TelemetryOptions {
+            phases: false,
+            trace: false,
+            health: Some(ns_telemetry::HealthConfig { cadence: 2, limits }),
+        };
+        let run = run_parallel_instrumented(&c, 3, 10, CommVersion::V5, opts);
+        // the step-0 sample already violates, so nobody takes a step
+        assert_eq!(run.steps_taken(), 0);
+        let reason = run.aborted().expect("must abort");
+        assert!(reason.contains("Mach"), "got: {reason}");
+        // every rank stopped, none deadlocked
+        assert!(run.ranks.iter().all(|r| r.abort.is_some()));
     }
 
     #[test]

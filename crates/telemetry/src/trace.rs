@@ -1,0 +1,293 @@
+//! Timestamped event traces and their exporters.
+//!
+//! A [`TraceEvent`] is one span on one rank's timeline: a compute phase, a
+//! message send, or a (possibly blocking) receive. The runtime's endpoints
+//! record send/recv events, the solver's [`crate::PhaseTimer`] contributes
+//! phase spans, and the architecture simulator emits the same schema from
+//! virtual time — so one set of tools (the JSONL exporter, the Chrome
+//! `trace_event` exporter, the ASCII Gantt in `ns-experiments`) renders all
+//! three.
+
+use crate::phase::PhaseEvent;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// What kind of span a [`TraceEvent`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A named compute phase.
+    Phase,
+    /// A message send (duration = time spent in the send call).
+    Send,
+    /// A message receive (duration = time blocked waiting for the match).
+    Recv,
+}
+
+impl EventKind {
+    /// Lower-case category name (Chrome trace `cat` field).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::Phase => "phase",
+            EventKind::Send => "send",
+            EventKind::Recv => "recv",
+        }
+    }
+}
+
+/// One span on a rank's timeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Start, microseconds since the trace origin (wall clock for the live
+    /// runtime, virtual time for the simulator).
+    pub t_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Rank the event happened on.
+    pub rank: usize,
+    /// Span kind.
+    pub kind: EventKind,
+    /// Phase label (`x:flux`, …) or message kind (`Prims1`, `Flux2`, …).
+    pub label: String,
+    /// Peer rank for sends/receives.
+    pub peer: Option<usize>,
+    /// Payload bytes moved (sends and receives); 0 for phases.
+    pub bytes: u64,
+}
+
+impl TraceEvent {
+    /// Lift a profiler span onto a rank's timeline.
+    pub fn from_phase(rank: usize, e: &PhaseEvent) -> Self {
+        Self {
+            t_us: e.t_us,
+            dur_us: e.dur_us,
+            rank,
+            kind: EventKind::Phase,
+            label: e.label.to_string(),
+            peer: None,
+            bytes: 0,
+        }
+    }
+}
+
+/// A per-rank event recorder. Disabled by default: a disabled tracer's
+/// `enabled()` check is the only cost on the message path.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    on: bool,
+    t0: Instant,
+    /// Recorded events, in record order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self { on: false, t0: Instant::now(), events: Vec::new() }
+    }
+}
+
+impl Tracer {
+    /// Is the tracer recording?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Start recording, with timestamps measured from `t0` (share one `t0`
+    /// across ranks so their timelines align).
+    pub fn enable(&mut self, t0: Instant) {
+        self.on = true;
+        self.t0 = t0;
+    }
+
+    /// Record a span that started at instant `start` and lasted `dur`.
+    /// No-op while disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        kind: EventKind,
+        rank: usize,
+        label: impl Into<String>,
+        peer: Option<usize>,
+        bytes: u64,
+        start: Instant,
+        dur: Duration,
+    ) {
+        if !self.on {
+            return;
+        }
+        self.events.push(TraceEvent {
+            t_us: start.saturating_duration_since(self.t0).as_micros() as u64,
+            dur_us: dur.as_micros() as u64,
+            rank,
+            kind,
+            label: label.into(),
+            peer,
+            bytes,
+        });
+    }
+
+    /// Take the recorded events, leaving the tracer running and empty.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Export a trace as JSON Lines: one `TraceEvent` object per line, suitable
+/// for `grep`/`jq` pipelines and incremental appends.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("trace event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL trace back (blank lines ignored).
+pub fn trace_from_jsonl(s: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
+    s.lines().filter(|l| !l.trim().is_empty()).map(serde_json::from_str).collect()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Export a trace in the Chrome `trace_event` JSON format (open with
+/// `chrome://tracing` or <https://ui.perfetto.dev>): every event becomes a
+/// complete (`"ph":"X"`) span with `pid` 0 and `tid` = rank, plus thread
+/// metadata naming each rank.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    // Build the JSON by hand: the schema is fixed and tiny, and this keeps
+    // the exporter independent of any particular serde data model.
+    let nranks = events.iter().map(|e| e.rank + 1).max().unwrap_or(0);
+    let mut parts: Vec<String> = Vec::with_capacity(events.len() + nranks);
+    for r in 0..nranks {
+        parts.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{r},\"args\":{{\"name\":\"rank {r}\"}}}}"
+        ));
+    }
+    for e in events {
+        let peer = e.peer.map_or("null".to_string(), |p| p.to_string());
+        parts.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"peer\":{},\"bytes\":{}}}}}",
+            json_escape(&e.label),
+            e.kind.as_str(),
+            e.t_us,
+            e.dur_us,
+            e.rank,
+            peer,
+            e.bytes,
+        ));
+    }
+    format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                t_us: 0,
+                dur_us: 120,
+                rank: 0,
+                kind: EventKind::Phase,
+                label: "x:flux".into(),
+                peer: None,
+                bytes: 0,
+            },
+            TraceEvent {
+                t_us: 120,
+                dur_us: 3,
+                rank: 0,
+                kind: EventKind::Send,
+                label: "Prims1".into(),
+                peer: Some(1),
+                bytes: 2400,
+            },
+            TraceEvent {
+                t_us: 40,
+                dur_us: 85,
+                rank: 1,
+                kind: EventKind::Recv,
+                label: "Prims1".into(),
+                peer: Some(0),
+                bytes: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let evs = sample();
+        let text = to_jsonl(&evs);
+        assert_eq!(text.lines().count(), 3);
+        let back = trace_from_jsonl(&text).unwrap();
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn chrome_trace_is_parseable_json_with_spans() {
+        let text = to_chrome_trace(&sample());
+        // must parse as JSON at all
+        let _: serde_json::Value = serde_json::from_str(&text).unwrap();
+        // two ranks -> two thread-name metadata records
+        assert_eq!(text.matches("\"thread_name\"").count(), 2);
+        // three complete spans with the right names/categories
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), 3);
+        assert!(text.contains("\"name\":\"x:flux\",\"cat\":\"phase\""));
+        assert!(text.contains("\"cat\":\"send\""));
+        assert!(text.contains("\"args\":{\"peer\":1,\"bytes\":2400}"));
+        assert!(text.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_labels() {
+        let evs = vec![TraceEvent {
+            t_us: 0,
+            dur_us: 1,
+            rank: 0,
+            kind: EventKind::Phase,
+            label: "odd\"label\\".into(),
+            peer: None,
+            bytes: 0,
+        }];
+        let text = to_chrome_trace(&evs);
+        let _: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(text.contains("odd\\\"label\\\\"));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::default();
+        t.record(EventKind::Send, 0, "Flux1", Some(1), 64, Instant::now(), Duration::ZERO);
+        assert!(t.events.is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn enabled_tracer_timestamps_against_origin() {
+        let mut t = Tracer::default();
+        let t0 = Instant::now();
+        t.enable(t0);
+        std::thread::sleep(Duration::from_millis(2));
+        t.record(EventKind::Recv, 3, "Flux2", Some(2), 0, Instant::now(), Duration::from_micros(7));
+        assert_eq!(t.events.len(), 1);
+        assert!(t.events[0].t_us >= 2000);
+        assert_eq!(t.events[0].dur_us, 7);
+        assert_eq!(t.events[0].rank, 3);
+    }
+}

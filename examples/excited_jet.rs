@@ -14,11 +14,7 @@ use ns_numerics::Grid;
 
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper");
-    let (grid, steps) = if paper_scale {
-        (Grid::paper(), 16_000)
-    } else {
-        (Grid::new(125, 50, 50.0, 5.0), 2_000)
-    };
+    let (grid, steps) = if paper_scale { (Grid::paper(), 16_000) } else { (Grid::new(125, 50, 50.0, 5.0), 2_000) };
     println!(
         "running the excited jet: {}x{} grid, {} steps{}",
         grid.nx,

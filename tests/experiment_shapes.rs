@@ -61,11 +61,25 @@ fn claim_ethernet_peaks_then_degrades() {
     }
     let ns_best = {
         let r = fig_lace::fig3_4(Regime::NavierStokes);
-        r.series("LACE/560 Ethernet").unwrap().points.iter().cloned().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0
+        r.series("LACE/560 Ethernet")
+            .unwrap()
+            .points
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
     };
     let eu_best = {
         let r = fig_lace::fig3_4(Regime::Euler);
-        r.series("LACE/560 Ethernet").unwrap().points.iter().cloned().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0
+        r.series("LACE/560 Ethernet")
+            .unwrap()
+            .points
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
     };
     assert!(eu_best >= ns_best, "Euler's peak ({eu_best}) at least N-S's ({ns_best})");
 }

@@ -1,0 +1,242 @@
+//! Offline shim for `criterion`: a minimal but genuine timing harness.
+//! Benchmarks are warmed up, then measured over a fixed wall-clock budget,
+//! and results print as `<group>/<id> ... <mean> per iter` lines. There are
+//! no statistics beyond mean/min, and no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience (benches in this workspace use
+/// `std::hint::black_box` directly, but upstream offers it here too).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Render to the printed id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Mean seconds per iteration of the last `iter` call.
+    mean_secs: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self { mean_secs: 0.0, iters: 0 }
+    }
+
+    /// Time `f`, storing the mean cost per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: at least 3 iterations or 20 ms.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Measurement: run until the budget elapses.
+        let budget = Duration::from_millis(120);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let total = start.elapsed().as_secs_f64();
+        self.iters = iters.max(1);
+        self.mean_secs = total / self.iters as f64;
+    }
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(throughput: Option<Throughput>, secs: f64) -> String {
+    match throughput {
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            format!("  ({:.2} Melem/s)", n as f64 / secs / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            format!("  ({:.2} MiB/s)", n as f64 / secs / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for API compatibility; the shim's
+    /// budget-based measurement ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        println!(
+            "bench {:<50} {:>12}/iter{}",
+            format!("{}/{}", self.name, id.into_id()),
+            fmt_duration(b.mean_secs),
+            fmt_rate(self.throughput, b.mean_secs),
+        );
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        println!(
+            "bench {:<50} {:>12}/iter{}",
+            format!("{}/{}", self.name, id.into_id()),
+            fmt_duration(b.mean_secs),
+            fmt_rate(self.throughput, b.mean_secs),
+        );
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        println!(
+            "bench {:<50} {:>12}/iter",
+            id.into_id(),
+            fmt_duration(b.mean_secs),
+        );
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,69 @@
+//! Offline shim for `parking_lot`: `Mutex`/`RwLock` wrappers over
+//! `std::sync` with the parking_lot API (no lock poisoning — a poisoned
+//! std lock is treated as acquired, matching parking_lot semantics).
+
+/// Mutual exclusion lock.
+#[derive(Default, Debug)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquire the lock (never poisons).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Reader-writer lock.
+#[derive(Default, Debug)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Create a new lock.
+    pub const fn new(value: T) -> Self {
+        Self { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Acquire a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquire an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Offline shim for `proptest`: the `proptest!` macro plus the strategy
+//! combinators the workspace's property tests use (numeric ranges,
+//! `bool::ANY`, `f64::NORMAL`/`ANY`, `collection::vec`, `sample::subsequence`,
+//! `prop_map`, `prop_filter`). Cases are generated from a deterministic
+//! xorshift generator seeded by the test name, so failures are reproducible;
+//! there is no shrinking.
+
+pub mod test_runner {
+    /// Per-test configuration (`cases` = accepted cases to run).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Modest default so `cargo test -q` stays fast; tests that need
+            // more coverage override via `with_cases`.
+            Self { cases: 48 }
+        }
+    }
+
+    /// Marker for a case rejected by `prop_assume!`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// Deterministic xorshift64* generator.
+    #[derive(Clone, Debug)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Seed from a test name (FNV-1a hash).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Self { state: h | 1 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform usize in `[0, n)` (n > 0).
+        pub fn next_below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+
+    /// A source of random values (shim: direct generation, no value trees).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discard values failing `keep` (regenerates, up to a retry cap).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            keep: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence: whence.into(), keep }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut Rng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        keep: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut Rng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.keep)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}` rejected 1000 consecutive values", self.whence)
+        }
+    }
+
+    /// Always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + (rng.next_u64() % span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    impl_signed_range!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            self.start + rng.next_unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut Rng) -> f32 {
+            self.start + (rng.next_unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut Rng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut Rng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Either boolean, uniformly.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The `prop::bool::ANY` strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Numeric strategies.
+pub mod num {
+    /// f64 strategies.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::Rng;
+
+        /// Normal (finite, non-subnormal) doubles of either sign.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Normal;
+
+        /// The `prop::num::f64::NORMAL` strategy.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn generate(&self, rng: &mut Rng) -> f64 {
+                // Exponents around 1.0 (2^-50 .. 2^52) so downstream
+                // arithmetic like `v % 1.0` keeps fractional structure.
+                let exp: u64 = 973 + rng.next_u64() % 103;
+                let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+                let sign = (rng.next_u64() & 1) << 63;
+                f64::from_bits(sign | (exp << 52) | mantissa)
+            }
+        }
+
+        /// Any bit pattern, including NaN and infinities.
+        #[derive(Clone, Copy, Debug)]
+        pub struct AnyF64;
+
+        /// The `prop::num::f64::ANY` strategy.
+        pub const ANY: AnyF64 = AnyF64;
+
+        impl Strategy for AnyF64 {
+            type Value = f64;
+            fn generate(&self, rng: &mut Rng) -> f64 {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Inclusive lower, exclusive upper bound.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty size range for collection::vec");
+        VecStrategy { element, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = self.lo + rng.next_below(self.hi - self.lo);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Strategy for order-preserving subsequences.
+    pub struct Subsequence<T: Clone> {
+        values: Vec<T>,
+        size: usize,
+    }
+
+    /// A random subsequence of `values` of exactly `size` elements,
+    /// preserving the original order.
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: usize) -> Subsequence<T> {
+        assert!(size <= values.len(), "subsequence size exceeds the pool");
+        Subsequence { values, size }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut Rng) -> Vec<T> {
+            let n = self.values.len();
+            let mut idx: Vec<usize> = (0..n).collect();
+            // Partial Fisher-Yates, then restore order.
+            for k in 0..self.size {
+                let j = k + rng.next_below(n - k);
+                idx.swap(k, j);
+            }
+            let mut chosen = idx[..self.size].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Strategy module aliases (`prop::collection::vec` etc.).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Reject the current case unless `cond` holds (it is regenerated).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Assert within a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Assert equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Assert inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::Rng::from_name(stringify!($name));
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(20).max(200);
+            while __accepted < __config.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (move || {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                if __outcome.is_ok() {
+                    __accepted += 1;
+                }
+            }
+            if __accepted < __config.cases {
+                panic!(
+                    "proptest: only {} of {} cases accepted (too many prop_assume rejections)",
+                    __accepted, __config.cases
+                );
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}

@@ -1,0 +1,44 @@
+//! Offline shim for `rand`. The workspace declares rand as a dev-dependency
+//! but does not currently use it; this shim keeps the manifest resolvable
+//! and offers a tiny deterministic generator should a test want one.
+
+/// Minimal random-source trait.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform f64 in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Deterministic xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seed the generator (zero is remapped to a fixed odd constant).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// A process-global deterministic generator (not actually thread-local
+/// entropy — this shim favours reproducibility).
+pub fn thread_rng() -> SmallRng {
+    SmallRng::seed_from_u64(0x853C49E6748FEA9B)
+}

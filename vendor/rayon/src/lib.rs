@@ -1,0 +1,243 @@
+//! Offline shim for `rayon`: genuinely parallel `par_iter`/`par_iter_mut`
+//! (with `zip` + `for_each`) executed on `std::thread::scope` chunks, and a
+//! `ThreadPool` whose `install` sets the parallelism degree for the
+//! enclosed region. The work partitioning is deterministic, so numerical
+//! results are bitwise reproducible for a fixed thread count.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn effective_threads() -> usize {
+    let n = CURRENT_THREADS.with(|c| c.get());
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Error building a thread pool (this shim never actually fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default, Debug)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the parallelism degree (0 = number of cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A parallelism context. Threads are spawned per parallel region (scoped),
+/// not kept resident; `install` fixes the degree used inside the closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's parallelism degree.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.replace(self.num_threads);
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// The pool's parallelism degree.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// The parallelism degree in effect at the call site.
+pub fn current_num_threads() -> usize {
+    effective_threads()
+}
+
+fn run_parallel<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
+    let n = effective_threads().max(1);
+    if n == 1 || items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(n);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    std::thread::scope(|s| {
+        let f = &f;
+        for ch in chunks {
+            s.spawn(move || {
+                for item in ch {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Core parallel-iterator trait (eager shim: items are materialized, then
+/// dispatched over scoped threads in deterministic contiguous chunks).
+pub trait ParallelIterator: Sized {
+    /// Item yielded to `for_each`.
+    type Item: Send;
+
+    /// Materialize the items in order.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Pair up with another parallel iterator (truncates to the shorter).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Apply `f` to every item, in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_parallel(self.into_items(), f);
+    }
+}
+
+/// Zipped pair of parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn into_items(self) -> Vec<Self::Item> {
+        self.a.into_items().into_iter().zip(self.b.into_items()).collect()
+    }
+}
+
+/// Parallel iterator over `&mut T` items.
+pub struct IterMut<'a, T: Send> {
+    items: Vec<&'a mut T>,
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+    fn into_items(self) -> Vec<Self::Item> {
+        self.items
+    }
+}
+
+/// Parallel iterator over `&T` items.
+pub struct Iter<'a, T: Sync> {
+    items: Vec<&'a T>,
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+    fn into_items(self) -> Vec<Self::Item> {
+        self.items
+    }
+}
+
+/// `par_iter_mut` provider.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator;
+    /// Iterate mutably in parallel.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> IterMut<'a, T> {
+        IterMut { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> IterMut<'a, T> {
+        IterMut { items: self.iter_mut().collect() }
+    }
+}
+
+/// `par_iter` provider.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator;
+    /// Iterate in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = Iter<'a, T>;
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = Iter<'a, T>;
+    fn par_iter(&'a self) -> Iter<'a, T> {
+        Iter { items: self.iter().collect() }
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn zip_for_each_runs_every_item() {
+        let mut a: Vec<u64> = (0..100).collect();
+        let mut b: Vec<u64> = (0..100).map(|x| x * 2).collect();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            a.par_iter_mut().zip(b.par_iter_mut()).for_each(|(x, y)| {
+                *x += *y;
+            });
+        });
+        for (i, v) in a.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Walks the raw `proc_macro::TokenStream` directly (no syn/quote in this
+//! environment) and emits impls of the shim `serde::Serialize` /
+//! `serde::Deserialize` traits. Supports what the workspace uses:
+//!
+//! * structs with named fields,
+//! * enums with unit and struct (named-field) variants — externally tagged:
+//!   unit variants serialize as `"Name"`, struct variants as
+//!   `{"Name": {..fields..}}`.
+//!
+//! Unsupported shapes (generics, tuple structs/variants, `#[serde(..)]`
+//! attributes) panic at expansion time with a clear message rather than
+//! silently producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip `#[...]` attributes and visibility modifiers at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracketed group
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse the named fields of a brace-delimited body into field names.
+fn parse_named_fields(body: &[TokenTree], ctx: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive shim: expected field name in {ctx}, found `{other}`"),
+        };
+        i += 1;
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive shim: expected `:` after field `{name}` in {ctx}, found `{other}` (tuple fields unsupported)"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_enum_variants(body: &[TokenTree], ctx: &str) -> Vec<(String, Option<Vec<String>>)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive shim: expected variant name in {ctx}, found `{other}`"),
+        };
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = body.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    fields = Some(parse_named_fields(&inner, ctx));
+                    i += 1;
+                }
+                Delimiter::Parenthesis => {
+                    panic!("serde derive shim: tuple variant `{name}` in {ctx} unsupported")
+                }
+                _ => {}
+            }
+        }
+        // Optional discriminant `= expr` then optional comma.
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive shim: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive shim: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic type `{name}` unsupported");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => panic!("serde derive shim: `{name}` has no brace body (tuple/unit types unsupported)"),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(&body, &name)),
+        "enum" => Shape::Enum(parse_enum_variants(&body, &name)),
+        other => panic!("serde derive shim: unsupported item kind `{other}`"),
+    };
+    Parsed { name, shape }
+}
+
+/// Derive the shim `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse_input(input);
+    let name = &p.name;
+    let mut out = String::new();
+    out.push_str(&format!("impl ::serde::Serialize for {name} {{\n"));
+    out.push_str("    fn serialize(&self) -> ::serde::Value {\n");
+    match &p.shape {
+        Shape::Struct(fields) => {
+            out.push_str("        let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "        m.push((String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            out.push_str("        ::serde::Value::Map(m)\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for (v, fields) in variants {
+                match fields {
+                    None => out.push_str(&format!(
+                        "            {name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),\n"
+                    )),
+                    Some(fs) => {
+                        let pat = fs.join(", ");
+                        out.push_str(&format!("            {name}::{v} {{ {pat} }} => {{\n"));
+                        out.push_str(
+                            "                let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fs {
+                            out.push_str(&format!(
+                                "                m.push((String::from(\"{f}\"), ::serde::Serialize::serialize({f})));\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "                ::serde::Value::Map(vec![(String::from(\"{v}\"), ::serde::Value::Map(m))])\n"
+                        ));
+                        out.push_str("            }\n");
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse().expect("serde derive shim: generated Serialize impl failed to parse")
+}
+
+/// Derive the shim `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse_input(input);
+    let name = &p.name;
+    let mut out = String::new();
+    out.push_str(&format!("impl ::serde::Deserialize for {name} {{\n"));
+    out.push_str(
+        "    fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {\n",
+    );
+    match &p.shape {
+        Shape::Struct(fields) => {
+            out.push_str(&format!(
+                "        let m = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?;\n"
+            ));
+            out.push_str(&format!("        ::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                out.push_str(&format!(
+                    "            {f}: ::serde::Deserialize::deserialize(::serde::map_field(m, \"{f}\", \"{name}\")?)?,\n"
+                ));
+            }
+            out.push_str("        })\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("        match v {\n");
+            out.push_str("            ::serde::Value::Str(s) => match s.as_str() {\n");
+            for (vname, fields) in variants {
+                if fields.is_none() {
+                    out.push_str(&format!(
+                        "                \"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "                other => ::std::result::Result::Err(::serde::DeError::msg(format!(\"unknown variant `{{other}}` for {name}\"))),\n"
+            ));
+            out.push_str("            },\n");
+            out.push_str("            ::serde::Value::Map(entries) if entries.len() == 1 => {\n");
+            out.push_str("                let (tag, inner) = &entries[0];\n");
+            out.push_str("                match tag.as_str() {\n");
+            for (vname, fields) in variants {
+                if let Some(fs) = fields {
+                    out.push_str(&format!("                    \"{vname}\" => {{\n"));
+                    out.push_str(&format!(
+                        "                        let m = inner.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{vname}\"))?;\n"
+                    ));
+                    out.push_str(&format!(
+                        "                        ::std::result::Result::Ok({name}::{vname} {{\n"
+                    ));
+                    for f in fs {
+                        out.push_str(&format!(
+                            "                            {f}: ::serde::Deserialize::deserialize(::serde::map_field(m, \"{f}\", \"{name}::{vname}\")?)?,\n"
+                        ));
+                    }
+                    out.push_str("                        })\n");
+                    out.push_str("                    }\n");
+                }
+            }
+            out.push_str(&format!(
+                "                    other => ::std::result::Result::Err(::serde::DeError::msg(format!(\"unknown variant `{{other}}` for {name}\"))),\n"
+            ));
+            out.push_str("                }\n");
+            out.push_str("            }\n");
+            out.push_str(&format!(
+                "            _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key map\", \"{name}\")),\n"
+            ));
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse().expect("serde derive shim: generated Deserialize impl failed to parse")
+}
