@@ -108,18 +108,24 @@ impl CpuSpec {
     }
 }
 
-/// Loop order and arithmetic-style CPI surcharge of each version.
+/// Loop order, arithmetic-style CPI surcharge, and memory-reference scale
+/// of each version.
 ///
 /// V1 pays for `powf` calls and per-point divisions, V2 drops the `powf`,
 /// V4 converts divisions to reciprocal multiplies, V5 removes the last of
-/// the per-access index arithmetic.
-pub fn version_params(v: Version) -> (SweepOrder, f64) {
+/// the per-access index arithmetic. V6 fuses the primitive recovery into
+/// the flux sweep: each radial line's primitives are consumed while still
+/// in cache instead of being written out and re-read a whole plane later,
+/// which trims the references-per-flop of the compute phase (the
+/// arithmetic is bit-identical to V5, so the surcharge stays zero).
+pub fn version_params(v: Version) -> (SweepOrder, f64, f64) {
     match v {
-        Version::V1 => (SweepOrder::Strided, 1.20),
-        Version::V2 => (SweepOrder::Strided, 0.55),
-        Version::V3 => (SweepOrder::Unit, 0.55),
-        Version::V4 => (SweepOrder::Unit, 0.10),
-        Version::V5 => (SweepOrder::Unit, 0.0),
+        Version::V1 => (SweepOrder::Strided, 1.20, 1.0),
+        Version::V2 => (SweepOrder::Strided, 0.55, 1.0),
+        Version::V3 => (SweepOrder::Unit, 0.55, 1.0),
+        Version::V4 => (SweepOrder::Unit, 0.10, 1.0),
+        Version::V5 => (SweepOrder::Unit, 0.0, 1.0),
+        Version::V6 => (SweepOrder::Unit, 0.0, 0.75),
     }
 }
 
@@ -167,8 +173,8 @@ impl Calibration {
             let grid = Grid::paper();
             let cpu = CpuSpec::rs6000_560();
             let refs_per_flop = 1.2;
-            let (o1, a1) = version_params(Version::V1);
-            let (o5, a5) = version_params(Version::V5);
+            let (o1, a1, _) = version_params(Version::V1);
+            let (o5, a5, _) = version_params(Version::V5);
             let mr1 = miss_ratio(cpu.cache, o1, grid.nx, grid.nr);
             let mr5 = miss_ratio(cpu.cache, o5, grid.nx, grid.nr);
             assert!(mr1 > mr5, "strided trace must miss more: {mr1} vs {mr5}");
@@ -190,10 +196,10 @@ impl Calibration {
     /// Sustained MFLOPS of `cpu` running version `v` on an `nxl x nr`
     /// subdomain.
     pub fn mflops(&self, cpu: &CpuSpec, v: Version, nxl: usize, nr: usize) -> f64 {
-        let (order, arith) = version_params(v);
+        let (order, arith, refs_scale) = version_params(v);
         let mr = miss_ratio(cpu.cache, order, nxl, nr);
         let pen_cycles = self.penalty_ns * cpu.penalty_scale * 1e-9 * cpu.clock_hz;
-        let cpi = self.base_cpi * cpu.base_scale + arith + self.refs_per_flop * mr * pen_cycles;
+        let cpi = self.base_cpi * cpu.base_scale + arith + self.refs_per_flop * refs_scale * mr * pen_cycles;
         cpu.clock_hz / cpi / 1e6
     }
 

@@ -144,7 +144,10 @@ fn compile_rank(cal: &Calibration, cpu: &CpuSpec, lib: &MsgLib, cfg: &SimConfig,
             (n, cfg.grid.nx, n, rank + 1 == cfg.nprocs)
         }
     };
-    let w = workload::step_workload_decomposed(cfg.regime, &cfg.grid, local, cfg.decomposition, owns_top);
+    let mut w = workload::step_workload_decomposed(cfg.regime, &cfg.grid, local, cfg.decomposition, owns_top);
+    if cfg.version == Version::V6 {
+        w.relabel_fused();
+    }
     let busy_for = |flops: u64| cal.seconds_for(cpu, cfg.version, nxl, nr, flops);
 
     let mut evs: Vec<Ev> = Vec::new();
@@ -171,9 +174,12 @@ fn compile_rank(cal: &Calibration, cpu: &CpuSpec, lib: &MsgLib, cfg: &SimConfig,
             PhaseOp::Compute { label, flops } => evs.push(Ev::Busy { secs: busy_for(*flops), label }),
             PhaseOp::ExchangePrims { bytes } => {
                 // Version 6: overlap this wait with the interior part of the
-                // flux phase that follows.
-                let next_is_flux =
-                    matches!(ops.get(k + 1), Some(PhaseOp::Compute { label, .. }) if label.contains("flux"));
+                // flux phase that follows (labeled `*:flux*` on the V1–V5
+                // kernel ladder, `*:fused*` on the fused V6 path).
+                let next_is_flux = matches!(
+                    ops.get(k + 1),
+                    Some(PhaseOp::Compute { label, .. }) if label.contains("flux") || label.contains("fused")
+                );
                 if cfg.comm == CommMode::V6 && next_is_flux {
                     let Some(PhaseOp::Compute { label, flops }) = ops.get(k + 1) else { unreachable!() };
                     let flux_time = busy_for(*flops) * V6_SPLIT_PENALTY;
@@ -445,6 +451,19 @@ mod tests {
         let v6 = simulate(&cfg);
         let rel = (v6.total - v5.total).abs() / v5.total;
         assert!(rel < 0.08, "V6 within a few percent of V5: {rel}");
+    }
+
+    #[test]
+    fn fused_v6_kernels_speed_compute_and_relabel_phases() {
+        let mut cfg = SimConfig::paper(Platform::lace560_allnode_s(), 4, Regime::NavierStokes);
+        cfg.sim_steps = 5;
+        let v5 = simulate(&cfg);
+        cfg.version = Version::V6;
+        let v6 = simulate(&cfg);
+        assert!(v6.total < v5.total, "fused kernels must be faster: {} vs {}", v6.total, v5.total);
+        assert!(v6.phase_seconds.contains_key("x:fused") && v6.phase_seconds.contains_key("r:fused2"));
+        assert!(!v6.phase_seconds.keys().any(|l| l.contains("prims")), "prims phases merge into the fused sweeps");
+        assert_eq!(v6.startups, v5.startups, "the message protocol is version-independent");
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! round trips, halo exchanges and collectives — the software costs the
 //! paper blames for NOW overheads, measured on the real implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use ns_bench::MedianBench;
 use ns_runtime::collectives;
 use ns_runtime::comm::{universe, MsgKind, Tag};
-use ns_runtime::pack::{PackBuf, UnpackBuf};
+use ns_runtime::pack::{BufPool, PackBuf, UnpackBuf};
 
 fn bench_pack(c: &mut Criterion) {
     let mut g = c.benchmark_group("pack_unpack");
@@ -79,5 +80,61 @@ fn bench_collectives(c: &mut Criterion) {
     g.finish();
 }
 
+/// Machine-readable runtime microbenchmarks for `BENCH_kernels.json`:
+/// pack/roundtrip cost per payload size, the pooled-vs-fresh buffer
+/// comparison behind the zero-allocation halo path, and a same-thread
+/// message round trip.
+fn json_runtime() {
+    let mut h = MedianBench::from_env();
+    for n in [100usize, 800, 6400] {
+        let data = vec![1.25f64; n];
+        h.measure("pack_f64", &n.to_string(), None, || {
+            let mut p = PackBuf::with_capacity_f64(n);
+            p.pack_f64_slice(&data);
+            std::hint::black_box(p.freeze());
+        });
+        // Fresh allocation per message (the pre-pool hot path) ...
+        h.measure("pack_roundtrip_fresh", &n.to_string(), None, || {
+            let mut p = PackBuf::with_capacity_f64(n);
+            p.pack_f64_slice(&data);
+            let mut u = UnpackBuf::new(p.freeze());
+            let mut out = vec![0.0f64; n];
+            u.unpack_f64_slice(&mut out).unwrap();
+            std::hint::black_box(&out);
+        });
+        // ... versus the recycling pool, steady state: acquire reuses the
+        // buffer the previous iteration recycled, so no allocation.
+        let mut pool = BufPool::default();
+        let mut out = vec![0.0f64; n];
+        h.measure("pack_roundtrip_pooled", &n.to_string(), None, || {
+            let mut p = pool.acquire_f64(n);
+            p.pack_f64_slice(&data);
+            let mut u = UnpackBuf::new(p.freeze());
+            u.unpack_f64_slice(&mut out).unwrap();
+            pool.recycle(u.finish().unwrap());
+            std::hint::black_box(&out);
+        });
+    }
+    {
+        let mut eps = universe(2);
+        let mut b1 = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let mut seq = 0u64;
+        h.measure("endpoint_ping", "800B", None, || {
+            let mut p = PackBuf::with_capacity_f64(100);
+            p.pack_f64_slice(&[0.5; 100]);
+            let tag = Tag { kind: MsgKind::Flux1, seq };
+            a.send(1, tag, p).unwrap();
+            std::hint::black_box(b1.recv(0, tag).unwrap());
+            seq += 1;
+        });
+    }
+    h.write_merged(&ns_bench::output_path()).expect("write BENCH_kernels.json");
+}
+
 criterion_group!(benches, bench_pack, bench_ping_pong, bench_collectives);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    json_runtime();
+}

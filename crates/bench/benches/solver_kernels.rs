@@ -1,7 +1,8 @@
 //! Microbenchmarks of the solver's hot kernels across the optimization
 //! versions — the kernel-level view behind Figure 2.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use ns_bench::MedianBench;
 use ns_core::config::{Regime, SolverConfig, Version};
 use ns_core::field::{Field, FluxField, Patch, PrimField, Workspace};
 use ns_core::kernels::{self, EdgeFlags, FluxDir};
@@ -94,5 +95,84 @@ fn bench_operators(c: &mut Criterion) {
     g.finish();
 }
 
+/// One prims+ghosts+flux plane sweep — the unit the V6 fusion optimizes.
+/// V1–V5 run the two-pass sequence; V6 runs the fused single sweep.
+#[allow(clippy::too_many_arguments)]
+fn plane_sweep(
+    v: Version,
+    field: &Field,
+    prim: &mut PrimField,
+    flux: &mut FluxField,
+    patch: &Patch,
+    edges: EdgeFlags,
+    gas: &ns_numerics::gas::GasModel,
+    ledger: &mut FlopLedger,
+) {
+    if v == Version::V6 {
+        kernels::fused_sweep(FluxDir::X, field, prim, edges, gas, flux, None, 0..patch.nxl, 0..patch.nxl, None, ledger);
+    } else {
+        kernels::compute_prims(v, field, prim, gas, ledger);
+        ns_core::bc::mirror_prims_axis(prim);
+        ns_core::bc::extrap_prims_top(prim, patch.nr());
+        kernels::compute_flux(v, FluxDir::X, prim, patch, edges, gas, flux, None, ledger);
+    }
+}
+
+/// Machine-readable ladder: median ns/op per version per grid size, written
+/// into `BENCH_kernels.json` (the committed perf trajectory) with MFLOPS
+/// derived from the `FlopLedger` model. The versions are measured as one
+/// interleaved group per grid so CPU-frequency drift can't bias the
+/// few-percent rung-to-rung deltas. Quick mode drops the large grid.
+fn json_ladder() {
+    let mut h = MedianBench::from_env();
+    let mut grids = vec![(Grid::new(125, 50, 50.0, 5.0), "125x50")];
+    if !h.quick() {
+        grids.push((Grid::paper(), "250x100"));
+    }
+    for (grid, gname) in grids {
+        let cfg = SolverConfig::paper(grid, Regime::NavierStokes);
+        let gas = cfg.effective_gas();
+        let patch = Patch::whole(cfg.grid.clone());
+        let field = Field::from_primitives(patch.clone(), &gas, |x, r| Primitive {
+            rho: 1.0 + 0.05 * (0.1 * x).sin() * (-r).exp(),
+            u: 0.5 + 0.2 * (-(r - 1.0) * (r - 1.0)).exp(),
+            v: 0.01 * (0.3 * x).sin(),
+            p: gas.pressure(1.0, 1.0),
+        });
+        let edges = EdgeFlags::of(&patch);
+        // Flop model for one sweep: identical across versions by design
+        // (the ledger counts useful work; the versions differ in time).
+        let flops = {
+            let mut prim = PrimField::zeros(&patch);
+            let mut flux = FluxField::zeros(&patch);
+            let mut model = FlopLedger::default();
+            plane_sweep(Version::V5, &field, &mut prim, &mut flux, &patch, edges, &gas, &mut model);
+            model.total() as f64
+        };
+        let mut items: Vec<ns_bench::GroupItem> = Version::ALL
+            .iter()
+            .map(|&v| {
+                let mut prim = PrimField::zeros(&patch);
+                let mut flux = FluxField::zeros(&patch);
+                let mut ledger = FlopLedger::default();
+                let (field, patch, gas) = (&field, &patch, &gas);
+                ns_bench::GroupItem {
+                    id: format!("{v:?}"),
+                    flops: Some(flops),
+                    f: Box::new(move || {
+                        plane_sweep(v, field, &mut prim, &mut flux, patch, edges, gas, &mut ledger);
+                    }),
+                }
+            })
+            .collect();
+        h.measure_interleaved(&format!("prims_flux_sweep/{gname}"), &mut items);
+    }
+    h.write_merged(&ns_bench::output_path()).expect("write BENCH_kernels.json");
+}
+
 criterion_group!(benches, bench_prims, bench_flux, bench_operators);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    json_ladder();
+}

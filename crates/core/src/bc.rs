@@ -70,15 +70,23 @@ pub fn apply_inflow(field: &mut Field, cfg: &SolverConfig, gas: &GasModel, t: f6
 pub fn mirror_prims_axis(prim: &mut PrimField) {
     let ni = prim.rho.ni();
     for i in 0..ni {
-        for g in 0..NG {
-            let dst = NG - 1 - g;
-            let src = NG + g;
-            prim.rho.set(i, dst, prim.rho.at(i, src));
-            prim.u.set(i, dst, prim.u.at(i, src));
-            prim.v.set(i, dst, -prim.v.at(i, src));
-            prim.p.set(i, dst, prim.p.at(i, src));
-            prim.t.set(i, dst, prim.t.at(i, src));
-        }
+        mirror_prims_axis_row(prim, i);
+    }
+}
+
+/// Axis-symmetry ghost fill of one axial station `i` (raw index). The
+/// per-station building block of [`mirror_prims_axis`], used by the V6
+/// fused sweep to fill a station's ghosts while its row is still hot.
+#[inline]
+pub fn mirror_prims_axis_row(prim: &mut PrimField, i: usize) {
+    for g in 0..NG {
+        let dst = NG - 1 - g;
+        let src = NG + g;
+        prim.rho.set(i, dst, prim.rho.at(i, src));
+        prim.u.set(i, dst, prim.u.at(i, src));
+        prim.v.set(i, dst, -prim.v.at(i, src));
+        prim.p.set(i, dst, prim.p.at(i, src));
+        prim.t.set(i, dst, prim.t.at(i, src));
     }
 }
 
@@ -86,16 +94,23 @@ pub fn mirror_prims_axis(prim: &mut PrimField) {
 /// extrapolation from the last two interior rows.
 pub fn extrap_prims_top(prim: &mut PrimField, nr: usize) {
     let ni = prim.rho.ni();
+    for i in 0..ni {
+        extrap_prims_top_row(prim, i, nr);
+    }
+}
+
+/// Far-field ghost fill of one axial station `i` (raw index). The
+/// per-station building block of [`extrap_prims_top`].
+#[inline]
+pub fn extrap_prims_top_row(prim: &mut PrimField, i: usize, nr: usize) {
     let a = NG + nr - 1;
     let b = NG + nr - 2;
-    for i in 0..ni {
-        for g in 0..NG {
-            let dst = NG + nr + g;
-            let w = (g + 1) as f64;
-            for pl in [&mut prim.rho, &mut prim.u, &mut prim.v, &mut prim.p, &mut prim.t] {
-                let val = pl.at(i, a) + w * (pl.at(i, a) - pl.at(i, b));
-                pl.set(i, dst, val);
-            }
+    for g in 0..NG {
+        let dst = NG + nr + g;
+        let w = (g + 1) as f64;
+        for pl in [&mut prim.rho, &mut prim.u, &mut prim.v, &mut prim.p, &mut prim.t] {
+            let val = pl.at(i, a) + w * (pl.at(i, a) - pl.at(i, b));
+            pl.set(i, dst, val);
         }
     }
 }

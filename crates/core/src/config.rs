@@ -42,9 +42,17 @@ impl Regime {
 ///   multiple COMMON blocks is a fused single-pass kernel that keeps
 ///   per-point temporaries in registers instead of materializing
 ///   intermediate stress arrays.
+/// * `V6` — beyond the paper's ladder: prims+flux loop fusion. The primitive
+///   recovery and the flux evaluation are performed in one sweep over each
+///   row-major plane (each radial line is consumed for fluxes while still
+///   hot in cache, halving the memory traffic of the V5 prims-then-flux
+///   sequence), with the inner loops iterated in fixed-width lanes over row
+///   slices so LLVM auto-vectorizes them. The per-point arithmetic is
+///   bit-identical to V5.
 ///
-/// Versions 6 and 7 are *communication* variants (overlap, burst-splitting)
-/// and live in `ns-runtime` / `ns-archsim`.
+/// The *communication* variants with the same numbers (overlap,
+/// burst-splitting) are a separate axis and live in `ns-runtime`
+/// (`CommVersion`) / `ns-archsim` (`CommMode`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Version {
     /// Original code.
@@ -57,11 +65,14 @@ pub enum Version {
     V4,
     /// + fused kernels / register reuse.
     V5,
+    /// + prims/flux single-sweep fusion with lane-chunked inner loops.
+    V6,
 }
 
 impl Version {
-    /// All single-processor versions in paper order.
-    pub const ALL: [Version; 5] = [Version::V1, Version::V2, Version::V3, Version::V4, Version::V5];
+    /// All single-processor versions in ladder order (V1–V5 are the paper's
+    /// Figure 2 rungs; V6 is this repo's fused extension).
+    pub const ALL: [Version; 6] = [Version::V1, Version::V2, Version::V3, Version::V4, Version::V5, Version::V6];
 
     /// 1-based index as used on the Figure 2 axis.
     pub fn index(self) -> usize {
@@ -71,6 +82,7 @@ impl Version {
             Version::V3 => 3,
             Version::V4 => 4,
             Version::V5 => 5,
+            Version::V6 => 6,
         }
     }
 }
@@ -225,7 +237,8 @@ mod tests {
     #[test]
     fn version_ordering_and_indexing() {
         assert!(Version::V1 < Version::V5);
-        assert_eq!(Version::ALL.len(), 5);
+        assert!(Version::V5 < Version::V6);
+        assert_eq!(Version::ALL.len(), 6);
         for (k, v) in Version::ALL.iter().enumerate() {
             assert_eq!(v.index(), k + 1);
         }

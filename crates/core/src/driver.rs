@@ -372,8 +372,8 @@ mod tests {
     fn monitored_run_aborts_on_violated_limits() {
         let cfg = SolverConfig::paper(Grid::small(), Regime::Euler);
         let mut s = Solver::new(cfg);
-        let mut limits = ns_telemetry::HealthLimits::default();
-        limits.max_mach = 0.1; // the jet core is Mach 1.5: instant violation
+        // the jet core is Mach 1.5: instant violation
+        let limits = ns_telemetry::HealthLimits { max_mach: 0.1, ..Default::default() };
         let mut mon = ns_telemetry::HealthMonitor::new(ns_telemetry::HealthConfig { cadence: 1, limits });
         let taken = s.run_monitored(10, &mut mon);
         assert_eq!(taken, 0, "step-0 sample must already abort");

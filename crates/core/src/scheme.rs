@@ -101,62 +101,115 @@ pub fn x_operator(
     // every halo call: exchange time belongs to the runtime's communication
     // accounting, not to a compute phase.
 
+    // V6 fuses primitive recovery, ghost fill and flux evaluation into one
+    // sweep per stage; its phase labels ("x:fused", "x:fused2") replace the
+    // separate prims/flux pairs in the telemetry vocabulary.
+    let fused = cfg.version == crate::config::Version::V6;
+    let (flo, fhi) = (usize::from(!edges.left), nxl - usize::from(!edges.right));
+
     // --- stage 1: fluxes of Q^n -------------------------------------------
-    ws.timers.start("x:prims");
-    kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
-    bc::mirror_prims_axis(&mut ws.prim);
-    bc::extrap_prims_top(&mut ws.prim, nr);
     // Split-phase exchange: post the boundary columns, compute the columns
     // whose stencils are fully local, complete the receives, finish the
     // edge columns. With an overlapping transport this is exactly the
     // paper's Version 6; with a plain transport (or serially) it degenerates
     // to exchange-then-compute (Version 5) with identical arithmetic.
-    ws.timers.pause();
-    halo.post_prims(&mut ws.prim);
-    let (flo, fhi) = (usize::from(!edges.left), nxl - usize::from(!edges.right));
-    ws.timers.start("x:flux");
-    kernels::compute_flux_range(
-        cfg.version,
-        FluxDir::X,
-        &ws.prim,
-        &patch,
-        edges,
-        gas,
-        &mut ws.flux,
-        None,
-        flo..fhi,
-        ledger,
-    );
-    ws.timers.pause();
-    halo.finish_prims(&mut ws.prim);
-    ws.timers.start("x:flux");
-    kernels::compute_flux_range(
-        cfg.version,
-        FluxDir::X,
-        &ws.prim,
-        &patch,
-        edges,
-        gas,
-        &mut ws.flux,
-        None,
-        0..flo,
-        ledger,
-    );
-    kernels::compute_flux_range(
-        cfg.version,
-        FluxDir::X,
-        &ws.prim,
-        &patch,
-        edges,
-        gas,
-        &mut ws.flux,
-        None,
-        fhi..nxl,
-        ledger,
-    );
+    if fused {
+        ws.timers.start("x:fused");
+        kernels::fused_boundary_prims(field, &mut ws.prim, gas, &[0, nxl - 1], ledger);
+        ws.timers.pause();
+        halo.post_prims(&mut ws.prim);
+        ws.timers.start("x:fused");
+        kernels::fused_sweep(
+            FluxDir::X,
+            field,
+            &mut ws.prim,
+            edges,
+            gas,
+            &mut ws.flux,
+            None,
+            1..nxl - 1,
+            flo..fhi,
+            Some(nxl - 1),
+            ledger,
+        );
+        ws.timers.pause();
+        halo.finish_prims(&mut ws.prim);
+        ws.timers.start("x:fused");
+        kernels::compute_flux_range(
+            cfg.version,
+            FluxDir::X,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux,
+            None,
+            0..flo,
+            ledger,
+        );
+        kernels::compute_flux_range(
+            cfg.version,
+            FluxDir::X,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux,
+            None,
+            fhi..nxl,
+            ledger,
+        );
+    } else {
+        ws.timers.start("x:prims");
+        kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
+        bc::mirror_prims_axis(&mut ws.prim);
+        bc::extrap_prims_top(&mut ws.prim, nr);
+        ws.timers.pause();
+        halo.post_prims(&mut ws.prim);
+        ws.timers.start("x:flux");
+        kernels::compute_flux_range(
+            cfg.version,
+            FluxDir::X,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux,
+            None,
+            flo..fhi,
+            ledger,
+        );
+        ws.timers.pause();
+        halo.finish_prims(&mut ws.prim);
+        ws.timers.start("x:flux");
+        kernels::compute_flux_range(
+            cfg.version,
+            FluxDir::X,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux,
+            None,
+            0..flo,
+            ledger,
+        );
+        kernels::compute_flux_range(
+            cfg.version,
+            FluxDir::X,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux,
+            None,
+            fhi..nxl,
+            ledger,
+        );
+    }
     ws.timers.pause();
     halo.exchange_flux(&mut ws.flux);
-    ws.timers.start("x:flux");
+    ws.timers.start(if fused { "x:fused" } else { "x:flux" });
     bc::extrap_flux_x(&mut ws.flux, nxl, nr, edges.left, edges.right, ledger);
 
     // Characteristic outflow update of the owned global-right column, from
@@ -180,63 +233,140 @@ pub fn x_operator(
     }
 
     // --- stage 2: fluxes of the predictor state ----------------------------
-    ws.timers.start("x:prims2");
-    kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
-    bc::mirror_prims_axis(&mut ws.prim);
-    bc::extrap_prims_top(&mut ws.prim, nr);
-    if viscous {
-        // The second grouped primitive exchange; Euler skips it (its edge
-        // fluxes need no derivative stencils), which is why the paper's
-        // Euler run does 12 message start-ups per step against 16 for N-S.
-        ws.timers.pause();
-        halo.post_prims(&mut ws.prim);
-        ws.timers.start("x:flux2");
-        kernels::compute_flux_range(
-            cfg.version,
-            FluxDir::X,
-            &ws.prim,
-            &patch,
-            edges,
-            gas,
-            &mut ws.flux_bar,
-            None,
-            flo..fhi,
-            ledger,
-        );
-        ws.timers.pause();
-        halo.finish_prims(&mut ws.prim);
-        ws.timers.start("x:flux2");
-        kernels::compute_flux_range(
-            cfg.version,
-            FluxDir::X,
-            &ws.prim,
-            &patch,
-            edges,
-            gas,
-            &mut ws.flux_bar,
-            None,
-            0..flo,
-            ledger,
-        );
-        kernels::compute_flux_range(
-            cfg.version,
-            FluxDir::X,
-            &ws.prim,
-            &patch,
-            edges,
-            gas,
-            &mut ws.flux_bar,
-            None,
-            fhi..nxl,
-            ledger,
-        );
+    if fused {
+        if viscous {
+            ws.timers.start("x:fused2");
+            kernels::fused_boundary_prims(&ws.qbar, &mut ws.prim, gas, &[0, nxl - 1], ledger);
+            ws.timers.pause();
+            halo.post_prims(&mut ws.prim);
+            ws.timers.start("x:fused2");
+            kernels::fused_sweep(
+                FluxDir::X,
+                &ws.qbar,
+                &mut ws.prim,
+                edges,
+                gas,
+                &mut ws.flux_bar,
+                None,
+                1..nxl - 1,
+                flo..fhi,
+                Some(nxl - 1),
+                ledger,
+            );
+            ws.timers.pause();
+            halo.finish_prims(&mut ws.prim);
+            ws.timers.start("x:fused2");
+            kernels::compute_flux_range(
+                cfg.version,
+                FluxDir::X,
+                &ws.prim,
+                &patch,
+                edges,
+                gas,
+                &mut ws.flux_bar,
+                None,
+                0..flo,
+                ledger,
+            );
+            kernels::compute_flux_range(
+                cfg.version,
+                FluxDir::X,
+                &ws.prim,
+                &patch,
+                edges,
+                gas,
+                &mut ws.flux_bar,
+                None,
+                fhi..nxl,
+                ledger,
+            );
+        } else {
+            // Euler needs no stencil neighbours: the whole stage fuses into
+            // a single exchange-free sweep.
+            ws.timers.start("x:fused2");
+            kernels::fused_sweep(
+                FluxDir::X,
+                &ws.qbar,
+                &mut ws.prim,
+                edges,
+                gas,
+                &mut ws.flux_bar,
+                None,
+                0..nxl,
+                0..nxl,
+                None,
+                ledger,
+            );
+        }
     } else {
-        ws.timers.start("x:flux2");
-        kernels::compute_flux(cfg.version, FluxDir::X, &ws.prim, &patch, edges, gas, &mut ws.flux_bar, None, ledger);
+        ws.timers.start("x:prims2");
+        kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
+        bc::mirror_prims_axis(&mut ws.prim);
+        bc::extrap_prims_top(&mut ws.prim, nr);
+        if viscous {
+            // The second grouped primitive exchange; Euler skips it (its edge
+            // fluxes need no derivative stencils), which is why the paper's
+            // Euler run does 12 message start-ups per step against 16 for N-S.
+            ws.timers.pause();
+            halo.post_prims(&mut ws.prim);
+            ws.timers.start("x:flux2");
+            kernels::compute_flux_range(
+                cfg.version,
+                FluxDir::X,
+                &ws.prim,
+                &patch,
+                edges,
+                gas,
+                &mut ws.flux_bar,
+                None,
+                flo..fhi,
+                ledger,
+            );
+            ws.timers.pause();
+            halo.finish_prims(&mut ws.prim);
+            ws.timers.start("x:flux2");
+            kernels::compute_flux_range(
+                cfg.version,
+                FluxDir::X,
+                &ws.prim,
+                &patch,
+                edges,
+                gas,
+                &mut ws.flux_bar,
+                None,
+                0..flo,
+                ledger,
+            );
+            kernels::compute_flux_range(
+                cfg.version,
+                FluxDir::X,
+                &ws.prim,
+                &patch,
+                edges,
+                gas,
+                &mut ws.flux_bar,
+                None,
+                fhi..nxl,
+                ledger,
+            );
+        } else {
+            ws.timers.start("x:flux2");
+            kernels::compute_flux(
+                cfg.version,
+                FluxDir::X,
+                &ws.prim,
+                &patch,
+                edges,
+                gas,
+                &mut ws.flux_bar,
+                None,
+                ledger,
+            );
+        }
     }
     ws.timers.pause();
     halo.exchange_flux(&mut ws.flux_bar);
-    ws.timers.start("x:flux2");
+    ws.timers.start(if fused { "x:fused2" } else { "x:flux2" });
     bc::extrap_flux_x(&mut ws.flux_bar, nxl, nr, edges.left, edges.right, ledger);
 
     // --- corrector ----------------------------------------------------------
@@ -274,23 +404,44 @@ pub fn r_operator(
     let (nxl, nr) = (patch.nxl, patch.nr());
     let lam = dt / (6.0 * patch.grid.dr);
 
+    let fused = cfg.version == crate::config::Version::V6;
+
     // --- stage 1 -------------------------------------------------------------
-    ws.timers.start("r:prims");
-    kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
-    bc::mirror_prims_axis(&mut ws.prim);
-    bc::extrap_prims_top(&mut ws.prim, nr);
-    ws.timers.start("r:flux");
-    kernels::compute_flux(
-        cfg.version,
-        FluxDir::R,
-        &ws.prim,
-        &patch,
-        edges,
-        gas,
-        &mut ws.flux,
-        Some(&mut ws.src),
-        ledger,
-    );
+    if fused {
+        // Comm-free sweep: fuse the whole stage (prims, radial ghosts, flux
+        // and source) into one pipelined pass over the axial stations.
+        ws.timers.start("r:fused");
+        kernels::fused_sweep(
+            FluxDir::R,
+            field,
+            &mut ws.prim,
+            edges,
+            gas,
+            &mut ws.flux,
+            Some(&mut ws.src),
+            0..nxl,
+            0..nxl,
+            None,
+            ledger,
+        );
+    } else {
+        ws.timers.start("r:prims");
+        kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
+        bc::mirror_prims_axis(&mut ws.prim);
+        bc::extrap_prims_top(&mut ws.prim, nr);
+        ws.timers.start("r:flux");
+        kernels::compute_flux(
+            cfg.version,
+            FluxDir::R,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux,
+            Some(&mut ws.src),
+            ledger,
+        );
+    }
     bc::fill_rflux_ghosts(&mut ws.flux, nxl, nr, ledger);
 
     // --- predictor -------------------------------------------------------------
@@ -304,22 +455,39 @@ pub fn r_operator(
     }
 
     // --- stage 2 -------------------------------------------------------------
-    ws.timers.start("r:prims2");
-    kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
-    bc::mirror_prims_axis(&mut ws.prim);
-    bc::extrap_prims_top(&mut ws.prim, nr);
-    ws.timers.start("r:flux2");
-    kernels::compute_flux(
-        cfg.version,
-        FluxDir::R,
-        &ws.prim,
-        &patch,
-        edges,
-        gas,
-        &mut ws.flux_bar,
-        Some(&mut ws.src_bar),
-        ledger,
-    );
+    if fused {
+        ws.timers.start("r:fused2");
+        kernels::fused_sweep(
+            FluxDir::R,
+            &ws.qbar,
+            &mut ws.prim,
+            edges,
+            gas,
+            &mut ws.flux_bar,
+            Some(&mut ws.src_bar),
+            0..nxl,
+            0..nxl,
+            None,
+            ledger,
+        );
+    } else {
+        ws.timers.start("r:prims2");
+        kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
+        bc::mirror_prims_axis(&mut ws.prim);
+        bc::extrap_prims_top(&mut ws.prim, nr);
+        ws.timers.start("r:flux2");
+        kernels::compute_flux(
+            cfg.version,
+            FluxDir::R,
+            &ws.prim,
+            &patch,
+            edges,
+            gas,
+            &mut ws.flux_bar,
+            Some(&mut ws.src_bar),
+            ledger,
+        );
+    }
     bc::fill_rflux_ghosts(&mut ws.flux_bar, nxl, nr, ledger);
 
     // --- corrector -------------------------------------------------------------
@@ -632,5 +800,38 @@ mod tests {
         let a = run(Version::V1);
         let b = run(Version::V5);
         assert!(a.max_diff(&b) < 1e-9, "versions diverged by {}", a.max_diff(&b));
+    }
+
+    /// The fused V6 path reorders the sweep but not the arithmetic: after
+    /// full operator applications it must agree with V5 to the last bit, in
+    /// both regimes.
+    #[test]
+    fn fused_v6_matches_v5_bitwise_through_operators() {
+        for regime in [Regime::NavierStokes, Regime::Euler] {
+            let run = |version: Version| {
+                let mut cfg = SolverConfig::paper(Grid::small(), regime);
+                cfg.version = version;
+                let gas = cfg.effective_gas();
+                let patch = Patch::whole(cfg.grid.clone());
+                let mut field = Field::from_primitives(patch.clone(), &gas, |x, r| Primitive {
+                    rho: 1.0 + 0.05 * (0.2 * x).sin() * (-r).exp(),
+                    u: 0.5 + 0.1 * (-((r - 1.0) * (r - 1.0))).exp(),
+                    v: 0.01 * (0.4 * x).cos(),
+                    p: gas.pressure(1.0, 1.0),
+                });
+                let mut ws = Workspace::new(&field.patch);
+                let mut ledger = FlopLedger::default();
+                let dt = cfg.time_step();
+                for variant in [Variant::L1, Variant::L2] {
+                    r_operator(variant, &mut field, &mut ws, &cfg, &gas, dt, &mut ledger);
+                    x_operator(variant, &mut field, &mut ws, &cfg, &gas, &mut NoHalo, 0.0, dt, &mut ledger);
+                }
+                (field, ledger)
+            };
+            let (a, la) = run(Version::V5);
+            let (b, lb) = run(Version::V6);
+            assert_eq!(a.max_diff(&b), 0.0, "{regime:?}: V6 diverged from V5 by {}", a.max_diff(&b));
+            assert_eq!(la, lb, "{regime:?}: fused ledger accounting diverged from V5");
+        }
     }
 }

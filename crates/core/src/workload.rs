@@ -177,7 +177,41 @@ pub fn step_workload_decomposed(
     StepWorkload { ops, nr: nrl, nxl }
 }
 
+/// Build the per-step program with phase labels matching `version`'s timer
+/// vocabulary. V1–V5 share the prims/flux phase split; the fused V6 path
+/// merges primitive recovery into the flux sweep, so its timers report the
+/// combined phases as `r:fused` / `x:fused2` etc. The flops and the message
+/// protocol are identical across versions — only the labels change.
+pub fn step_workload_versioned(
+    regime: Regime,
+    grid: &Grid,
+    nxl: usize,
+    version: crate::config::Version,
+) -> StepWorkload {
+    let mut w = step_workload(regime, grid, nxl);
+    if version == crate::config::Version::V6 {
+        w.relabel_fused();
+    }
+    w
+}
+
 impl StepWorkload {
+    /// Rewrite the compute-phase labels to the fused V6 vocabulary (each
+    /// prims phase merges into the flux sweep that follows it).
+    pub fn relabel_fused(&mut self) {
+        for op in &mut self.ops {
+            if let PhaseOp::Compute { label, .. } = op {
+                *label = match *label {
+                    "r:prims" | "r:flux" => "r:fused",
+                    "r:prims2" | "r:flux2" => "r:fused2",
+                    "x:prims" | "x:flux" => "x:fused",
+                    "x:prims2" | "x:flux2" => "x:fused2",
+                    other => other,
+                };
+            }
+        }
+    }
+
     /// Total compute FLOPs per step.
     pub fn compute_flops(&self) -> u64 {
         self.ops
@@ -255,6 +289,30 @@ mod tests {
         let b = step_workload(Regime::NavierStokes, &g, 200).compute_flops();
         let rel = (b as f64 - 2.0 * a as f64).abs() / b as f64;
         assert!(rel < 1e-12, "linear in nxl");
+    }
+
+    #[test]
+    fn v6_workload_fuses_labels_but_not_flops_or_protocol() {
+        use crate::config::Version;
+        let g = Grid::paper();
+        let v5 = step_workload_versioned(Regime::NavierStokes, &g, 16, Version::V5);
+        let v6 = step_workload_versioned(Regime::NavierStokes, &g, 16, Version::V6);
+        assert_eq!(v5, step_workload(Regime::NavierStokes, &g, 16));
+        assert_eq!(v5.compute_flops(), v6.compute_flops());
+        assert_eq!(v5.startups_per_step(2), v6.startups_per_step(2));
+        assert_eq!(v5.ops.len(), v6.ops.len());
+        let labels: Vec<&str> = v6
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                PhaseOp::Compute { label, .. } => Some(*label),
+                _ => None,
+            })
+            .collect();
+        assert!(labels.contains(&"r:fused") && labels.contains(&"x:fused2"));
+        assert!(!labels.iter().any(|l| l.contains("prims") || l.ends_with("flux") || l.ends_with("flux2")));
+        // the predictor/corrector phases keep their names
+        assert!(labels.contains(&"x:predict") && labels.contains(&"r:correct"));
     }
 
     #[test]

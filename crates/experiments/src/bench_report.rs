@@ -1,0 +1,137 @@
+//! Figure 2 analogue from *measured* data: render the V1→V6 kernel ladder
+//! recorded in `BENCH_kernels.json` (written by the ns-bench binaries) as an
+//! ASCII MFLOPS bar chart, plus a table of the runtime-primitive medians.
+//!
+//! The simulated ladder ([`crate::fig_versions::simulated_1995`]) shows the
+//! calibrated 1995 machine; this report shows the same sweep measured on the
+//! present host, so the committed JSON becomes a perf trajectory the repo
+//! can track across commits.
+
+use serde::Deserialize;
+use std::collections::BTreeMap;
+
+/// One benchmark point (the subset of the ns-bench record this report uses).
+#[derive(Clone, Debug, Deserialize)]
+pub struct BenchPoint {
+    /// Group name, e.g. `prims_flux_sweep/125x50`.
+    pub group: String,
+    /// Point id within the group, e.g. `V6`.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Derived MFLOPS, when the point has a flop model.
+    pub mflops: Option<f64>,
+}
+
+/// Parsed contents of `BENCH_kernels.json`.
+#[derive(Clone, Debug, Deserialize)]
+pub struct BenchData {
+    /// Schema tag (`ns-bench/kernels/v1`).
+    pub schema: String,
+    /// True when the file came from an `NS_BENCH_QUICK` smoke run.
+    pub quick: bool,
+    /// All recorded points.
+    pub records: Vec<BenchPoint>,
+}
+
+/// Prefix of the groups that form the version ladder.
+const LADDER_PREFIX: &str = "prims_flux_sweep/";
+
+/// Parse the JSON text of `BENCH_kernels.json`.
+pub fn parse(json: &str) -> Result<BenchData, String> {
+    let data: BenchData = serde_json::from_str(json).map_err(|e| format!("BENCH_kernels.json: {e}"))?;
+    if !data.schema.starts_with("ns-bench/kernels/") {
+        return Err(format!("unexpected schema `{}`", data.schema));
+    }
+    Ok(data)
+}
+
+/// Render the ladder chart and primitive table.
+pub fn render(data: &BenchData) -> String {
+    let mut out = String::new();
+    if data.quick {
+        out.push_str("(NS_BENCH_QUICK smoke run: short budget, medians are noisy)\n\n");
+    }
+
+    // Ladder groups, one block per grid size, versions in id order.
+    let mut ladders: BTreeMap<&str, Vec<&BenchPoint>> = BTreeMap::new();
+    for p in &data.records {
+        if let Some(grid) = p.group.strip_prefix(LADDER_PREFIX) {
+            ladders.entry(grid).or_default().push(p);
+        }
+    }
+    for (grid, mut pts) in ladders {
+        pts.sort_by(|a, b| a.id.cmp(&b.id));
+        out.push_str(&format!("Figure 2 (measured host): prims+flux sweep, grid {grid}\n"));
+        let vmax = pts.iter().filter_map(|p| p.mflops).fold(0.0f64, f64::max).max(1e-9);
+        let v5 = pts.iter().find(|p| p.id == "V5").and_then(|p| p.mflops);
+        for p in &pts {
+            let m = p.mflops.unwrap_or(0.0);
+            let bar = "#".repeat(((m / vmax) * 40.0).round() as usize);
+            let vs5 = match (p.id.as_str(), v5) {
+                ("V6", Some(base)) if base > 0.0 => format!("  ({:.2}x over V5)", m / base),
+                _ => String::new(),
+            };
+            out.push_str(&format!("  {:<4} {:>9.1} MFLOPS |{bar}{vs5}\n", p.id, m));
+        }
+        out.push('\n');
+    }
+    if !out.contains("Figure 2") {
+        out.push_str("no prims_flux_sweep ladder in file (run the solver_kernels bench)\n\n");
+    }
+
+    // Everything else: median-ns table.
+    let rest: Vec<&BenchPoint> = data.records.iter().filter(|p| !p.group.starts_with(LADDER_PREFIX)).collect();
+    if !rest.is_empty() {
+        out.push_str("runtime primitives (median ns/op)\n");
+        for p in rest {
+            out.push_str(&format!("  {:<28} {:>12.1}\n", format!("{}/{}", p.group, p.id), p.median_ns));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> &'static str {
+        r#"{
+  "schema": "ns-bench/kernels/v1",
+  "quick": false,
+  "records": [
+    {"group": "prims_flux_sweep/125x50", "id": "V1", "median_ns": 120000.0, "iters": 8, "samples": 15, "flops": 425000.0, "mflops": 3540.0},
+    {"group": "prims_flux_sweep/125x50", "id": "V5", "median_ns": 70000.0, "iters": 8, "samples": 15, "flops": 425000.0, "mflops": 6071.0},
+    {"group": "prims_flux_sweep/125x50", "id": "V6", "median_ns": 65000.0, "iters": 8, "samples": 15, "flops": 425000.0, "mflops": 6538.0},
+    {"group": "pack_f64", "id": "800", "median_ns": 350.5, "iters": 64, "samples": 15, "flops": null, "mflops": null}
+  ]
+}"#
+    }
+
+    #[test]
+    fn parses_and_renders_ladder_with_v6_speedup() {
+        let data = parse(sample()).unwrap();
+        assert_eq!(data.records.len(), 4);
+        let text = render(&data);
+        assert!(text.contains("grid 125x50"), "{text}");
+        assert!(text.contains("V6"), "{text}");
+        // V6 speedup over V5 is annotated
+        assert!(text.contains("x over V5"), "{text}");
+        // the longest bar belongs to the fastest version
+        let v6_line = text.lines().find(|l| l.trim_start().starts_with("V6")).unwrap();
+        assert!(v6_line.matches('#').count() == 40, "{v6_line}");
+        // runtime primitives table included
+        assert!(text.contains("pack_f64/800"), "{text}");
+    }
+
+    #[test]
+    fn rejects_foreign_schema() {
+        assert!(parse(r#"{"schema": "other", "quick": false, "records": []}"#).is_err());
+    }
+
+    #[test]
+    fn quick_files_are_flagged() {
+        let data = parse(&sample().replace("\"quick\": false", "\"quick\": true")).unwrap();
+        assert!(render(&data).contains("NS_BENCH_QUICK"));
+    }
+}

@@ -11,12 +11,15 @@
 //! jetns speedup    [--steps N]                                         host wall-clock scaling
 //! jetns checkpoint --out FILE [--steps N]                              run and write a restart file
 //! jetns resume     --from FILE [--steps N]                             continue from a restart file
+//! jetns bench-report [--file PATH]                                     render the measured V1→V6
+//!                                                                      MFLOPS ladder (Figure 2
+//!                                                                      analogue) from BENCH_kernels.json
 //! ```
 
 use ns_core::checkpoint::Checkpoint;
 use ns_core::config::{Regime, SolverConfig};
 use ns_core::{diag, Solver};
-use ns_experiments::{contour, extensions, fig_platforms, report, speedup};
+use ns_experiments::{bench_report, contour, extensions, fig_platforms, report, speedup};
 use ns_numerics::Grid;
 use ns_runtime::{run_parallel_instrumented, CommVersion, TelemetryOptions};
 use ns_telemetry::{to_chrome_trace, to_jsonl, HealthConfig, HealthMonitor};
@@ -280,9 +283,30 @@ fn cmd_resume(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_bench_report(args: &Args) -> ExitCode {
+    let path = args.get("file").unwrap_or("BENCH_kernels.json");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("jetns: cannot read {path}: {e} (run `cargo bench -p ns-bench` to produce it)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match bench_report::parse(&text) {
+        Ok(data) => {
+            print!("{}", bench_report::render(&data));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jetns: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume> [flags]\n\
+        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report> [flags]\n\
          see the module docs in crates/experiments/src/bin/jetns.rs"
     );
     ExitCode::FAILURE
@@ -303,6 +327,7 @@ fn main() -> ExitCode {
         "speedup" => cmd_speedup(&args),
         "checkpoint" => cmd_checkpoint(&args),
         "resume" => cmd_resume(&args),
+        "bench-report" => cmd_bench_report(&args),
         _ => usage(),
     }
 }

@@ -90,7 +90,7 @@ mod tests {
         let r = simulated_1995();
         let ns = r.series("Navier-Stokes").unwrap();
         let eu = r.series("Euler").unwrap();
-        for k in 1..=5 {
+        for k in 1..=6 {
             assert!(eu.at(k as f64).unwrap() < ns.at(k as f64).unwrap());
         }
     }

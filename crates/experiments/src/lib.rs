@@ -25,6 +25,7 @@
 //! decomposition, larger machines, weak scaling).
 
 pub mod acoustics;
+pub mod bench_report;
 pub mod contour;
 pub mod extensions;
 pub mod fig_flow;

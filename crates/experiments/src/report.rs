@@ -206,18 +206,19 @@ pub fn phase_breakdown(title: &str, columns: &[(String, BTreeMap<String, f64>)])
 /// * `s` — message sends, including `comm:send` / `comm:stall` phases
 /// * `w` — receive waits, including `comm:recv` phases
 /// * space — idle (nothing recorded)
-pub fn gantt(trace: &[TraceEvent], nranks: usize, width: usize) -> String {
+pub fn gantt<E: std::borrow::Borrow<TraceEvent>>(trace: &[E], nranks: usize, width: usize) -> String {
     if trace.is_empty() || nranks == 0 || width == 0 {
         return String::from("(empty trace)\n");
     }
-    let t0 = trace.iter().map(|e| e.t_us).min().unwrap();
-    let t1 = trace.iter().map(|e| e.t_us + e.dur_us).max().unwrap().max(t0 + 1);
+    let t0 = trace.iter().map(|e| e.borrow().t_us).min().unwrap();
+    let t1 = trace.iter().map(|e| e.borrow().t_us + e.borrow().dur_us).max().unwrap().max(t0 + 1);
     let span = (t1 - t0) as f64;
     let bucket = span / width as f64;
     const CHARS: [char; 5] = ['r', 'x', '#', 's', 'w'];
     // coverage[rank][bucket][class] = µs of that class inside the bucket
     let mut cov = vec![vec![[0.0f64; CHARS.len()]; width]; nranks];
     for e in trace {
+        let e = e.borrow();
         if e.rank >= nranks {
             continue;
         }
@@ -374,7 +375,7 @@ mod tests {
         assert!(g.contains("rank   0 |xxxxxwwwww|"), "{g}");
         assert!(g.contains("rank   1 |rrrrrrrrrr|"), "{g}");
         assert!(g.contains("legend"));
-        assert!(gantt(&[], 2, 10).contains("empty trace"));
+        assert!(gantt::<TraceEvent>(&[], 2, 10).contains("empty trace"));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! not just the simulator.
 
 use crate::comm::{Endpoint, MsgKind, Tag};
-use crate::pack::{PackBuf, UnpackBuf};
+use crate::pack::{BufPool, PackBuf, UnpackBuf};
 use ns_core::field::{FluxField, PrimField, NG};
 use ns_core::scheme::XHalo;
 
@@ -48,6 +48,11 @@ pub struct ThreadHalo<'a> {
     flux_calls: u8,
     /// Kind of a posted-but-unreceived split-phase prim exchange (V6).
     pending_prims: Option<Tag>,
+    /// Reusable send-buffer pool; received payloads are recycled into it,
+    /// so steady-state exchanges allocate nothing.
+    pool: BufPool,
+    /// Persistent column scratch for unpacking (one radial line).
+    scratch: Vec<f64>,
 }
 
 impl<'a> ThreadHalo<'a> {
@@ -60,7 +65,20 @@ impl<'a> ThreadHalo<'a> {
         nr: usize,
         version: CommVersion,
     ) -> Self {
-        Self { ep, left, right, nxl, nr, version, step: 0, prim_calls: 0, flux_calls: 0, pending_prims: None }
+        Self {
+            ep,
+            left,
+            right,
+            nxl,
+            nr,
+            version,
+            step: 0,
+            prim_calls: 0,
+            flux_calls: 0,
+            pending_prims: None,
+            pool: BufPool::new(),
+            scratch: vec![0.0; nr],
+        }
     }
 
     /// Mark the start of a time step (resets the per-step phase counters
@@ -83,8 +101,14 @@ impl<'a> ThreadHalo<'a> {
         self.ep
     }
 
-    fn pack_prim_col(&self, prim: &PrimField, i_local: usize) -> PackBuf {
-        let mut b = PackBuf::with_capacity_f64(3 * self.nr);
+    /// `(acquired, reused)` counters of the send-buffer pool — equal except
+    /// for the warm-up step once the exchange loop reaches steady state.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+
+    fn pack_prim_col(&mut self, prim: &PrimField, i_local: usize) -> PackBuf {
+        let mut b = self.pool.acquire_f64(3 * self.nr);
         let ii = i_local + NG;
         for plane in [&prim.u, &prim.v, &prim.t] {
             for j in 0..self.nr {
@@ -94,20 +118,19 @@ impl<'a> ThreadHalo<'a> {
         b
     }
 
-    fn unpack_prim_col(&self, prim: &mut PrimField, ii: usize, payload: bytes::Bytes) {
+    fn unpack_prim_col(&mut self, prim: &mut PrimField, ii: usize, payload: bytes::Bytes) {
         let mut u = UnpackBuf::new(payload);
-        let mut col = vec![0.0; self.nr];
         for plane in [&mut prim.u, &mut prim.v, &mut prim.t] {
-            u.unpack_f64_slice(&mut col).expect("prim halo payload");
-            for (j, &v) in col.iter().enumerate() {
+            u.unpack_f64_slice(&mut self.scratch).expect("prim halo payload");
+            for (j, &v) in self.scratch.iter().enumerate() {
                 plane.set(ii, j + NG, v);
             }
         }
-        u.finish().expect("prim halo framing");
+        self.pool.recycle(u.finish().expect("prim halo framing"));
     }
 
-    fn pack_flux_cols(&self, flux: &FluxField, cols: &[usize]) -> PackBuf {
-        let mut b = PackBuf::with_capacity_f64(4 * cols.len() * self.nr);
+    fn pack_flux_cols(&mut self, flux: &FluxField, cols: &[usize]) -> PackBuf {
+        let mut b = self.pool.acquire_f64(4 * cols.len() * self.nr);
         for c in 0..4 {
             for &i_local in cols {
                 for j in 0..self.nr {
@@ -129,18 +152,17 @@ impl<'a> ThreadHalo<'a> {
         }
     }
 
-    fn unpack_flux_cols(&self, flux: &mut FluxField, ghost_cols: &[isize], payload: bytes::Bytes) {
+    fn unpack_flux_cols(&mut self, flux: &mut FluxField, ghost_cols: &[isize], payload: bytes::Bytes) {
         let mut u = UnpackBuf::new(payload);
-        let mut col = vec![0.0; self.nr];
         for c in 0..4 {
             for &gi in ghost_cols {
-                u.unpack_f64_slice(&mut col).expect("flux halo payload");
-                for (j, &v) in col.iter().enumerate() {
+                u.unpack_f64_slice(&mut self.scratch).expect("flux halo payload");
+                for (j, &v) in self.scratch.iter().enumerate() {
                     flux.set(c, gi, j as isize, v);
                 }
             }
         }
-        u.finish().expect("flux halo framing");
+        self.pool.recycle(u.finish().expect("flux halo framing"));
     }
 }
 
@@ -213,12 +235,16 @@ impl XHalo for ThreadHalo<'_> {
             CommVersion::V7 => {
                 // one column per message: twice the start-ups, half the burst
                 if let Some(l) = self.left {
-                    self.ep.send(l, tag, self.pack_flux_cols(flux, &[1])).expect("flux send");
-                    self.ep.send(l, split_tag, self.pack_flux_cols(flux, &[0])).expect("flux send");
+                    let b = self.pack_flux_cols(flux, &[1]);
+                    self.ep.send(l, tag, b).expect("flux send");
+                    let b = self.pack_flux_cols(flux, &[0]);
+                    self.ep.send(l, split_tag, b).expect("flux send");
                 }
                 if let Some(r) = self.right {
-                    self.ep.send(r, tag, self.pack_flux_cols(flux, &[n - 2])).expect("flux send");
-                    self.ep.send(r, split_tag, self.pack_flux_cols(flux, &[n - 1])).expect("flux send");
+                    let b = self.pack_flux_cols(flux, &[n - 2]);
+                    self.ep.send(r, tag, b).expect("flux send");
+                    let b = self.pack_flux_cols(flux, &[n - 1]);
+                    self.ep.send(r, split_tag, b).expect("flux send");
                 }
                 if let Some(l) = self.left {
                     let p1 = self.ep.recv(l, tag).expect("flux recv");
@@ -252,12 +278,13 @@ mod tests {
         let grid = Grid::small();
         let p0 = Patch::block(grid.clone(), 0, 2);
         let p1 = Patch::block(grid.clone(), 1, 2);
+        let last_of_rank0 = (p0.nxl - 1) as f64;
         let eps = universe(2);
         let nr = grid.nr;
         let results: Vec<(f64, f64)> = thread::scope(|s| {
             let handles: Vec<_> = eps
                 .into_iter()
-                .zip([p0.clone(), p1.clone()])
+                .zip([p0, p1])
                 .map(|(mut ep, patch)| {
                     s.spawn(move || {
                         let rank = ep.rank();
@@ -285,7 +312,6 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         assert_eq!(results[0].0, 1000.0, "rank 0 sees rank 1 col 0");
-        let last_of_rank0 = (p0.nxl - 1) as f64;
         assert_eq!(results[1].1, last_of_rank0, "rank 1 sees rank 0 last col");
     }
 
@@ -302,7 +328,7 @@ mod tests {
             thread::scope(|s| {
                 let handles: Vec<_> = eps
                     .into_iter()
-                    .zip([p0.clone(), p1.clone()])
+                    .zip([p0, p1])
                     .map(|(mut ep, patch)| {
                         s.spawn(move || {
                             let rank = ep.rank();
@@ -342,5 +368,47 @@ mod tests {
         assert_eq!(v5[1].0, v7[1].0, "rank 1 ghost values agree");
         assert_eq!(v7[0].1.sends, 2 * v5[0].1.sends, "V7 doubles flux start-ups");
         assert_eq!(v5[0].1.bytes_sent, v7[0].1.bytes_sent, "same total volume");
+    }
+
+    /// After the warm-up step every send buffer must come from recycled
+    /// storage: the steady-state exchange loop is allocation-free.
+    #[test]
+    fn exchange_loop_reuses_buffers_after_warmup() {
+        let grid = Grid::small();
+        let p0 = Patch::block(grid.clone(), 0, 2);
+        let p1 = Patch::block(grid.clone(), 1, 2);
+        let eps = universe(2);
+        let nr = grid.nr;
+        let stats: Vec<(u64, u64)> = thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .into_iter()
+                .zip([p0, p1])
+                .map(|(mut ep, patch)| {
+                    s.spawn(move || {
+                        let rank = ep.rank();
+                        let (left, right) = if rank == 0 { (None, Some(1)) } else { (Some(0), None) };
+                        let mut prim = PrimField::zeros(&patch);
+                        let mut flux = FluxField::zeros(&patch);
+                        let mut halo = ThreadHalo::new(&mut ep, left, right, patch.nxl, nr, CommVersion::V5);
+                        let steps = 8;
+                        for step in 0..steps {
+                            halo.begin_step(step);
+                            halo.exchange_prims(&mut prim);
+                            halo.exchange_flux(&mut flux);
+                            halo.exchange_prims(&mut prim);
+                            halo.exchange_flux(&mut flux);
+                        }
+                        halo.pool_stats()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for &(acquired, reused) in &stats {
+            // 4 sends per step to the single neighbour; the first step may
+            // allocate (empty pool), everything after must reuse
+            assert_eq!(acquired, 4 * 8);
+            assert!(reused >= acquired - 4, "steady state must recycle: acquired {acquired}, reused {reused}");
+        }
     }
 }

@@ -135,8 +135,10 @@ impl ParallelRun {
     }
 
     /// All ranks' trace events on the shared timeline, sorted by start.
-    pub fn merged_trace(&self) -> Vec<TraceEvent> {
-        let mut evs: Vec<TraceEvent> = self.ranks.iter().flat_map(|r| r.trace.iter().cloned()).collect();
+    /// Borrows from the per-rank storage — the merged view costs one pointer
+    /// per event, not a clone of every label/payload record.
+    pub fn merged_trace(&self) -> Vec<&TraceEvent> {
+        let mut evs: Vec<&TraceEvent> = self.ranks.iter().flat_map(|r| r.trace.iter()).collect();
         evs.sort_by_key(|e| (e.t_us, e.rank));
         evs
     }
@@ -481,7 +483,7 @@ mod tests {
         let resumed = run_parallel_from(&c, 3, 5, CommVersion::V5, Some(&cp));
         assert_eq!(reference.field.max_diff(&resumed.gather_field()), 0.0, "scatter restart is bitwise");
         // the resumed ranks continued the global clock
-        assert_eq!(resumed.ranks[0].ledger.total() > 0, true);
+        assert!(resumed.ranks[0].ledger.total() > 0);
     }
 
     #[test]
@@ -545,8 +547,8 @@ mod tests {
     #[test]
     fn health_abort_stops_all_ranks_together() {
         let c = cfg(Regime::Euler);
-        let mut limits = ns_telemetry::HealthLimits::default();
-        limits.max_mach = 0.5; // jet core is Mach 1.5: violated immediately
+        // jet core is Mach 1.5: violated immediately
+        let limits = ns_telemetry::HealthLimits { max_mach: 0.5, ..Default::default() };
         let opts = TelemetryOptions {
             phases: false,
             trace: false,

@@ -7,7 +7,9 @@
 //! rather than nested guards.
 //!
 //! Phase labels are `&'static str` and must come from the shared vocabulary
-//! defined by `ns_core::workload` (`r:prims`, `x:flux2`, …) plus the
+//! defined by `ns_core::workload` (`r:prims`, `x:flux2`, …; the fused V6
+//! kernel path merges each prims phase into its flux sweep and reports the
+//! combined phases as `r:fused`, `r:fused2`, `x:fused`, `x:fused2`) plus the
 //! runtime's communication labels (`comm:send`, `comm:recv`, `comm:stall`);
 //! using the same strings on both the measured and the simulated side is
 //! what makes the two breakdowns line up in one report.

@@ -133,11 +133,13 @@ impl Tracer {
 }
 
 /// Export a trace as JSON Lines: one `TraceEvent` object per line, suitable
-/// for `grep`/`jq` pipelines and incremental appends.
-pub fn to_jsonl(events: &[TraceEvent]) -> String {
+/// for `grep`/`jq` pipelines and incremental appends. Accepts owned events
+/// or references (`&[TraceEvent]` and `&[&TraceEvent]` both work, so merged
+/// views borrowed from per-rank storage need no clone).
+pub fn to_jsonl<E: std::borrow::Borrow<TraceEvent>>(events: &[E]) -> String {
     let mut out = String::new();
     for e in events {
-        out.push_str(&serde_json::to_string(e).expect("trace event serializes"));
+        out.push_str(&serde_json::to_string(e.borrow()).expect("trace event serializes"));
         out.push('\n');
     }
     out
@@ -168,10 +170,10 @@ fn json_escape(s: &str) -> String {
 /// `chrome://tracing` or <https://ui.perfetto.dev>): every event becomes a
 /// complete (`"ph":"X"`) span with `pid` 0 and `tid` = rank, plus thread
 /// metadata naming each rank.
-pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+pub fn to_chrome_trace<E: std::borrow::Borrow<TraceEvent>>(events: &[E]) -> String {
     // Build the JSON by hand: the schema is fixed and tiny, and this keeps
     // the exporter independent of any particular serde data model.
-    let nranks = events.iter().map(|e| e.rank + 1).max().unwrap_or(0);
+    let nranks = events.iter().map(|e| e.borrow().rank + 1).max().unwrap_or(0);
     let mut parts: Vec<String> = Vec::with_capacity(events.len() + nranks);
     for r in 0..nranks {
         parts.push(format!(
@@ -179,6 +181,7 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
         ));
     }
     for e in events {
+        let e = e.borrow();
         let peer = e.peer.map_or("null".to_string(), |p| p.to_string());
         parts.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"peer\":{},\"bytes\":{}}}}}",

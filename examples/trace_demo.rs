@@ -48,7 +48,7 @@ fn main() {
     // 3. the exports: JSONL (round-trips), Chrome trace_event, JSON summary
     let jsonl = to_jsonl(&trace);
     let back = trace_from_jsonl(&jsonl).expect("jsonl round-trip");
-    assert_eq!(back, trace);
+    assert!(back.iter().eq(trace.iter().copied()), "jsonl round-trip mismatch");
     let chrome = to_chrome_trace(&trace);
     let summary = run.summary("trace-demo");
     println!("\ntrace: {} events, {} JSONL bytes, {} Chrome-trace bytes", trace.len(), jsonl.len(), chrome.len());

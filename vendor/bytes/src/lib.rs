@@ -7,22 +7,24 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable view of a byte buffer.
 ///
 /// Reading through [`Buf`] advances the view (shrinking `len()`), exactly
-/// like the upstream crate.
+/// like the upstream crate. The backing store is an `Arc<Vec<u8>>` so a
+/// uniquely-held buffer can be recovered for reuse via
+/// [`Bytes::try_into_mut`] without copying.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Self { data: Arc::from(&[][..]), start: 0 }
+        Self { data: Arc::new(Vec::new()), start: 0 }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(src: &[u8]) -> Self {
-        Self { data: Arc::from(src), start: 0 }
+        Self { data: Arc::new(src.to_vec()), start: 0 }
     }
 
     /// Remaining bytes in the view.
@@ -38,6 +40,19 @@ impl Bytes {
     /// The remaining bytes as a slice.
     pub fn as_ref_slice(&self) -> &[u8] {
         &self.data[self.start..]
+    }
+
+    /// Recover the backing storage as a [`BytesMut`] when this is the only
+    /// handle to it (mirrors the upstream API). The buffer's capacity is
+    /// preserved, so a pool can recycle received payloads into future send
+    /// buffers with no allocation. Returns the buffer unchanged when other
+    /// clones are still alive.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        let start = self.start;
+        match Arc::try_unwrap(self.data) {
+            Ok(vec) => Ok(BytesMut { inner: vec }),
+            Err(data) => Err(Bytes { data, start }),
+        }
     }
 }
 
@@ -75,7 +90,7 @@ impl Eq for Bytes {}
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: Arc::from(v), start: 0 }
+        Self { data: Arc::new(v), start: 0 }
     }
 }
 
@@ -121,9 +136,9 @@ impl BytesMut {
         self.inner.extend_from_slice(src);
     }
 
-    /// Convert into an immutable [`Bytes`].
+    /// Convert into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
-        Bytes { data: Arc::from(self.inner), start: 0 }
+        Bytes { data: Arc::new(self.inner), start: 0 }
     }
 }
 
@@ -225,6 +240,21 @@ impl BufMut for BytesMut {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_into_mut_recovers_unique_buffers_with_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u32_le(7);
+        let frozen = b.freeze();
+        let recovered = frozen.try_into_mut().expect("unique handle");
+        assert_eq!(recovered.len(), 4);
+        assert!(recovered.inner.capacity() >= 64, "capacity survives the round trip");
+
+        let shared = Bytes::copy_from_slice(&[1, 2, 3]);
+        let clone = shared.clone();
+        let back = shared.try_into_mut().expect_err("clone still alive");
+        assert_eq!(back, clone);
+    }
 
     #[test]
     fn roundtrip_f64_bits() {
