@@ -14,6 +14,9 @@
 //! jetns bench-report [--file PATH]                                     render the measured V1→V6
 //!                                                                      MFLOPS ladder (Figure 2
 //!                                                                      analogue) from BENCH_kernels.json
+//! jetns chaos      [--steps N] [--nx N] [--nr N] [--seed S]            fault-injection sweep:
+//!                  [--rates R1,R2,..] [--procs P1,P2,..] [--no-crash]  survival/overhead table,
+//!                  [--json FILE]                                       bitwise-recovery check
 //! ```
 
 use ns_core::checkpoint::Checkpoint;
@@ -125,6 +128,7 @@ fn serial_summary(s: &Solver, mon: &HealthMonitor, requested: u64, taken: u64, w
         aborted: mon.abort.clone(),
         phase_seconds: BTreeMap::new(),
         comm: ns_telemetry::CommTotals::default(),
+        recovery: None,
         health: mon.samples.clone(),
     };
     summary.set_phases(s.phase_ledger());
@@ -304,9 +308,51 @@ fn cmd_bench_report(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_chaos(args: &Args) -> ExitCode {
+    let nx = args.num("nx", 48usize).max(16);
+    let nr = args.num("nr", 16usize).max(8);
+    let steps = args.num("steps", 8u64).max(2);
+    let seed = args.num("seed", 1995u64);
+    let parse_list = |name: &str, default: &str| -> Vec<String> {
+        args.get(name).unwrap_or(default).split(',').map(str::to_string).collect()
+    };
+    let procs: Vec<usize> = parse_list("procs", "2,4").iter().filter_map(|v| v.parse().ok()).collect();
+    let rates: Vec<f64> = parse_list("rates", "0,0.01,0.05").iter().filter_map(|v| v.parse().ok()).collect();
+    if procs.is_empty() || rates.is_empty() {
+        eprintln!("jetns chaos: --procs and --rates must be comma-separated numbers");
+        return ExitCode::FAILURE;
+    }
+    // the distributed protocol has no smoothing halo, and recovery needs
+    // the bitwise-reproducible path, so dissipation stays off here
+    let mut cfg = SolverConfig::paper(Grid::new(nx, nr, 20.0, 4.0), Regime::NavierStokes);
+    cfg.dissipation = 0.0;
+    if let Some(&p) = procs.iter().max() {
+        if nx / p < 4 {
+            eprintln!("jetns chaos: {nx} columns cannot feed {p} ranks (need >= 4 each)");
+            return ExitCode::FAILURE;
+        }
+    }
+    let crash = !args.has("no-crash");
+    println!("chaos sweep: {nx}x{nr}, {steps} steps, procs {procs:?}, rates {rates:?}, crash {crash}, seed {seed}…");
+    let sweep = ns_experiments::chaos::sweep(&cfg, &procs, &rates, steps, seed, crash);
+    print!("{}", ns_experiments::chaos::render(&sweep));
+    if let Some(path) = args.get("json") {
+        if let Err(e) = std::fs::write(path, ns_experiments::chaos::to_json(&sweep)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if ns_experiments::chaos::all_recovered(&sweep) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report> [flags]\n\
+        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report|chaos> [flags]\n\
          see the module docs in crates/experiments/src/bin/jetns.rs"
     );
     ExitCode::FAILURE
@@ -328,6 +374,7 @@ fn main() -> ExitCode {
         "checkpoint" => cmd_checkpoint(&args),
         "resume" => cmd_resume(&args),
         "bench-report" => cmd_bench_report(&args),
+        "chaos" => cmd_chaos(&args),
         _ => usage(),
     }
 }

@@ -26,6 +26,7 @@
 
 pub mod acoustics;
 pub mod bench_report;
+pub mod chaos;
 pub mod contour;
 pub mod extensions;
 pub mod fig_flow;

@@ -223,7 +223,7 @@ pub fn gantt<E: std::borrow::Borrow<TraceEvent>>(trace: &[E], nranks: usize, wid
             continue;
         }
         let class = match e.kind {
-            EventKind::Send => 3,
+            EventKind::Send | EventKind::Fault => 3,
             EventKind::Recv => 4,
             EventKind::Phase if e.label.starts_with("r:") => 0,
             EventKind::Phase if e.label.starts_with("x:") => 1,

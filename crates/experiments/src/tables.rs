@@ -73,6 +73,7 @@ pub fn measured_comm_per_step(regime: Regime, p: usize) -> CommStats {
         recvs: s.recvs / steps,
         bytes_sent: s.bytes_sent / steps,
         bytes_recvd: s.bytes_recvd / steps,
+        ..CommStats::default()
     }
 }
 

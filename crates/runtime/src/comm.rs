@@ -7,11 +7,35 @@
 //! increments the start-up counters — the paper counts both sides, which is
 //! how 8 messages per step per neighbour pair become "16 start-ups per
 //! step".
+//!
+//! ## Reliability layer
+//!
+//! With [`Endpoint::enable_reliability`] armed, every data payload is sealed
+//! into a frame (body + per-link sequence number + checksum, see
+//! [`crate::pack::open_frame`]) and the endpoint self-heals the link:
+//!
+//! * **corruption** — a frame failing checksum validation is discarded and a
+//!   NACK is sent back immediately;
+//! * **loss** — a receive that waits longer than the retry interval NACKs
+//!   the sender and backs off exponentially, up to a retry budget;
+//! * **duplication** — frames are deduplicated by their per-link sequence
+//!   number, so a NACK racing the original delivery is harmless;
+//! * **resend** — every sender keeps a bounded retransmit cache of recent
+//!   frames and services peers' NACKs from inside its own blocking
+//!   receives (both sides of a halo exchange block in `recv`, so the NACK
+//!   path needs no background thread).
+//!
+//! The healing work is visible in [`CommStats`] (`retries`, `resends`,
+//! `corrupt_frames`, `dup_frames`) and, when tracing is armed, as
+//! `EventKind::Fault` events on the shared timeline. The fault-free path is
+//! untouched: reliability off costs one `Option` check per call.
 
-use crate::pack::PackBuf;
+use crate::fault::{FaultAction, FaultInjector};
+use crate::pack::{open_frame, PackBuf, UnpackBuf};
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ns_telemetry::{EventKind, Tracer};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Message kinds of the solver protocol plus collective plumbing.
@@ -31,6 +55,10 @@ pub enum MsgKind {
     Gather,
     /// Broadcast leg of a collective.
     Bcast,
+    /// Control: negative acknowledgement requesting a frame resend (the
+    /// payload names the wanted tag). Never framed, never stashed, never
+    /// counted as an application start-up.
+    Nack,
 }
 
 impl MsgKind {
@@ -44,7 +72,37 @@ impl MsgKind {
             MsgKind::FluxSplit => "FluxSplit",
             MsgKind::Gather => "Gather",
             MsgKind::Bcast => "Bcast",
+            MsgKind::Nack => "Nack",
         }
+    }
+
+    /// Stable wire code (NACK payloads name the tag they want resent).
+    pub fn code(&self) -> u64 {
+        match self {
+            MsgKind::Prims1 => 0,
+            MsgKind::Flux1 => 1,
+            MsgKind::Prims2 => 2,
+            MsgKind::Flux2 => 3,
+            MsgKind::FluxSplit => 4,
+            MsgKind::Gather => 5,
+            MsgKind::Bcast => 6,
+            MsgKind::Nack => 7,
+        }
+    }
+
+    /// Inverse of [`MsgKind::code`].
+    pub fn from_code(code: u64) -> Option<MsgKind> {
+        Some(match code {
+            0 => MsgKind::Prims1,
+            1 => MsgKind::Flux1,
+            2 => MsgKind::Prims2,
+            3 => MsgKind::Flux2,
+            4 => MsgKind::FluxSplit,
+            5 => MsgKind::Gather,
+            6 => MsgKind::Bcast,
+            7 => MsgKind::Nack,
+            _ => return None,
+        })
     }
 }
 
@@ -69,7 +127,8 @@ pub struct Message {
     pub payload: Bytes,
 }
 
-/// Per-rank communication statistics (start-ups and volume).
+/// Per-rank communication statistics (start-ups, volume, and the healing
+/// work of the reliability layer).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Messages sent.
@@ -80,13 +139,120 @@ pub struct CommStats {
     pub bytes_sent: u64,
     /// Payload bytes received.
     pub bytes_recvd: u64,
+    /// NACKs this rank issued while waiting for an overdue or corrupt
+    /// frame (receiver-side retries).
+    pub retries: u64,
+    /// Cached frames this rank retransmitted in answer to a peer's NACK.
+    pub resends: u64,
+    /// Received frames discarded for checksum failure.
+    pub corrupt_frames: u64,
+    /// Received frames discarded as duplicates.
+    pub dup_frames: u64,
 }
 
 impl CommStats {
     /// Total start-ups, counting each send and each receive (the paper's
-    /// convention).
+    /// convention). Control traffic (NACKs, resends) is excluded: Tables 1-2
+    /// count the application protocol, not the healing layer.
     pub fn startups(&self) -> u64 {
         self.sends + self.recvs
+    }
+
+    /// Merge another rank's (or generation's) counters into this one.
+    pub fn merge(&mut self, o: &CommStats) {
+        self.sends += o.sends;
+        self.recvs += o.recvs;
+        self.bytes_sent += o.bytes_sent;
+        self.bytes_recvd += o.bytes_recvd;
+        self.retries += o.retries;
+        self.resends += o.resends;
+        self.corrupt_frames += o.corrupt_frames;
+        self.dup_frames += o.dup_frames;
+    }
+}
+
+/// Tuning of the self-healing receive path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// How long a receive waits before its first NACK.
+    pub retry_timeout: Duration,
+    /// How many NACKs a single receive may issue (exponential backoff
+    /// between them). After the budget, the receive waits out the hard
+    /// [`Endpoint::timeout`] and fails.
+    pub max_retries: u32,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        Self { retry_timeout: Duration::from_millis(5), max_retries: 6 }
+    }
+}
+
+/// Retransmit-cache capacity (frames). Old entries are evicted FIFO; a NACK
+/// for an evicted frame goes unanswered and surfaces as the requester's
+/// timeout, which the recovery layer turns into a rollback.
+const RETRANSMIT_CACHE: usize = 256;
+
+/// Dedup window per source: sequence numbers this far below the newest seen
+/// are considered already delivered.
+const DEDUP_WINDOW: usize = 512;
+
+/// Per-endpoint state of the reliability layer (boxed off the fault-free
+/// hot path: a disabled endpoint pays one `Option` check per send/recv).
+#[derive(Debug)]
+struct Reliability {
+    cfg: ReliableConfig,
+    /// Next frame sequence number per destination link.
+    next_seq: Vec<u64>,
+    /// Recently sent frames, per `(dest, tag)`, for NACK-driven resend.
+    cache: HashMap<(usize, Tag), Bytes>,
+    /// FIFO eviction order of the retransmit cache.
+    cache_order: VecDeque<(usize, Tag)>,
+    /// Per-source dedup floor: sequences below it count as delivered.
+    seen_floor: Vec<u64>,
+    /// Per-source delivered sequences at or above the floor.
+    seen: Vec<BTreeSet<u64>>,
+    /// Deterministic fault injector (tests and chaos runs only).
+    injector: Option<FaultInjector>,
+}
+
+impl Reliability {
+    fn new(size: usize, cfg: ReliableConfig) -> Self {
+        Self {
+            cfg,
+            next_seq: vec![0; size],
+            cache: HashMap::new(),
+            cache_order: VecDeque::new(),
+            seen_floor: vec![0; size],
+            seen: vec![BTreeSet::new(); size],
+            injector: None,
+        }
+    }
+
+    /// Record a delivered frame sequence. Returns `false` when the frame is
+    /// a duplicate that must be discarded.
+    fn accept(&mut self, src: usize, seq: u64) -> bool {
+        if seq < self.seen_floor[src] || !self.seen[src].insert(seq) {
+            return false;
+        }
+        while self.seen[src].len() > DEDUP_WINDOW {
+            if let Some(min) = self.seen[src].pop_first() {
+                self.seen_floor[src] = min + 1;
+            }
+        }
+        true
+    }
+
+    /// Cache a sealed frame for possible retransmission.
+    fn remember(&mut self, dest: usize, tag: Tag, frame: Bytes) {
+        if self.cache.insert((dest, tag), frame).is_none() {
+            self.cache_order.push_back((dest, tag));
+        }
+        while self.cache.len() > RETRANSMIT_CACHE {
+            if let Some(old) = self.cache_order.pop_front() {
+                self.cache.remove(&old);
+            }
+        }
     }
 }
 
@@ -119,6 +285,7 @@ pub struct Endpoint {
     txs: Vec<Sender<Message>>,
     rx: Receiver<Message>,
     stash: Vec<Message>,
+    reliability: Option<Box<Reliability>>,
     /// Accumulated statistics.
     pub stats: CommStats,
     /// Accumulated blocking time inside `recv` (the "non-overlapped
@@ -142,43 +309,185 @@ impl Endpoint {
         self.txs.len()
     }
 
+    /// Arm the reliability layer: outgoing payloads are sealed into
+    /// checksummed frames, receives validate/dedup them and heal losses with
+    /// NACK-driven resends. All endpoints of a universe must agree on the
+    /// mode (see [`universe_reliable`]).
+    pub fn enable_reliability(&mut self, cfg: ReliableConfig) {
+        let size = self.txs.len();
+        self.reliability = Some(Box::new(Reliability::new(size, cfg)));
+    }
+
+    /// Is the reliability layer armed?
+    pub fn reliable(&self) -> bool {
+        self.reliability.is_some()
+    }
+
+    /// Attach a deterministic fault injector (requires reliability — an
+    /// unframed endpoint cannot recover from what the injector does).
+    pub fn set_fault_injector(&mut self, inj: FaultInjector) {
+        let r = self.reliability.as_mut().expect("fault injection requires enable_reliability");
+        r.injector = Some(inj);
+    }
+
+    /// Committed-fault counters of the attached injector, if any.
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.reliability.as_ref().and_then(|r| r.injector.as_ref()).map(|i| i.stats)
+    }
+
     /// Send a packed buffer to `to` (non-blocking; channels are unbounded,
     /// like PVM's buffered sends).
     pub fn send(&mut self, to: usize, tag: Tag, buf: PackBuf) -> Result<(), CommError> {
+        if self.reliability.is_some() {
+            return self.send_reliable(to, tag, buf);
+        }
         let start = Instant::now();
         let payload = buf.freeze();
         let bytes = payload.len() as u64;
         let tx = self.txs.get(to).ok_or(CommError::NoSuchRank(to))?;
+        tx.send(Message { src: self.rank, tag, payload }).map_err(|_| CommError::Disconnected)?;
+        // count only delivered hand-offs: a Disconnected error is not a
+        // start-up, and Tables 1-2 must not credit it as one
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes;
-        let out = tx.send(Message { src: self.rank, tag, payload }).map_err(|_| CommError::Disconnected);
         if self.tracer.enabled() {
             self.tracer.record(EventKind::Send, self.rank, tag.kind.name(), Some(to), bytes, start, start.elapsed());
         }
-        out
+        Ok(())
+    }
+
+    /// Framed send: seal, cache for retransmission, then pass the wire copy
+    /// through the fault injector (which may drop, corrupt, duplicate or
+    /// delay it). The pristine frame stays in the cache, so every injected
+    /// fault is recoverable via NACK.
+    fn send_reliable(&mut self, to: usize, tag: Tag, mut buf: PackBuf) -> Result<(), CommError> {
+        let start = Instant::now();
+        if to >= self.txs.len() {
+            return Err(CommError::NoSuchRank(to));
+        }
+        let r = self.reliability.as_mut().expect("checked by caller");
+        let seq = r.next_seq[to];
+        r.next_seq[to] += 1;
+        buf.seal_frame(seq);
+        let payload = buf.freeze();
+        let bytes = payload.len() as u64;
+        r.remember(to, tag, payload.clone());
+        let action = r.injector.as_mut().map_or(FaultAction::Deliver, |i| i.decide());
+        let src = self.rank;
+        let outcome = match action {
+            FaultAction::Deliver => self.txs[to].send(Message { src, tag, payload }).is_ok(),
+            FaultAction::Drop => {
+                self.trace_fault("fault:drop", Some(to), bytes, start);
+                true // the network ate it; the app's send succeeded
+            }
+            FaultAction::Corrupt { byte, bit } => {
+                let mut wire = payload.to_vec();
+                let idx = (byte % wire.len() as u64) as usize;
+                wire[idx] ^= 1 << bit;
+                self.trace_fault("fault:corrupt", Some(to), bytes, start);
+                self.txs[to].send(Message { src, tag, payload: Bytes::from(wire) }).is_ok()
+            }
+            FaultAction::Duplicate => {
+                self.trace_fault("fault:dup", Some(to), bytes, start);
+                let first = self.txs[to].send(Message { src, tag, payload: payload.clone() }).is_ok();
+                first && self.txs[to].send(Message { src, tag, payload }).is_ok()
+            }
+            FaultAction::Delay(d) => {
+                self.trace_fault("fault:delay", Some(to), bytes, start);
+                std::thread::sleep(d);
+                self.txs[to].send(Message { src, tag, payload }).is_ok()
+            }
+        };
+        if !outcome {
+            return Err(CommError::Disconnected);
+        }
+        self.stats.sends += 1;
+        self.stats.bytes_sent += bytes;
+        if self.tracer.enabled() {
+            self.tracer.record(EventKind::Send, self.rank, tag.kind.name(), Some(to), bytes, start, start.elapsed());
+        }
+        Ok(())
+    }
+
+    fn trace_fault(&mut self, label: &'static str, peer: Option<usize>, bytes: u64, start: Instant) {
+        if self.tracer.enabled() {
+            self.tracer.record(EventKind::Fault, self.rank, label, peer, bytes, start, start.elapsed());
+        }
+    }
+
+    /// Fire-and-forget control send (never framed, never counted as an
+    /// application start-up). Errors are ignored: a NACK to a dead peer
+    /// changes nothing.
+    fn send_nack(&mut self, to: usize, wanted: Tag) {
+        let mut b = PackBuf::new();
+        b.pack_u64(wanted.kind.code());
+        b.pack_u64(wanted.seq);
+        let payload = b.freeze();
+        if let Some(tx) = self.txs.get(to) {
+            let _ = tx.send(Message { src: self.rank, tag: Tag { kind: MsgKind::Nack, seq: 0 }, payload });
+        }
+        self.stats.retries += 1;
+        self.trace_fault("fault:nack", Some(to), 0, Instant::now());
+    }
+
+    /// Service a peer's NACK from the retransmit cache. A cache miss (frame
+    /// never sent, or evicted) is ignored — the requester's budget will
+    /// expire and the recovery layer takes over.
+    fn serve_nack(&mut self, m: Message) {
+        let mut u = UnpackBuf::new(m.payload);
+        let (Ok(code), Ok(seq)) = (u.unpack_u64(), u.unpack_u64()) else {
+            return;
+        };
+        let Some(kind) = MsgKind::from_code(code) else {
+            return;
+        };
+        let wanted = Tag { kind, seq };
+        let cached = self.reliability.as_ref().and_then(|r| r.cache.get(&(m.src, wanted)).cloned());
+        if let Some(frame) = cached {
+            let src = self.rank;
+            if let Some(tx) = self.txs.get(m.src) {
+                let _ = tx.send(Message { src, tag: wanted, payload: frame });
+            }
+            self.stats.resends += 1;
+            self.trace_fault("fault:resend", Some(m.src), 0, Instant::now());
+        }
+    }
+
+    /// Validate, dedup and deframe an incoming data message. Returns the
+    /// deframed message to deliver or stash, or `None` when the frame was
+    /// discarded (corrupt — NACKed immediately — or duplicate).
+    fn admit_frame(&mut self, m: Message) -> Option<Message> {
+        let (src, tag) = (m.src, m.tag);
+        match open_frame(m.payload) {
+            Ok(frame) => {
+                let fresh = self.reliability.as_mut().expect("reliable path").accept(src, frame.seq);
+                if !fresh {
+                    self.stats.dup_frames += 1;
+                    self.trace_fault("fault:dup-discard", Some(src), frame.body.len() as u64, Instant::now());
+                    return None;
+                }
+                Some(Message { src, tag, payload: frame.body })
+            }
+            Err(_) => {
+                self.stats.corrupt_frames += 1;
+                self.trace_fault("fault:checksum", Some(src), 0, Instant::now());
+                self.send_nack(src, tag);
+                None
+            }
+        }
     }
 
     /// Blocking receive matching `(from, tag)`; non-matching arrivals are
     /// stashed for later receives.
     pub fn recv(&mut self, from: usize, tag: Tag) -> Result<Bytes, CommError> {
+        if self.reliability.is_some() {
+            return self.recv_reliable(from, tag);
+        }
         let start = Instant::now();
         // check the stash first
         if let Some(pos) = self.stash.iter().position(|m| m.src == from && m.tag == tag) {
             let m = self.stash.swap_remove(pos);
-            self.stats.recvs += 1;
-            self.stats.bytes_recvd += m.payload.len() as u64;
-            if self.tracer.enabled() {
-                self.tracer.record(
-                    EventKind::Recv,
-                    self.rank,
-                    tag.kind.name(),
-                    Some(from),
-                    m.payload.len() as u64,
-                    start,
-                    start.elapsed(),
-                );
-            }
-            return Ok(m.payload);
+            return Ok(self.deliver(m, start));
         }
         let deadline = start + self.timeout;
         loop {
@@ -190,25 +499,84 @@ impl Endpoint {
             match self.rx.recv_timeout(deadline - now) {
                 Ok(m) if m.src == from && m.tag == tag => {
                     self.wait_time += start.elapsed();
-                    self.stats.recvs += 1;
-                    self.stats.bytes_recvd += m.payload.len() as u64;
-                    if self.tracer.enabled() {
-                        self.tracer.record(
-                            EventKind::Recv,
-                            self.rank,
-                            tag.kind.name(),
-                            Some(from),
-                            m.payload.len() as u64,
-                            start,
-                            start.elapsed(),
-                        );
-                    }
-                    return Ok(m.payload);
+                    return Ok(self.deliver(m, start));
                 }
                 Ok(m) => self.stash.push(m),
                 Err(RecvTimeoutError::Timeout) => {
                     self.wait_time += start.elapsed();
                     return Err(CommError::Timeout);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.wait_time += start.elapsed();
+                    return Err(CommError::Disconnected);
+                }
+            }
+        }
+    }
+
+    /// Count and trace a matched message, returning its payload.
+    fn deliver(&mut self, m: Message, start: Instant) -> Bytes {
+        self.stats.recvs += 1;
+        self.stats.bytes_recvd += m.payload.len() as u64;
+        if self.tracer.enabled() {
+            self.tracer.record(
+                EventKind::Recv,
+                self.rank,
+                m.tag.kind.name(),
+                Some(m.src),
+                m.payload.len() as u64,
+                start,
+                start.elapsed(),
+            );
+        }
+        m.payload
+    }
+
+    /// Self-healing receive: services NACKs while blocked, validates and
+    /// dedups frames, and escalates an overdue match into NACK-driven
+    /// resend requests with bounded exponential backoff.
+    fn recv_reliable(&mut self, from: usize, tag: Tag) -> Result<Bytes, CommError> {
+        let start = Instant::now();
+        if let Some(pos) = self.stash.iter().position(|m| m.src == from && m.tag == tag) {
+            let m = self.stash.swap_remove(pos);
+            return Ok(self.deliver(m, start));
+        }
+        let deadline = start + self.timeout;
+        let cfg = self.reliability.as_ref().expect("reliable path").cfg;
+        let mut retries = 0u32;
+        let mut interval = cfg.retry_timeout;
+        let mut retry_at = start + interval;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.wait_time += now - start;
+                return Err(CommError::Timeout);
+            }
+            // wake at whichever comes first: hard deadline or next retry
+            let wake = if retries < cfg.max_retries { deadline.min(retry_at) } else { deadline };
+            match self.rx.recv_timeout(wake.saturating_duration_since(now)) {
+                Ok(m) if m.tag.kind == MsgKind::Nack => self.serve_nack(m),
+                Ok(m) => {
+                    if let Some(m) = self.admit_frame(m) {
+                        if m.src == from && m.tag == tag {
+                            self.wait_time += start.elapsed();
+                            return Ok(self.deliver(m, start));
+                        }
+                        self.stash.push(m);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        self.wait_time += start.elapsed();
+                        return Err(CommError::Timeout);
+                    }
+                    if retries < cfg.max_retries {
+                        // the frame is overdue: ask the sender to retransmit
+                        retries += 1;
+                        self.send_nack(from, tag);
+                        interval = interval.saturating_mul(2);
+                        retry_at = Instant::now() + interval;
+                    }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     self.wait_time += start.elapsed();
@@ -236,12 +604,27 @@ pub fn universe(size: usize) -> Vec<Endpoint> {
             txs: txs.clone(),
             rx,
             stash: Vec::new(),
+            reliability: None,
             stats: CommStats::default(),
             wait_time: Duration::ZERO,
             timeout: Duration::from_secs(30),
             tracer: Tracer::default(),
         })
         .collect()
+}
+
+/// Create a universe with the reliability layer armed on every endpoint and,
+/// optionally, a deterministic fault injector per rank (generation 0; the
+/// recovery driver builds later generations itself).
+pub fn universe_reliable(size: usize, cfg: ReliableConfig, plan: Option<&crate::fault::FaultPlan>) -> Vec<Endpoint> {
+    let mut eps = universe(size);
+    for (rank, ep) in eps.iter_mut().enumerate() {
+        ep.enable_reliability(cfg);
+        if let Some(plan) = plan {
+            ep.set_fault_injector(FaultInjector::for_rank(plan, rank, 0));
+        }
+    }
+    eps
 }
 
 #[cfg(test)]
@@ -257,6 +640,15 @@ mod tests {
         let mut p = PackBuf::new();
         p.pack_f64_slice(vals);
         p
+    }
+
+    /// Unpack a payload of exactly `n` doubles.
+    fn vals(payload: Bytes, n: usize) -> Vec<f64> {
+        let mut u = UnpackBuf::new(payload);
+        let mut out = vec![0.0; n];
+        u.unpack_f64_slice(&mut out).unwrap();
+        u.finish().unwrap();
+        out
     }
 
     #[test]
@@ -360,5 +752,229 @@ mod tests {
         a.timeout = Duration::from_millis(10);
         let err = a.recv(1, tag(MsgKind::Prims1, 0)).unwrap_err();
         assert_eq!(err, CommError::Timeout);
+    }
+
+    #[test]
+    fn failed_send_is_not_counted() {
+        // satellite: a send that errors must not inflate the start-up
+        // counters Tables 1-2 are built from
+        let mut eps = universe(2);
+        let mut a = eps.remove(0);
+        let err = a.send(9, tag(MsgKind::Prims1, 0), buf(&[1.0])).unwrap_err();
+        assert_eq!(err, CommError::NoSuchRank(9));
+        assert_eq!(a.stats.sends, 0);
+        assert_eq!(a.stats.bytes_sent, 0);
+    }
+
+    #[test]
+    fn send_to_dropped_peer_disconnects_without_counting() {
+        // Tear down every clone of the peer's inbox sender so the channel
+        // actually disconnects (a full universe keeps self-clones alive).
+        let (tx, rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        let mut a = Endpoint {
+            rank: 0,
+            txs: vec![tx, tx_b],
+            rx: rx_a,
+            stash: Vec::new(),
+            reliability: None,
+            stats: CommStats::default(),
+            wait_time: Duration::ZERO,
+            timeout: Duration::from_secs(1),
+            tracer: Tracer::default(),
+        };
+        drop(rx_b); // rank 1's endpoint is gone
+        let err = a.send(1, tag(MsgKind::Flux1, 0), buf(&[1.0])).unwrap_err();
+        assert_eq!(err, CommError::Disconnected);
+        assert_eq!(a.stats.sends, 0, "Disconnected send must not count");
+        assert_eq!(a.stats.bytes_sent, 0);
+    }
+
+    #[test]
+    fn stash_matches_in_arrival_order_per_tag() {
+        // same (src, tag) sent twice: receives must drain in FIFO order
+        let mut eps = universe(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, tag(MsgKind::Prims1, 1), buf(&[1.0])).unwrap();
+        a.send(1, tag(MsgKind::Flux1, 1), buf(&[2.0])).unwrap();
+        a.send(1, tag(MsgKind::Prims1, 2), buf(&[3.0])).unwrap();
+        // force all three into the stash by asking for the last first
+        let p2 = b.recv(0, tag(MsgKind::Prims1, 2)).unwrap();
+        assert_eq!(vals(p2, 1), vec![3.0]);
+        let p1 = b.recv(0, tag(MsgKind::Prims1, 1)).unwrap();
+        assert_eq!(vals(p1, 1), vec![1.0]);
+        let f1 = b.recv(0, tag(MsgKind::Flux1, 1)).unwrap();
+        assert_eq!(vals(f1, 1), vec![2.0]);
+    }
+
+    #[test]
+    fn timeout_accrues_wait_time() {
+        let mut eps = universe(2);
+        let mut a = eps.remove(0);
+        a.timeout = Duration::from_millis(15);
+        let before = a.wait_time;
+        let _ = a.recv(1, tag(MsgKind::Prims1, 0)).unwrap_err();
+        let first = a.wait_time - before;
+        assert!(first >= Duration::from_millis(10), "timeout must be charged to wait_time, got {first:?}");
+        let _ = a.recv(1, tag(MsgKind::Prims1, 1)).unwrap_err();
+        assert!(a.wait_time >= first + Duration::from_millis(10), "wait_time accumulates across receives");
+    }
+
+    // ---- reliability layer ----
+
+    #[test]
+    fn reliable_roundtrip_is_transparent() {
+        let mut eps = universe_reliable(2, ReliableConfig::default(), None);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, tag(MsgKind::Prims1, 0), buf(&[1.5, -2.5])).unwrap();
+        let got = b.recv(0, tag(MsgKind::Prims1, 0)).unwrap();
+        assert_eq!(vals(got, 2), vec![1.5, -2.5]);
+        // framing is invisible to the byte accounting the tables use? No:
+        // the trailer rides along on the wire, and stats count wire bytes.
+        assert_eq!(a.stats.bytes_sent, 16 + crate::pack::FRAME_TRAILER as u64);
+        assert_eq!(a.stats.sends, 1);
+        assert_eq!(b.stats.recvs, 1);
+        assert_eq!(b.stats.corrupt_frames + b.stats.dup_frames, 0);
+    }
+
+    #[test]
+    fn duplicated_frames_are_deduped() {
+        let plan = crate::fault::FaultPlan { seed: 11, dup_rate: 1.0, ..crate::fault::FaultPlan::default() };
+        let mut eps = universe_reliable(2, ReliableConfig::default(), Some(&plan));
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for i in 0..5 {
+            a.send(1, tag(MsgKind::Prims1, i), buf(&[i as f64])).unwrap();
+        }
+        for i in 0..5 {
+            let got = b.recv(0, tag(MsgKind::Prims1, i)).unwrap();
+            assert_eq!(vals(got, 1), vec![i as f64]);
+        }
+        // the final frame's duplicate is still in flight when the last
+        // matching recv returns; drain it with one timed-out receive
+        b.timeout = Duration::from_millis(40);
+        let _ = b.recv(0, tag(MsgKind::Prims1, 99)).unwrap_err();
+        // every frame was sent twice; the copies must all be discarded
+        assert_eq!(b.stats.dup_frames, 5);
+        assert_eq!(b.stats.recvs, 5);
+    }
+
+    #[test]
+    fn corrupt_frame_is_nacked_and_resent() {
+        // corrupt every frame once; the receiver NACKs while the sender sits
+        // in its own recv servicing them
+        let plan = crate::fault::FaultPlan { seed: 21, corrupt_rate: 1.0, ..crate::fault::FaultPlan::default() };
+        let mut eps = universe_reliable(2, ReliableConfig::default(), Some(&plan));
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.timeout = Duration::from_secs(5);
+        b.timeout = Duration::from_secs(5);
+        thread::scope(|s| {
+            let ha = s.spawn(move || {
+                a.send(1, tag(MsgKind::Prims1, 0), buf(&[42.0])).unwrap();
+                // a's own recv loop services b's NACK, then gets b's reply
+                let got = a.recv(1, tag(MsgKind::Flux1, 0)).unwrap();
+                assert_eq!(vals(got, 1), vec![7.0]);
+                a
+            });
+            let hb = s.spawn(move || {
+                let got = b.recv(0, tag(MsgKind::Prims1, 0)).unwrap();
+                assert_eq!(vals(got, 1), vec![42.0]);
+                b.send(0, tag(MsgKind::Flux1, 0), buf(&[7.0])).unwrap();
+                // the reply was corrupted on the wire too: stay in a recv
+                // long enough to service a's NACK before leaving
+                b.timeout = Duration::from_millis(500);
+                let _ = b.recv(0, tag(MsgKind::Prims2, 99)).unwrap_err();
+                b
+            });
+            let a = ha.join().unwrap();
+            let b = hb.join().unwrap();
+            assert!(b.stats.corrupt_frames >= 1, "b saw the corrupted frame");
+            assert!(b.stats.retries >= 1, "b NACKed it");
+            assert!(a.stats.resends >= 1, "a served the NACK from its cache");
+        });
+    }
+
+    #[test]
+    fn dropped_frame_is_recovered_by_retry() {
+        // drop every frame: delivery happens exclusively through the
+        // timeout-driven NACK/resend path (resends bypass the injector)
+        let plan = crate::fault::FaultPlan { seed: 31, drop_rate: 1.0, ..crate::fault::FaultPlan::default() };
+        let cfg = ReliableConfig { retry_timeout: Duration::from_millis(2), max_retries: 8 };
+        let mut eps = universe_reliable(2, cfg, Some(&plan));
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.timeout = Duration::from_secs(5);
+        b.timeout = Duration::from_secs(5);
+        thread::scope(|s| {
+            let ha = s.spawn(move || {
+                a.send(1, tag(MsgKind::Prims1, 0), buf(&[3.5])).unwrap();
+                let got = a.recv(1, tag(MsgKind::Flux1, 0)).unwrap();
+                assert_eq!(vals(got, 1), vec![8.5]);
+                a
+            });
+            let hb = s.spawn(move || {
+                let got = b.recv(0, tag(MsgKind::Prims1, 0)).unwrap();
+                assert_eq!(vals(got, 1), vec![3.5]);
+                b.send(0, tag(MsgKind::Flux1, 0), buf(&[8.5])).unwrap();
+                // the reply itself was dropped: serve a's retry NACKs
+                b.timeout = Duration::from_millis(500);
+                let _ = b.recv(0, tag(MsgKind::Prims2, 99)).unwrap_err();
+                b
+            });
+            let a = ha.join().unwrap();
+            let b = hb.join().unwrap();
+            assert!(b.stats.retries >= 1, "recovery went through a NACK");
+            assert!(a.stats.resends >= 1);
+            assert_eq!(a.fault_stats().unwrap().dropped, 1);
+        });
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_times_out() {
+        // nobody will ever answer the NACKs: after the budget, the hard
+        // deadline fires as a Timeout the recovery layer can catch
+        let cfg = ReliableConfig { retry_timeout: Duration::from_millis(1), max_retries: 3 };
+        let mut eps = universe_reliable(2, cfg, None);
+        let mut a = eps.remove(0);
+        a.timeout = Duration::from_millis(40);
+        let err = a.recv(1, tag(MsgKind::Prims1, 0)).unwrap_err();
+        assert_eq!(err, CommError::Timeout);
+        assert_eq!(a.stats.retries, 3, "exactly the budget of NACKs went out");
+    }
+
+    #[test]
+    fn control_traffic_is_excluded_from_startups() {
+        let plan = crate::fault::FaultPlan { seed: 41, drop_rate: 1.0, ..crate::fault::FaultPlan::default() };
+        let cfg = ReliableConfig { retry_timeout: Duration::from_millis(2), max_retries: 8 };
+        let mut eps = universe_reliable(2, cfg, Some(&plan));
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.timeout = Duration::from_secs(5);
+        b.timeout = Duration::from_secs(5);
+        thread::scope(|s| {
+            let ha = s.spawn(move || {
+                a.send(1, tag(MsgKind::Prims1, 0), buf(&[1.0])).unwrap();
+                let _ = a.recv(1, tag(MsgKind::Flux1, 0)).unwrap();
+                a
+            });
+            let hb = s.spawn(move || {
+                let _ = b.recv(0, tag(MsgKind::Prims1, 0)).unwrap();
+                b.send(0, tag(MsgKind::Flux1, 0), buf(&[2.0])).unwrap();
+                // linger to heal the dropped reply; a timed-out receive
+                // delivers nothing, so it must not count as a start-up
+                b.timeout = Duration::from_millis(500);
+                let _ = b.recv(0, tag(MsgKind::Prims2, 99)).unwrap_err();
+                b
+            });
+            let a = ha.join().unwrap();
+            let b = hb.join().unwrap();
+            // despite NACKs and resends flying, the application protocol is
+            // still exactly one send and one recv per side
+            assert_eq!(a.stats.startups(), 2);
+            assert_eq!(b.stats.startups(), 2);
+        });
     }
 }

@@ -1,0 +1,310 @@
+//! Deterministic fault injection for the message-passing runtime.
+//!
+//! The paper's headline platform — LACE workstations on shared Ethernet,
+//! FDDI and ATM — is exactly the environment where frames get dropped,
+//! delayed, duplicated and corrupted, and where a hung workstation kills a
+//! multi-hour run. A [`FaultPlan`] describes such an environment as data:
+//! per-frame fault rates, an optional rank crash, and a seed. The derived
+//! [`FaultInjector`] makes every decision with a counter-keyed [`SplitMix64`]
+//! stream, so a plan replays *bit-identically* — the same frames are dropped
+//! on every execution regardless of thread scheduling — which is what lets
+//! the chaos tests assert bitwise recovery instead of "usually works".
+//!
+//! Injection happens on the send side of [`crate::comm::Endpoint`], behind
+//! an `Option` that is `None` on the fault-free path (one branch, no
+//! allocation — see the `comm_framing` group in `BENCH_faults.json`).
+
+use std::time::Duration;
+
+/// A tiny, high-quality 64-bit PRNG (SplitMix64). Deterministic, seedable,
+/// and dependency-free — the runtime must not pull in `rand` for the hot
+/// path.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Crash one rank at the start of one global step (before the step
+/// executes). The recovery driver disarms the crash after it fires, so the
+/// re-executed timeline survives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Rank that dies.
+    pub rank: usize,
+    /// Global step at whose start it dies.
+    pub step: u64,
+}
+
+/// A seeded, fully deterministic description of an unreliable network.
+///
+/// Rates are per *data frame* (control messages are never injected).
+/// Multiple fault kinds are drawn independently per frame in a fixed order
+/// (drop, then corrupt, then duplicate, then delay); a dropped frame skips
+/// the later draws.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the decision stream.
+    pub seed: u64,
+    /// Probability a frame is silently dropped.
+    pub drop_rate: f64,
+    /// Probability a frame has one payload bit flipped in flight.
+    pub corrupt_rate: f64,
+    /// Probability a frame is delivered twice.
+    pub dup_rate: f64,
+    /// Probability a frame is held back by [`FaultPlan::delay`] first.
+    pub delay_rate: f64,
+    /// How long a delayed frame is held.
+    pub delay: Duration,
+    /// Optional single rank crash.
+    pub crash: Option<CrashSpec>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::from_millis(1),
+            crash: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled (framing overhead only).
+    pub fn none(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Uniform message-level fault rates (drop = corrupt = dup = `rate`).
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        Self { seed, drop_rate: rate, corrupt_rate: rate, dup_rate: rate, ..Self::default() }
+    }
+
+    /// Does the plan inject any message-level fault at all?
+    pub fn has_message_faults(&self) -> bool {
+        self.drop_rate > 0.0 || self.corrupt_rate > 0.0 || self.dup_rate > 0.0 || self.delay_rate > 0.0
+    }
+
+    /// The plan with the crash removed (the recovery driver disarms a crash
+    /// after it has fired once).
+    pub fn disarmed(&self) -> Self {
+        Self { crash: None, ..self.clone() }
+    }
+}
+
+/// What the injector decided to do with one outgoing frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver untouched.
+    Deliver,
+    /// Silently discard.
+    Drop,
+    /// Flip the given bit of the given payload byte (both reduced modulo the
+    /// frame length by the caller).
+    Corrupt {
+        /// Byte offset entropy.
+        byte: u64,
+        /// Bit index 0-7.
+        bit: u8,
+    },
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Sleep for the duration, then deliver.
+    Delay(Duration),
+}
+
+/// Counters of the faults an injector actually committed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames examined.
+    pub frames: u64,
+    /// Frames dropped.
+    pub dropped: u64,
+    /// Frames with a bit flipped.
+    pub corrupted: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames delayed.
+    pub delayed: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.corrupted + self.duplicated + self.delayed
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, o: &FaultStats) {
+        self.frames += o.frames;
+        self.dropped += o.dropped;
+        self.corrupted += o.corrupted;
+        self.duplicated += o.duplicated;
+        self.delayed += o.delayed;
+    }
+}
+
+/// One rank's per-send fault decision stream.
+///
+/// Determinism contract: decisions depend only on `(plan.seed, rank,
+/// generation, frame index)` — never on wall-clock time or scheduling — so a
+/// rank sends the same faulted frame sequence on every run of the same plan.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rank: usize,
+    rng: SplitMix64,
+    /// Committed-fault counters.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// The injector for one rank in one recovery generation. Folding the
+    /// generation into the seed re-randomizes message faults after a
+    /// rollback while keeping the whole timeline a pure function of the
+    /// plan.
+    pub fn for_rank(plan: &FaultPlan, rank: usize, generation: u32) -> Self {
+        let key = plan
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((rank as u64) << 32)
+            .wrapping_add(u64::from(generation));
+        Self { plan: plan.clone(), rank, rng: SplitMix64::new(key), stats: FaultStats::default() }
+    }
+
+    /// The rank this injector belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Should this rank crash before executing `step`?
+    pub fn crash_due(&self, step: u64) -> bool {
+        self.plan.crash.is_some_and(|c| c.rank == self.rank && c.step == step)
+    }
+
+    /// Decide the fate of the next outgoing frame and count what was
+    /// committed. Draws are made in a fixed order so the stream is
+    /// reproducible whatever the rates are.
+    pub fn decide(&mut self) -> FaultAction {
+        self.stats.frames += 1;
+        let p = &self.plan;
+        // One draw per fault class, always consumed, so changing one rate
+        // does not shift the other classes' streams.
+        let (d, c, u, y) = (self.rng.next_f64(), self.rng.next_f64(), self.rng.next_f64(), self.rng.next_f64());
+        let entropy = self.rng.next_u64();
+        if d < p.drop_rate {
+            self.stats.dropped += 1;
+            return FaultAction::Drop;
+        }
+        if c < p.corrupt_rate {
+            self.stats.corrupted += 1;
+            return FaultAction::Corrupt { byte: entropy >> 8, bit: (entropy & 7) as u8 };
+        }
+        if u < p.dup_rate {
+            self.stats.duplicated += 1;
+            return FaultAction::Duplicate;
+        }
+        if y < p.delay_rate {
+            self.stats.delayed += 1;
+            return FaultAction::Delay(p.delay);
+        }
+        FaultAction::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let plan = FaultPlan::uniform(1234, 0.2);
+        let mut a = FaultInjector::for_rank(&plan, 1, 0);
+        let mut b = FaultInjector::for_rank(&plan, 1, 0);
+        let sa: Vec<FaultAction> = (0..500).map(|_| a.decide()).collect();
+        let sb: Vec<FaultAction> = (0..500).map(|_| b.decide()).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.total() > 0, "20% rates over 500 frames must fire");
+    }
+
+    #[test]
+    fn ranks_and_generations_get_distinct_streams() {
+        let plan = FaultPlan::uniform(7, 0.3);
+        let stream = |rank, generation| {
+            let mut inj = FaultInjector::for_rank(&plan, rank, generation);
+            (0..200).map(|_| inj.decide()).collect::<Vec<_>>()
+        };
+        assert_ne!(stream(0, 0), stream(1, 0), "ranks decorrelated");
+        assert_ne!(stream(0, 0), stream(0, 1), "generations decorrelated");
+    }
+
+    #[test]
+    fn zero_rates_always_deliver() {
+        let mut inj = FaultInjector::for_rank(&FaultPlan::none(99), 0, 0);
+        for _ in 0..200 {
+            assert_eq!(inj.decide(), FaultAction::Deliver);
+        }
+        assert_eq!(inj.stats.total(), 0);
+        assert_eq!(inj.stats.frames, 200);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan { seed: 5, drop_rate: 0.1, ..FaultPlan::default() };
+        let mut inj = FaultInjector::for_rank(&plan, 2, 0);
+        for _ in 0..10_000 {
+            inj.decide();
+        }
+        let rate = inj.stats.dropped as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn changing_one_rate_keeps_other_streams() {
+        // dup decisions must not move when the drop rate changes from 0 to a
+        // value that never fires anyway — the draws are positionally fixed
+        let base = FaultPlan { seed: 3, dup_rate: 0.5, ..FaultPlan::default() };
+        let shifted = FaultPlan { drop_rate: 1e-12, ..base.clone() };
+        let dups = |plan: &FaultPlan| {
+            let mut inj = FaultInjector::for_rank(plan, 0, 0);
+            (0..300).map(|_| matches!(inj.decide(), FaultAction::Duplicate)).collect::<Vec<_>>()
+        };
+        assert_eq!(dups(&base), dups(&shifted));
+    }
+
+    #[test]
+    fn crash_spec_targets_one_rank_and_step() {
+        let plan = FaultPlan { crash: Some(CrashSpec { rank: 2, step: 5 }), ..FaultPlan::none(0) };
+        let victim = FaultInjector::for_rank(&plan, 2, 0);
+        let bystander = FaultInjector::for_rank(&plan, 1, 0);
+        assert!(victim.crash_due(5));
+        assert!(!victim.crash_due(4));
+        assert!(!bystander.crash_due(5));
+        let disarmed = FaultInjector::for_rank(&plan.disarmed(), 2, 1);
+        assert!(!disarmed.crash_due(5));
+    }
+}

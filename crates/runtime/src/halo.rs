@@ -16,7 +16,7 @@
 //! here with [`CommVersion::V7`] so its cost shows up in the live runtime,
 //! not just the simulator.
 
-use crate::comm::{Endpoint, MsgKind, Tag};
+use crate::comm::{CommError, Endpoint, MsgKind, Tag};
 use crate::pack::{BufPool, PackBuf, UnpackBuf};
 use ns_core::field::{FluxField, PrimField, NG};
 use ns_core::scheme::XHalo;
@@ -48,6 +48,13 @@ pub struct ThreadHalo<'a> {
     flux_calls: u8,
     /// Kind of a posted-but-unreceived split-phase prim exchange (V6).
     pending_prims: Option<Tag>,
+    /// Strict mode (the default) panics on comm errors, as a PVM task dies
+    /// with its virtual machine. Lenient mode records the first failure and
+    /// turns every further exchange into a no-op, so the step loop can
+    /// unwind cleanly and the recovery driver can roll back.
+    strict: bool,
+    /// First communication failure seen in lenient mode.
+    failure: Option<CommError>,
     /// Reusable send-buffer pool; received payloads are recycled into it,
     /// so steady-state exchanges allocate nothing.
     pool: BufPool,
@@ -76,15 +83,40 @@ impl<'a> ThreadHalo<'a> {
             prim_calls: 0,
             flux_calls: 0,
             pending_prims: None,
+            strict: true,
+            failure: None,
             pool: BufPool::new(),
             scratch: vec![0.0; nr],
+        }
+    }
+
+    /// Switch to lenient error handling: comm failures are recorded in
+    /// [`ThreadHalo::failure`] instead of panicking, and all subsequent
+    /// exchanges become no-ops. Used by the chaos/recovery driver.
+    pub fn set_lenient(&mut self) {
+        self.strict = false;
+    }
+
+    /// The first communication failure, if this (lenient) halo has failed.
+    pub fn failure(&self) -> Option<&CommError> {
+        self.failure.as_ref()
+    }
+
+    /// Record a failure (lenient) or die (strict).
+    fn fail(&mut self, ctx: &'static str, e: CommError) {
+        if self.strict {
+            panic!("{ctx}: {e}");
+        }
+        if self.failure.is_none() {
+            self.failure = Some(e);
         }
     }
 
     /// Mark the start of a time step (resets the per-step phase counters
     /// that map exchange calls onto protocol tags).
     pub fn begin_step(&mut self, step: u64) {
-        assert!(self.pending_prims.is_none(), "split-phase exchange left dangling");
+        assert!(self.pending_prims.is_none() || self.failure.is_some(), "split-phase exchange left dangling");
+        self.pending_prims = None;
         self.step = step;
         self.prim_calls = 0;
         self.flux_calls = 0;
@@ -141,14 +173,40 @@ impl<'a> ThreadHalo<'a> {
         b
     }
 
+    /// Send unless already failed; strict mode panics on error.
+    fn try_send(&mut self, to: usize, tag: Tag, b: PackBuf, ctx: &'static str) {
+        if self.failure.is_some() {
+            return;
+        }
+        if let Err(e) = self.ep.send(to, tag, b) {
+            self.fail(ctx, e);
+        }
+    }
+
+    /// Receive unless already failed; strict mode panics on error.
+    fn try_recv(&mut self, from: usize, tag: Tag, ctx: &'static str) -> Option<bytes::Bytes> {
+        if self.failure.is_some() {
+            return None;
+        }
+        match self.ep.recv(from, tag) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                self.fail(ctx, e);
+                None
+            }
+        }
+    }
+
     fn receive_prims(&mut self, prim: &mut PrimField, tag: Tag) {
         if let Some(l) = self.left {
-            let payload = self.ep.recv(l, tag).expect("prim halo recv left");
-            self.unpack_prim_col(prim, NG - 1, payload);
+            if let Some(payload) = self.try_recv(l, tag, "prim halo recv left") {
+                self.unpack_prim_col(prim, NG - 1, payload);
+            }
         }
         if let Some(r) = self.right {
-            let payload = self.ep.recv(r, tag).expect("prim halo recv right");
-            self.unpack_prim_col(prim, NG + self.nxl, payload);
+            if let Some(payload) = self.try_recv(r, tag, "prim halo recv right") {
+                self.unpack_prim_col(prim, NG + self.nxl, payload);
+            }
         }
     }
 
@@ -168,22 +226,34 @@ impl<'a> ThreadHalo<'a> {
 
 impl XHalo for ThreadHalo<'_> {
     fn reduce_max(&mut self, x: f64) -> f64 {
+        if self.failure.is_some() {
+            return x;
+        }
         // one reduction per step; the step number is the collective epoch
-        crate::collectives::allreduce_max(self.ep, x, self.step).expect("adaptive-dt reduction")
+        match crate::collectives::allreduce_max(self.ep, x, self.step) {
+            Ok(v) => v,
+            Err(e) => {
+                self.fail("adaptive-dt reduction", e);
+                x
+            }
+        }
     }
 
     fn post_prims(&mut self, prim: &mut PrimField) {
         let kind = if self.prim_calls == 0 { MsgKind::Prims1 } else { MsgKind::Prims2 };
         self.prim_calls += 1;
         let tag = Tag { kind, seq: self.step };
+        if self.failure.is_some() {
+            return;
+        }
         // post sends first (buffered, deadlock free)
         if let Some(l) = self.left {
             let b = self.pack_prim_col(prim, 0);
-            self.ep.send(l, tag, b).expect("prim halo send left");
+            self.try_send(l, tag, b, "prim halo send left");
         }
         if let Some(r) = self.right {
             let b = self.pack_prim_col(prim, self.nxl - 1);
-            self.ep.send(r, tag, b).expect("prim halo send right");
+            self.try_send(r, tag, b, "prim halo send right");
         }
         if self.version == CommVersion::V6 {
             // Version 6: let the caller compute the interior while the
@@ -211,52 +281,61 @@ impl XHalo for ThreadHalo<'_> {
         let tag = Tag { kind, seq: self.step };
         let split_tag = Tag { kind: MsgKind::FluxSplit, seq: self.step * 2 + u64::from(self.flux_calls) };
         let n = self.nxl;
+        if self.failure.is_some() {
+            return;
+        }
         match self.version {
             // flux packets are never overlapped (the predictor needs them
             // whole), so V6 sends them exactly like V5
             CommVersion::V5 | CommVersion::V6 => {
                 if let Some(l) = self.left {
                     let b = self.pack_flux_cols(flux, &[0, 1]);
-                    self.ep.send(l, tag, b).expect("flux halo send left");
+                    self.try_send(l, tag, b, "flux halo send left");
                 }
                 if let Some(r) = self.right {
                     let b = self.pack_flux_cols(flux, &[n - 2, n - 1]);
-                    self.ep.send(r, tag, b).expect("flux halo send right");
+                    self.try_send(r, tag, b, "flux halo send right");
                 }
                 if let Some(l) = self.left {
-                    let payload = self.ep.recv(l, tag).expect("flux halo recv left");
-                    self.unpack_flux_cols(flux, &[-2, -1], payload);
+                    if let Some(payload) = self.try_recv(l, tag, "flux halo recv left") {
+                        self.unpack_flux_cols(flux, &[-2, -1], payload);
+                    }
                 }
                 if let Some(r) = self.right {
-                    let payload = self.ep.recv(r, tag).expect("flux halo recv right");
-                    self.unpack_flux_cols(flux, &[n as isize, n as isize + 1], payload);
+                    if let Some(payload) = self.try_recv(r, tag, "flux halo recv right") {
+                        self.unpack_flux_cols(flux, &[n as isize, n as isize + 1], payload);
+                    }
                 }
             }
             CommVersion::V7 => {
                 // one column per message: twice the start-ups, half the burst
                 if let Some(l) = self.left {
                     let b = self.pack_flux_cols(flux, &[1]);
-                    self.ep.send(l, tag, b).expect("flux send");
+                    self.try_send(l, tag, b, "flux send");
                     let b = self.pack_flux_cols(flux, &[0]);
-                    self.ep.send(l, split_tag, b).expect("flux send");
+                    self.try_send(l, split_tag, b, "flux send");
                 }
                 if let Some(r) = self.right {
                     let b = self.pack_flux_cols(flux, &[n - 2]);
-                    self.ep.send(r, tag, b).expect("flux send");
+                    self.try_send(r, tag, b, "flux send");
                     let b = self.pack_flux_cols(flux, &[n - 1]);
-                    self.ep.send(r, split_tag, b).expect("flux send");
+                    self.try_send(r, split_tag, b, "flux send");
                 }
                 if let Some(l) = self.left {
-                    let p1 = self.ep.recv(l, tag).expect("flux recv");
-                    self.unpack_flux_cols(flux, &[-2], p1);
-                    let p2 = self.ep.recv(l, split_tag).expect("flux recv");
-                    self.unpack_flux_cols(flux, &[-1], p2);
+                    if let Some(p1) = self.try_recv(l, tag, "flux recv") {
+                        self.unpack_flux_cols(flux, &[-2], p1);
+                    }
+                    if let Some(p2) = self.try_recv(l, split_tag, "flux recv") {
+                        self.unpack_flux_cols(flux, &[-1], p2);
+                    }
                 }
                 if let Some(r) = self.right {
-                    let p1 = self.ep.recv(r, tag).expect("flux recv");
-                    self.unpack_flux_cols(flux, &[n as isize + 1], p1);
-                    let p2 = self.ep.recv(r, split_tag).expect("flux recv");
-                    self.unpack_flux_cols(flux, &[n as isize], p2);
+                    if let Some(p1) = self.try_recv(r, tag, "flux recv") {
+                        self.unpack_flux_cols(flux, &[n as isize + 1], p1);
+                    }
+                    if let Some(p2) = self.try_recv(r, split_tag, "flux recv") {
+                        self.unpack_flux_cols(flux, &[n as isize], p2);
+                    }
                 }
             }
         }

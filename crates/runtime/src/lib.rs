@@ -17,7 +17,11 @@
 //!   two-column flux packets), including the Version 7 burst-splitting
 //!   variant;
 //! * [`parallel`] — the rank-per-thread driver with the paper's
-//!   busy/non-overlapped time breakdown.
+//!   busy/non-overlapped time breakdown;
+//! * [`fault`] — seeded, deterministic fault injection (drop / corrupt /
+//!   duplicate / delay / rank crash) for chaos testing;
+//! * [`recover`] — coordinated in-memory checkpoints and rollback/re-execute
+//!   recovery on top of [`parallel`].
 //!
 //! The distributed solver is *bitwise identical* to the serial solver for
 //! any processor count — asserted by tests — because the exchanged ghost
@@ -25,10 +29,14 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod halo;
 pub mod pack;
 pub mod parallel;
+pub mod recover;
 
-pub use comm::{CommStats, Endpoint};
+pub use comm::{CommStats, Endpoint, ReliableConfig};
+pub use fault::{CrashSpec, FaultInjector, FaultPlan, FaultStats};
 pub use halo::{CommVersion, ThreadHalo};
 pub use parallel::{run_parallel, run_parallel_instrumented, ParallelRun, RankResult, TelemetryOptions};
+pub use recover::{run_parallel_chaos, ChaosOptions, RecoveryReport};

@@ -77,6 +77,9 @@ pub struct ParallelRun {
     pub cfg: SolverConfig,
     /// Steps taken.
     pub nsteps: u64,
+    /// Rollback/recovery accounting (populated only by
+    /// [`crate::recover::run_parallel_chaos`]).
+    pub recovery: Option<crate::recover::RecoveryReport>,
 }
 
 impl ParallelRun {
@@ -106,10 +109,7 @@ impl ParallelRun {
     pub fn total_stats(&self) -> CommStats {
         let mut s = CommStats::default();
         for r in &self.ranks {
-            s.sends += r.stats.sends;
-            s.recvs += r.stats.recvs;
-            s.bytes_sent += r.stats.bytes_sent;
-            s.bytes_recvd += r.stats.bytes_recvd;
+            s.merge(&r.stats);
         }
         s
     }
@@ -200,7 +200,12 @@ impl ParallelRun {
                 recvs: stats.recvs,
                 bytes_sent: stats.bytes_sent,
                 bytes_recvd: stats.bytes_recvd,
+                retries: stats.retries,
+                resends: stats.resends,
+                corrupt_frames: stats.corrupt_frames,
+                dup_frames: stats.dup_frames,
             },
+            recovery: self.recovery.as_ref().map(|r| r.to_summary(&stats)),
             health: self.merged_health(),
         };
         let mut all = PhaseLedger::default();
@@ -381,7 +386,7 @@ fn run_impl(
     });
     let elapsed = start.elapsed();
     ranks.sort_by_key(|r| r.rank);
-    ParallelRun { ranks, elapsed, cfg: cfg.clone(), nsteps }
+    ParallelRun { ranks, elapsed, cfg: cfg.clone(), nsteps, recovery: None }
 }
 
 #[cfg(test)]

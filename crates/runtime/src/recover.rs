@@ -1,0 +1,428 @@
+//! Coordinated checkpoints and rollback/re-execute recovery for the
+//! parallel driver.
+//!
+//! The recovery model is the classical one for the paper's workstation
+//! cluster: every `checkpoint_every` steps the universe agrees (via a
+//! barrier) that it is intact and each rank snapshots its *local* state
+//! with [`ns_core::checkpoint::Checkpoint`]. When a rank crashes or a
+//! communication failure survives the reliability layer's retry budget, the
+//! whole universe is torn down and re-executed — a fresh *generation* with
+//! fresh channels — from the latest checkpoint step every rank holds.
+//!
+//! Determinism: a rank's local checkpoint is bitwise the state a fault-free
+//! run has at that step (the reliability layer delivers exactly the sent
+//! bytes, and ghosts are captured with the patch), and re-execution from a
+//! bitwise state is bitwise — so the final gathered field of a chaos run is
+//! **identical** to the fault-free run, which the tests assert.
+
+use crate::collectives;
+use crate::comm::{universe, CommError, CommStats, ReliableConfig};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
+use crate::halo::{CommVersion, ThreadHalo};
+use crate::parallel::{ParallelRun, RankResult};
+use ns_core::checkpoint::Checkpoint;
+use ns_core::config::SolverConfig;
+use ns_core::field::{Field, Patch};
+use ns_core::opcount::FlopLedger;
+use ns_core::Solver;
+use ns_telemetry::{PhaseLedger, RecoverySummary};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Epoch namespace for the coordinated-checkpoint barriers, disjoint from
+/// the adaptive-dt (raw step) and health (`1 << 62`) namespaces.
+const CHECKPOINT_EPOCH: u64 = 1 << 61;
+
+/// Tuning of a chaos/recovery run.
+#[derive(Clone, Debug)]
+pub struct ChaosOptions {
+    /// The (deterministic) faults to inject.
+    pub plan: FaultPlan,
+    /// Reliability-layer tuning (retry interval and budget).
+    pub reliable: ReliableConfig,
+    /// Steps between coordinated checkpoints (>= 1; step 0 is always
+    /// checkpointed, so a universe can always roll back somewhere).
+    pub checkpoint_every: u64,
+    /// Rollback budget: exceeding it panics, as an unrecoverable run should
+    /// be loud, not livelocked.
+    pub max_rollbacks: u32,
+    /// Hard receive deadline; this is the failure detector for dead ranks,
+    /// so it bounds how long a generation takes to notice a crash.
+    pub recv_timeout: Duration,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        Self {
+            plan: FaultPlan::default(),
+            reliable: ReliableConfig::default(),
+            checkpoint_every: 4,
+            max_rollbacks: 8,
+            recv_timeout: Duration::from_millis(400),
+        }
+    }
+}
+
+/// What recovery did over a whole chaos run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Execution generations (1 = the first attempt survived).
+    pub generations: u32,
+    /// Rollbacks to the last consistent checkpoint.
+    pub rollbacks: u32,
+    /// Global steps re-executed because of rollbacks.
+    pub recomputed_steps: u64,
+    /// Coordinated checkpoints captured (rank-0 count, all generations).
+    pub checkpoints: u64,
+    /// Rank crashes that fired.
+    pub crashes: u32,
+    /// Faults the plan actually injected, summed over ranks and
+    /// generations.
+    pub faults: FaultStats,
+}
+
+impl RecoveryReport {
+    /// The serializable summary block, joined with the run's aggregated
+    /// comm statistics (retry totals live there).
+    pub fn to_summary(&self, comm: &CommStats) -> RecoverySummary {
+        RecoverySummary {
+            generations: self.generations,
+            rollbacks: self.rollbacks,
+            recomputed_steps: self.recomputed_steps,
+            checkpoints: self.checkpoints,
+            crashes: self.crashes,
+            retries: comm.retries,
+            faults_injected: self.faults.total(),
+        }
+    }
+}
+
+/// One rank's result from one generation.
+struct GenOutcome {
+    rank: usize,
+    field: Field,
+    ledger: FlopLedger,
+    cps: Vec<Checkpoint>,
+    reached: u64,
+    crashed: bool,
+    failure: Option<CommError>,
+    stats: CommStats,
+    wait: Duration,
+    busy: Duration,
+    faults: Option<FaultStats>,
+}
+
+/// Run the solver on `p` ranks under an unreliable network, surviving it.
+///
+/// Faults from `opts.plan` are injected into every data frame; the
+/// reliability layer heals what it can (drops, corruption, duplication,
+/// delay) and the generation loop here rolls the universe back to the last
+/// coordinated checkpoint for what it cannot (a rank crash, an exhausted
+/// retry budget). The returned run carries a populated
+/// [`ParallelRun::recovery`] block and a final field bitwise identical to
+/// the fault-free [`crate::parallel::run_parallel`] result.
+pub fn run_parallel_chaos(
+    cfg: &SolverConfig,
+    p: usize,
+    nsteps: u64,
+    version: CommVersion,
+    opts: &ChaosOptions,
+) -> ParallelRun {
+    assert!(p >= 1);
+    assert!(opts.checkpoint_every >= 1, "checkpoint cadence must be at least 1");
+    assert_eq!(cfg.dissipation, 0.0, "dissipation is serial-only (the paper's protocol has no smoothing halo)");
+    assert!(cfg.grid.nx / p >= 4, "{p} ranks over {} columns leaves ranks with fewer than 4 columns", cfg.grid.nx);
+    if let Some(c) = opts.plan.crash {
+        assert!(c.rank < p, "crash rank {} does not exist in a universe of {p}", c.rank);
+    }
+
+    let start = Instant::now();
+    let mut plan = opts.plan.clone();
+    let mut resume: Option<Vec<Checkpoint>> = None;
+    let mut resume_step = 0u64;
+    let mut report = RecoveryReport::default();
+    let mut agg: Vec<(CommStats, Duration, Duration)> = vec![(CommStats::default(), Duration::ZERO, Duration::ZERO); p];
+
+    loop {
+        let generation = report.generations;
+        report.generations += 1;
+        let outcomes = run_generation(cfg, p, nsteps, version, opts, &plan, generation, resume.as_deref());
+        for o in &outcomes {
+            let a = &mut agg[o.rank];
+            a.0.merge(&o.stats);
+            a.1 += o.wait;
+            a.2 += o.busy;
+            if let Some(f) = &o.faults {
+                report.faults.merge(f);
+            }
+        }
+        report.checkpoints += outcomes[0].cps.len() as u64;
+        let crashed = outcomes.iter().any(|o| o.crashed);
+        if !crashed && outcomes.iter().all(|o| o.failure.is_none() && o.reached == nsteps) {
+            let ranks: Vec<RankResult> = outcomes
+                .into_iter()
+                .map(|o| {
+                    let (stats, wait, busy) = agg[o.rank];
+                    RankResult {
+                        rank: o.rank,
+                        field: o.field,
+                        stats,
+                        wait,
+                        busy,
+                        ledger: o.ledger,
+                        phases: PhaseLedger::default(),
+                        trace: Vec::new(),
+                        health: Vec::new(),
+                        steps: o.reached,
+                        abort: None,
+                    }
+                })
+                .collect();
+            return ParallelRun { ranks, elapsed: start.elapsed(), cfg: cfg.clone(), nsteps, recovery: Some(report) };
+        }
+        // the generation died: roll the universe back
+        report.rollbacks += 1;
+        if crashed {
+            report.crashes += 1;
+            // a workstation that died once is replaced, not re-crashed: the
+            // re-executed timeline must be able to pass the crash step
+            plan = plan.disarmed();
+        }
+        assert!(
+            report.rollbacks <= opts.max_rollbacks,
+            "chaos run exceeded its rollback budget of {} (plan: {:?})",
+            opts.max_rollbacks,
+            opts.plan
+        );
+        let furthest = outcomes.iter().map(|o| o.reached).max().unwrap_or(resume_step);
+        // the newest checkpoint step EVERY rank holds from this generation;
+        // a partially-committed newer checkpoint (some rank's barrier died
+        // mid-capture) is ignored by the intersection
+        let mut common: Option<BTreeSet<u64>> = None;
+        for o in &outcomes {
+            let steps: BTreeSet<u64> = o.cps.iter().map(|c| c.nstep).collect();
+            common = Some(match common {
+                None => steps,
+                Some(prev) => prev.intersection(&steps).copied().collect(),
+            });
+        }
+        if let Some(best) = common.and_then(|s| s.into_iter().max()) {
+            resume = Some(
+                outcomes
+                    .into_iter()
+                    .map(|o| o.cps.into_iter().find(|c| c.nstep == best).expect("step is in the intersection"))
+                    .collect(),
+            );
+            resume_step = best;
+        }
+        // else: keep the previous resume point (or scratch) — the failed
+        // generation committed nothing new
+        //
+        // re-executed work, on the global timeline: the furthest any rank
+        // got minus where the next generation restarts
+        report.recomputed_steps += furthest.saturating_sub(resume_step);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_generation(
+    cfg: &SolverConfig,
+    p: usize,
+    nsteps: u64,
+    version: CommVersion,
+    opts: &ChaosOptions,
+    plan: &FaultPlan,
+    generation: u32,
+    resume: Option<&[Checkpoint]>,
+) -> Vec<GenOutcome> {
+    let mut endpoints = universe(p);
+    for (rank, ep) in endpoints.iter_mut().enumerate() {
+        ep.enable_reliability(opts.reliable);
+        if plan.has_message_faults() {
+            ep.set_fault_injector(FaultInjector::for_rank(plan, rank, generation));
+        }
+        ep.timeout = opts.recv_timeout;
+    }
+    let mut outs: Vec<GenOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|mut ep| {
+                let cfg = cfg.clone();
+                s.spawn(move || {
+                    let rank = ep.rank();
+                    let patch = Patch::block(cfg.grid.clone(), rank, p);
+                    let left = (rank > 0).then(|| rank - 1);
+                    let right = (rank + 1 < p).then_some(rank + 1);
+                    let (nxl, nr) = (patch.nxl, patch.nr());
+                    let mut solver = match resume {
+                        Some(cps) => cps[rank].clone().restore(),
+                        None => Solver::on_patch(cfg, patch),
+                    };
+                    let mut cps: Vec<Checkpoint> = Vec::new();
+                    let mut crashed = false;
+                    let mut failure: Option<CommError> = None;
+                    let t0 = Instant::now();
+                    {
+                        let mut halo = ThreadHalo::new(&mut ep, left, right, nxl, nr, version);
+                        halo.set_lenient();
+                        while solver.nstep < nsteps {
+                            if solver.nstep.is_multiple_of(opts.checkpoint_every) {
+                                // coordinated: agree the universe is intact,
+                                // then snapshot locally (bitwise, ghosts
+                                // included)
+                                match collectives::barrier(halo.endpoint_mut(), CHECKPOINT_EPOCH + solver.nstep) {
+                                    Ok(()) => cps.push(Checkpoint::capture(&solver)),
+                                    Err(e) => {
+                                        failure = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
+                            if plan.crash.is_some_and(|c| c.rank == rank && c.step == solver.nstep) {
+                                // die silently, like a hung workstation: the
+                                // peers find out through their timeouts
+                                crashed = true;
+                                break;
+                            }
+                            halo.begin_step(solver.nstep);
+                            solver.step_with_halo(&mut halo);
+                            if halo.failure().is_some() {
+                                failure = halo.failure().cloned();
+                                break;
+                            }
+                        }
+                        if failure.is_none() {
+                            failure = halo.failure().cloned();
+                        }
+                    }
+                    let wall = t0.elapsed();
+                    let wait = ep.wait_time;
+                    GenOutcome {
+                        rank,
+                        reached: solver.nstep,
+                        crashed,
+                        failure,
+                        stats: ep.stats,
+                        wait,
+                        busy: wall.saturating_sub(wait),
+                        faults: ep.fault_stats(),
+                        field: solver.field,
+                        ledger: solver.ledger,
+                        cps,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("chaos rank panicked")).collect()
+    });
+    outs.sort_by_key(|o| o.rank);
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::CrashSpec;
+    use crate::parallel::run_parallel;
+    use ns_core::config::Regime;
+    use ns_numerics::Grid;
+
+    fn cfg(regime: Regime) -> SolverConfig {
+        SolverConfig::paper(Grid::small(), regime)
+    }
+
+    fn fast_opts(plan: FaultPlan) -> ChaosOptions {
+        ChaosOptions {
+            plan,
+            reliable: ReliableConfig { retry_timeout: Duration::from_millis(2), max_retries: 5 },
+            checkpoint_every: 2,
+            max_rollbacks: 8,
+            recv_timeout: Duration::from_millis(250),
+        }
+    }
+
+    #[test]
+    fn faultless_chaos_run_is_one_generation_and_bitwise() {
+        let c = cfg(Regime::Euler);
+        let reference = run_parallel(&c, 3, 6, CommVersion::V5);
+        let chaos = run_parallel_chaos(&c, 3, 6, CommVersion::V5, &fast_opts(FaultPlan::none(7)));
+        assert_eq!(reference.gather_field().max_diff(&chaos.gather_field()), 0.0);
+        let rep = chaos.recovery.expect("chaos runs always report recovery");
+        assert_eq!(rep.generations, 1);
+        assert_eq!(rep.rollbacks, 0);
+        assert_eq!(rep.crashes, 0);
+        assert!(rep.checkpoints >= 3, "steps 0, 2, 4 at least; got {}", rep.checkpoints);
+    }
+
+    #[test]
+    fn message_faults_are_healed_without_rollback() {
+        let c = cfg(Regime::Euler);
+        let reference = run_parallel(&c, 3, 6, CommVersion::V5);
+        let plan = FaultPlan { seed: 42, drop_rate: 0.05, corrupt_rate: 0.03, dup_rate: 0.03, ..FaultPlan::default() };
+        let chaos = run_parallel_chaos(&c, 3, 6, CommVersion::V5, &fast_opts(plan));
+        assert_eq!(
+            reference.gather_field().max_diff(&chaos.gather_field()),
+            0.0,
+            "healed run must be bitwise identical"
+        );
+        let rep = chaos.recovery.unwrap();
+        assert!(rep.faults.total() > 0, "5%/3%/3% over hundreds of frames must fire");
+        let stats = chaos.total_stats();
+        assert!(stats.retries > 0 || stats.dup_frames > 0 || stats.corrupt_frames > 0, "healing left traces");
+    }
+
+    #[test]
+    fn rank_crash_rolls_back_and_recovers_bitwise() {
+        let c = cfg(Regime::Euler);
+        let nsteps = 8;
+        let reference = run_parallel(&c, 3, nsteps, CommVersion::V5);
+        // drop >= 1% AND a mid-run crash, per the acceptance criteria
+        let plan = FaultPlan {
+            seed: 1234,
+            drop_rate: 0.02,
+            crash: Some(CrashSpec { rank: 1, step: 5 }),
+            ..FaultPlan::default()
+        };
+        let chaos = run_parallel_chaos(&c, 3, nsteps, CommVersion::V5, &fast_opts(plan));
+        assert_eq!(
+            reference.gather_field().max_diff(&chaos.gather_field()),
+            0.0,
+            "crash + rollback must reproduce the fault-free field bitwise"
+        );
+        let rep = chaos.recovery.unwrap();
+        assert_eq!(rep.crashes, 1, "the crash fired exactly once");
+        assert!(rep.rollbacks >= 1);
+        assert!(rep.generations >= 2);
+        assert!(rep.recomputed_steps >= 1, "the rollback redid work");
+        // the summary block is populated end to end
+        let summary = chaos.summary("chaos-test");
+        let rec = summary.recovery.expect("recovery block present");
+        assert_eq!(rec.crashes, 1);
+        assert!(summary.to_json().contains("\"recovery\""));
+    }
+
+    #[test]
+    fn crash_works_at_every_processor_count() {
+        let c = cfg(Regime::NavierStokes);
+        let nsteps = 6;
+        for p in [2usize, 3] {
+            let reference = run_parallel(&c, p, nsteps, CommVersion::V5);
+            let plan = FaultPlan {
+                seed: 9,
+                drop_rate: 0.01,
+                crash: Some(CrashSpec { rank: p - 1, step: 3 }),
+                ..FaultPlan::default()
+            };
+            let chaos = run_parallel_chaos(&c, p, nsteps, CommVersion::V5, &fast_opts(plan));
+            assert_eq!(reference.gather_field().max_diff(&chaos.gather_field()), 0.0, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "crash rank")]
+    fn crash_outside_the_universe_is_rejected() {
+        let c = cfg(Regime::Euler);
+        let plan = FaultPlan { crash: Some(CrashSpec { rank: 7, step: 1 }), ..FaultPlan::none(0) };
+        let _ = run_parallel_chaos(&c, 2, 2, CommVersion::V5, &fast_opts(plan));
+    }
+}

@@ -174,6 +174,37 @@ pub struct CommTotals {
     pub bytes_sent: u64,
     /// Payload bytes received.
     pub bytes_recvd: u64,
+    /// NACKs issued while waiting for overdue/corrupt frames (reliability
+    /// layer; 0 on unframed runs).
+    pub retries: u64,
+    /// Cached frames retransmitted in answer to peer NACKs.
+    pub resends: u64,
+    /// Received frames discarded for checksum failure.
+    pub corrupt_frames: u64,
+    /// Received frames discarded as duplicates.
+    pub dup_frames: u64,
+}
+
+/// What the recovery layer did during a chaos run: how often the universe
+/// rolled back, how much work was re-executed, and how much healing the
+/// reliability layer performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoverySummary {
+    /// Execution generations (1 = no rollback ever happened).
+    pub generations: u32,
+    /// Rollbacks to the last consistent checkpoint.
+    pub rollbacks: u32,
+    /// Global steps re-executed because of rollbacks.
+    pub recomputed_steps: u64,
+    /// Coordinated checkpoints captured (rank-0 count).
+    pub checkpoints: u64,
+    /// Rank crashes that fired.
+    pub crashes: u32,
+    /// Receiver-side retries (NACKs issued), summed over ranks and
+    /// generations.
+    pub retries: u64,
+    /// Frames injected with a fault by the chaos plan.
+    pub faults_injected: u64,
 }
 
 /// Machine-readable description of a finished (or aborted) run: what was
@@ -202,6 +233,8 @@ pub struct RunSummary {
     pub phase_seconds: BTreeMap<String, f64>,
     /// Message totals, summed over ranks.
     pub comm: CommTotals,
+    /// Rollback/recovery accounting (`null` except for chaos runs).
+    pub recovery: Option<RecoverySummary>,
     /// The watchdog series.
     pub health: Vec<HealthSample>,
 }
@@ -313,7 +346,8 @@ mod tests {
             wall_seconds: 1.25,
             aborted: None,
             phase_seconds: BTreeMap::new(),
-            comm: CommTotals { sends: 16, recvs: 16, bytes_sent: 4096, bytes_recvd: 4096 },
+            comm: CommTotals { sends: 16, recvs: 16, bytes_sent: 4096, bytes_recvd: 4096, ..Default::default() },
+            recovery: None,
             health: vec![good_sample(0), good_sample(10)],
         };
         let mut ledger = PhaseLedger::default();

@@ -21,6 +21,9 @@ pub enum EventKind {
     Send,
     /// A message receive (duration = time blocked waiting for the match).
     Recv,
+    /// A fault-layer event: an injected fault, a NACK, a resend, a frame
+    /// discard, or a recovery rollback.
+    Fault,
 }
 
 impl EventKind {
@@ -30,6 +33,7 @@ impl EventKind {
             EventKind::Phase => "phase",
             EventKind::Send => "send",
             EventKind::Recv => "recv",
+            EventKind::Fault => "fault",
         }
     }
 }

@@ -14,22 +14,24 @@ use std::sync::Arc;
 pub struct Bytes {
     data: Arc<Vec<u8>>,
     start: usize,
+    end: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Self { data: Arc::new(Vec::new()), start: 0 }
+        Self { data: Arc::new(Vec::new()), start: 0, end: 0 }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(src: &[u8]) -> Self {
-        Self { data: Arc::new(src.to_vec()), start: 0 }
+        let end = src.len();
+        Self { data: Arc::new(src.to_vec()), start: 0, end }
     }
 
     /// Remaining bytes in the view.
     pub fn len(&self) -> usize {
-        self.data.len() - self.start
+        self.end - self.start
     }
 
     /// True when no bytes remain.
@@ -39,19 +41,32 @@ impl Bytes {
 
     /// The remaining bytes as a slice.
     pub fn as_ref_slice(&self) -> &[u8] {
-        &self.data[self.start..]
+        &self.data[self.start..self.end]
+    }
+
+    /// Shorten the view to its first `len` bytes without touching the
+    /// shared storage (mirrors the upstream API; a no-op when the view is
+    /// already shorter). This is what lets a frame trailer be stripped
+    /// zero-copy even while the sender's retransmit cache holds a clone.
+    pub fn truncate(&mut self, len: usize) {
+        self.end = self.start + len.min(self.len());
     }
 
     /// Recover the backing storage as a [`BytesMut`] when this is the only
     /// handle to it (mirrors the upstream API). The buffer's capacity is
     /// preserved, so a pool can recycle received payloads into future send
-    /// buffers with no allocation. Returns the buffer unchanged when other
-    /// clones are still alive.
+    /// buffers with no allocation; bytes outside the current view are
+    /// discarded. Returns the buffer unchanged when other clones are still
+    /// alive.
     pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
-        let start = self.start;
+        let (start, end) = (self.start, self.end);
         match Arc::try_unwrap(self.data) {
-            Ok(vec) => Ok(BytesMut { inner: vec }),
-            Err(data) => Err(Bytes { data, start }),
+            Ok(mut vec) => {
+                vec.truncate(end);
+                vec.drain(..start);
+                Ok(BytesMut { inner: vec })
+            }
+            Err(data) => Err(Bytes { data, start, end }),
         }
     }
 }
@@ -90,7 +105,8 @@ impl Eq for Bytes {}
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: Arc::new(v), start: 0 }
+        let end = v.len();
+        Self { data: Arc::new(v), start: 0, end }
     }
 }
 
@@ -136,9 +152,16 @@ impl BytesMut {
         self.inner.extend_from_slice(src);
     }
 
+    /// Shorten the buffer to `len` bytes, keeping capacity. A no-op when
+    /// the buffer is already shorter (mirrors the upstream API).
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
     /// Convert into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
-        Bytes { data: Arc::new(self.inner), start: 0 }
+        let end = self.inner.len();
+        Bytes { data: Arc::new(self.inner), start: 0, end }
     }
 }
 
