@@ -163,6 +163,12 @@ pub struct SolverConfig {
     /// wave speed (a global reduction in the distributed solver). The paper
     /// runs with a fixed step; this is the conventional production upgrade.
     pub adaptive_dt: bool,
+    /// Manufactured-solution verification mode. When `Some`, the solver is
+    /// initialized at the analytic state, the inflow/outflow/far-field
+    /// boundaries carry the manufactured data instead of the jet physics,
+    /// and the analytic forcing from [`crate::mms`] is injected into both
+    /// split operators. Production runs use `None`.
+    pub mms: Option<crate::mms::MmsSpec>,
 }
 
 impl SolverConfig {
@@ -182,6 +188,7 @@ impl SolverConfig {
             dissipation: 0.0,
             scheme: SchemeOrder::TwoFour,
             adaptive_dt: false,
+            mms: None,
         }
     }
 

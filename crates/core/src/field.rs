@@ -307,6 +307,10 @@ pub struct Workspace {
     /// Phase profiler threaded through the operators (off by default, so
     /// the uninstrumented path pays one branch per phase boundary).
     pub timers: ns_telemetry::PhaseTimer,
+    /// Manufactured-solution forcing planes, populated by the driver when
+    /// `SolverConfig::mms` is set and `None` for production runs (the
+    /// operators take the unforced code path without touching them).
+    pub mms: Option<Box<crate::mms::MmsSources>>,
 }
 
 impl Workspace {
@@ -320,6 +324,7 @@ impl Workspace {
             src: Array2::zeros(patch.nxl + 2 * NG, patch.nr() + 2 * NG),
             src_bar: Array2::zeros(patch.nxl + 2 * NG, patch.nr() + 2 * NG),
             timers: ns_telemetry::PhaseTimer::default(),
+            mms: None,
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod driver;
 pub mod field;
 pub mod jacobian;
 pub mod kernels;
+pub mod mms;
 pub mod opcount;
 pub mod physics;
 pub mod probe;

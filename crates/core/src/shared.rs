@@ -47,6 +47,7 @@ impl SharedSolver {
     /// Create a shared-memory solver with `threads` workers.
     pub fn new(mut cfg: SolverConfig, threads: usize) -> Self {
         cfg.version = crate::config::Version::V5;
+        assert!(cfg.mms.is_none(), "MMS verification runs use the serial or distributed drivers");
         assert_eq!(cfg.dissipation, 0.0, "dissipation is a serial-only feature");
         assert_eq!(
             cfg.scheme,

@@ -17,6 +17,9 @@
 //! jetns chaos      [--steps N] [--nx N] [--nr N] [--seed S]            fault-injection sweep:
 //!                  [--rates R1,R2,..] [--procs P1,P2,..] [--no-crash]  survival/overhead table,
 //!                  [--json FILE]                                       bitwise-recovery check
+//! jetns verify     [--quick] [--bless] [--json FILE]                   correctness gate: MMS order
+//!                  [--golden FILE]                                     sweeps, conservation ledgers,
+//!                                                                      differential oracle, goldens
 //! ```
 
 use ns_core::checkpoint::Checkpoint;
@@ -80,10 +83,22 @@ fn cmd_run(args: &Args) -> ExitCode {
     s.enable_phase_timing();
     let health = HealthConfig { cadence: args.num("cadence", 50u64), ..HealthConfig::default() };
     let mut mon = HealthMonitor::new(health);
-    let t0 = std::time::Instant::now();
-    let taken = s.run_monitored(steps, &mut mon);
-    let wall = t0.elapsed().as_secs_f64();
     let gas = *s.gas();
+    let mut ledger = diag::ConservationLedger::open(&s.field, &gas);
+    let t0 = std::time::Instant::now();
+    let mut taken = 0;
+    let aborted_at_start = mon.due(s.nstep) && !mon.observe(s.health_sample());
+    if !aborted_at_start {
+        for _ in 0..steps {
+            s.step();
+            ledger.record(&s.field, &gas, s.dt());
+            taken += 1;
+            if mon.due(s.nstep) && !mon.observe(s.health_sample()) {
+                break;
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
     println!(
         "t = {:.2}, healthy = {}, max Mach = {:.2} ({} health samples)",
         s.t,
@@ -96,7 +111,8 @@ fn cmd_run(args: &Args) -> ExitCode {
     }
     print!("{}", contour::ascii(&diag::axial_momentum(&s.field, &gas), 100, 20));
     if let Some(path) = args.get("summary") {
-        let summary = serial_summary(&s, &mon, steps, taken, wall);
+        let mut summary = serial_summary(&s, &mon, steps, taken, wall);
+        summary.conservation = Some(ledger.close(&s.field).to_summary());
         if let Err(e) = std::fs::write(path, summary.to_json()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -129,6 +145,7 @@ fn serial_summary(s: &Solver, mon: &HealthMonitor, requested: u64, taken: u64, w
         phase_seconds: BTreeMap::new(),
         comm: ns_telemetry::CommTotals::default(),
         recovery: None,
+        conservation: None,
         health: mon.samples.clone(),
     };
     summary.set_phases(s.phase_ledger());
@@ -350,9 +367,51 @@ fn cmd_chaos(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_verify(args: &Args) -> ExitCode {
+    let quick = args.has("quick");
+    let golden_path = args.get("golden").unwrap_or("GOLDEN_verify.json").to_string();
+    println!("verification suite ({} mode)…", if quick { "quick" } else { "full" });
+    let mut report = ns_verify::run(&ns_verify::VerifyConfig { quick });
+
+    // the oracle's reference snapshots become (or are checked against) the
+    // committed golden file
+    let current = ns_verify::snapshot::GoldenFile {
+        schema: ns_verify::snapshot::SCHEMA,
+        grid: [report.oracle.grid[0], report.oracle.grid[1]],
+        steps: report.oracle.steps,
+        entries: report.oracle.snapshots.clone(),
+    };
+    if args.has("bless") {
+        if let Err(e) = current.save(&golden_path) {
+            eprintln!("jetns verify: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("blessed {golden_path} ({} snapshots)", current.entries.len());
+    } else {
+        match ns_verify::snapshot::GoldenFile::load(&golden_path) {
+            Ok(golden) => report.golden = Some(golden.diff(&current)),
+            Err(e) => eprintln!("jetns verify: no golden comparison: {e} (run --bless to create it)"),
+        }
+    }
+
+    print!("{}", report.render());
+    if let Some(path) = args.get("json") {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if report.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report|chaos> [flags]\n\
+        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report|chaos|verify> [flags]\n\
          see the module docs in crates/experiments/src/bin/jetns.rs"
     );
     ExitCode::FAILURE
@@ -375,6 +434,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(&args),
         "bench-report" => cmd_bench_report(&args),
         "chaos" => cmd_chaos(&args),
+        "verify" => cmd_verify(&args),
         _ => usage(),
     }
 }

@@ -23,21 +23,43 @@ pub fn workload_vs_ledger_error(grid: Grid, regime: Regime, steps: u64) -> f64 {
     (per_step_measured - model).abs() / model
 }
 
+/// One cell of the validation matrix.
+#[derive(Clone, Debug)]
+pub struct ValidationCell {
+    /// Governing equations.
+    pub regime: Regime,
+    /// Grid shape (nx, nr).
+    pub grid: [usize; 2],
+    /// Relative model-vs-measured error.
+    pub error: f64,
+}
+
+/// The grid ladder the matrix covers: the paper's small grid, a tall one, a
+/// wide one, and an odd-sized one (nothing divides evenly).
+fn matrix_grids() -> Vec<Grid> {
+    vec![Grid::small(), Grid::new(80, 40, 50.0, 5.0), Grid::new(128, 16, 50.0, 5.0), Grid::new(67, 21, 50.0, 5.0)]
+}
+
+/// Run the full regime x grid validation matrix.
+pub fn validation_matrix(steps: u64) -> Vec<ValidationCell> {
+    let mut cells = Vec::new();
+    for regime in [Regime::NavierStokes, Regime::Euler] {
+        for grid in matrix_grids() {
+            let shape = [grid.nx, grid.nr];
+            cells.push(ValidationCell { regime, grid: shape, error: workload_vs_ledger_error(grid, regime, steps) });
+        }
+    }
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn model_tracks_solver_within_one_percent() {
-        for regime in [Regime::NavierStokes, Regime::Euler] {
-            let err = workload_vs_ledger_error(Grid::small(), regime, 4);
-            assert!(err < 0.01, "{regime:?}: workload model off by {err}");
+    fn model_tracks_solver_across_regimes_and_grids() {
+        for cell in validation_matrix(4) {
+            assert!(cell.error < 0.01, "{:?} on {:?}: workload model off by {}", cell.regime, cell.grid, cell.error);
         }
-    }
-
-    #[test]
-    fn model_tracks_solver_on_other_grids() {
-        let err = workload_vs_ledger_error(Grid::new(80, 40, 50.0, 5.0), Regime::NavierStokes, 2);
-        assert!(err < 0.01, "workload model off by {err}");
     }
 }

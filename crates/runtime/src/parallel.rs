@@ -206,6 +206,7 @@ impl ParallelRun {
                 dup_frames: stats.dup_frames,
             },
             recovery: self.recovery.as_ref().map(|r| r.to_summary(&stats)),
+            conservation: None,
             health: self.merged_health(),
         };
         let mut all = PhaseLedger::default();

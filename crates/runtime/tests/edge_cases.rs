@@ -1,0 +1,120 @@
+//! Runtime edge cases: degenerate single-rank universes, grid splits that
+//! do not divide evenly, zero-step runs, and collective corner cases.
+//! These are the boundaries of the decomposition and protocol machinery
+//! that the main oracle matrix (which runs "nice" shapes) does not pin.
+
+use ns_core::config::{Regime, SolverConfig};
+use ns_core::driver::Solver;
+use ns_core::field::{FluxField, Patch, PrimField};
+use ns_numerics::Grid;
+use ns_runtime::collectives::{allreduce_max, allreduce_sum, barrier};
+use ns_runtime::comm::universe;
+use ns_runtime::{run_parallel, run_parallel_chaos, ChaosOptions, CommVersion, FaultPlan, ThreadHalo};
+use std::thread;
+
+#[test]
+fn single_rank_run_is_bitwise_serial_and_sends_nothing() {
+    // P=1: both neighbours are None, every exchange must be a no-op
+    let cfg = SolverConfig::paper(Grid::small(), Regime::NavierStokes);
+    let mut serial = Solver::new(cfg.clone());
+    serial.run(6);
+    let run = run_parallel(&cfg, 1, 6, CommVersion::V5);
+    assert_eq!(serial.field.max_diff(&run.gather_field()), 0.0);
+    assert_eq!(run.ranks[0].stats.sends, 0, "a lone rank has nobody to talk to");
+    assert_eq!(run.ranks[0].stats.recvs, 0);
+}
+
+#[test]
+fn non_divisible_splits_are_bitwise_serial() {
+    // nx = 67 over 3 and 5 ranks: every remainder-handling branch of the
+    // block decomposition is exercised
+    let cfg = SolverConfig::paper(Grid::new(67, 24, 50.0, 5.0), Regime::Euler);
+    let mut serial = Solver::new(cfg.clone());
+    serial.run(4);
+    for p in [3, 5] {
+        let run = run_parallel(&cfg, p, 4, CommVersion::V5);
+        let widths: Vec<usize> = run.ranks.iter().map(|r| r.field.patch.nxl).collect();
+        assert_eq!(widths.iter().sum::<usize>(), 67, "p={p}: columns lost or duplicated");
+        assert_eq!(serial.field.max_diff(&run.gather_field()), 0.0, "p={p}");
+    }
+}
+
+#[test]
+fn zero_step_runs_leave_the_initial_condition_untouched() {
+    let cfg = SolverConfig::paper(Grid::small(), Regime::Euler);
+    let serial = Solver::new(cfg.clone());
+    let run = run_parallel(&cfg, 4, 0, CommVersion::V5);
+    assert_eq!(serial.field.max_diff(&run.gather_field()), 0.0);
+    let t = run.total_stats();
+    assert_eq!(t.sends, t.recvs, "even an empty run must balance its messages");
+
+    // the chaos driver with nothing to do must also be a no-op
+    let chaos = run_parallel_chaos(
+        &cfg,
+        4,
+        0,
+        CommVersion::V5,
+        &ChaosOptions { plan: FaultPlan::none(7), ..Default::default() },
+    );
+    assert_eq!(serial.field.max_diff(&chaos.gather_field()), 0.0);
+}
+
+#[test]
+fn halo_with_no_neighbours_is_a_no_op() {
+    let patch = Patch::whole(Grid::small());
+    let nr = patch.grid.nr;
+    let mut eps = universe(1);
+    let mut prim = PrimField::zeros(&patch);
+    let mut flux = FluxField::zeros(&patch);
+    {
+        use ns_core::scheme::XHalo;
+        let mut halo = ThreadHalo::new(&mut eps[0], None, None, patch.nxl, nr, CommVersion::V7);
+        halo.begin_step(0);
+        halo.exchange_prims(&mut prim);
+        halo.exchange_flux(&mut flux);
+        assert_eq!(halo.reduce_max(2.5), 2.5, "P=1 reduction is the identity");
+    }
+    assert_eq!(eps[0].stats.sends, 0);
+    assert_eq!(eps[0].stats.recvs, 0);
+}
+
+#[test]
+fn collectives_handle_negative_values_and_many_epochs() {
+    // max over all-negative inputs (a naive 0-initialised accumulator would
+    // get this wrong) and interleaved sum/max/barrier epochs on two ranks
+    let eps = universe(2);
+    let results: Vec<(f64, f64)> = thread::scope(|s| {
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                s.spawn(move || {
+                    let mine = -(ep.rank() as f64 + 1.0); // -1, -2
+                    let mx = allreduce_max(&mut ep, mine, 0).unwrap();
+                    barrier(&mut ep, 1).unwrap();
+                    let mut sum = 0.0;
+                    for epoch in 2..30 {
+                        sum = allreduce_sum(&mut ep, mine, epoch).unwrap();
+                    }
+                    (mx, sum)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (mx, sum) in results {
+        assert_eq!(mx, -1.0, "max of negatives must not be clamped to zero");
+        assert_eq!(sum, -3.0);
+    }
+}
+
+#[test]
+fn more_ranks_than_make_sense_still_gathers_exactly() {
+    // 16 ranks on a 66-column grid: 4-column patches, ghost width 2 == half
+    // a patch — the narrowest split the stencil supports
+    let cfg = SolverConfig::paper(Grid::new(66, 24, 50.0, 5.0), Regime::Euler);
+    let mut serial = Solver::new(cfg.clone());
+    serial.run(2);
+    let run = run_parallel(&cfg, 16, 2, CommVersion::V5);
+    assert_eq!(run.ranks.len(), 16);
+    assert_eq!(serial.field.max_diff(&run.gather_field()), 0.0);
+}

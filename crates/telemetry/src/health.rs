@@ -207,6 +207,23 @@ pub struct RecoverySummary {
     pub faults_injected: u64,
 }
 
+/// Closed conservation ledger of a run: relative raw drift of the four
+/// invariants (mass, x-momentum, r-momentum, energy) and the unexplained
+/// residual left after integrating the boundary-flux budget in time. The
+/// drift of an open domain is physics; the residual is the conservation
+/// defect. Computed by the serial driver path (`ns-verify` ledger) and
+/// absent where no ledger was attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConservationSummary {
+    /// Steps the ledger audited.
+    pub steps: u64,
+    /// Relative raw invariant drift per component.
+    pub drift_rel: [f64; 4],
+    /// Relative unexplained residual per component (drift minus the
+    /// time-integrated boundary budget).
+    pub residual_rel: [f64; 4],
+}
+
 /// Machine-readable description of a finished (or aborted) run: what was
 /// asked for, what happened, where the time went, and the watchdog series.
 #[derive(Clone, Debug, Serialize)]
@@ -235,6 +252,8 @@ pub struct RunSummary {
     pub comm: CommTotals,
     /// Rollback/recovery accounting (`null` except for chaos runs).
     pub recovery: Option<RecoverySummary>,
+    /// Closed conservation ledger (`null` when no ledger was attached).
+    pub conservation: Option<ConservationSummary>,
     /// The watchdog series.
     pub health: Vec<HealthSample>,
 }
@@ -348,6 +367,7 @@ mod tests {
             phase_seconds: BTreeMap::new(),
             comm: CommTotals { sends: 16, recvs: 16, bytes_sent: 4096, bytes_recvd: 4096, ..Default::default() },
             recovery: None,
+            conservation: Some(ConservationSummary { steps: 100, ..Default::default() }),
             health: vec![good_sample(0), good_sample(10)],
         };
         let mut ledger = PhaseLedger::default();

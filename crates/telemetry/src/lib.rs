@@ -31,6 +31,9 @@ pub mod health;
 pub mod phase;
 pub mod trace;
 
-pub use health::{CommTotals, HealthConfig, HealthLimits, HealthMonitor, HealthSample, RecoverySummary, RunSummary};
+pub use health::{
+    CommTotals, ConservationSummary, HealthConfig, HealthLimits, HealthMonitor, HealthSample, RecoverySummary,
+    RunSummary,
+};
 pub use phase::{PhaseEvent, PhaseLedger, PhaseStat, PhaseTimer};
 pub use trace::{to_chrome_trace, to_jsonl, trace_from_jsonl, EventKind, TraceEvent, Tracer};

@@ -1,0 +1,285 @@
+//! The cross-version / cross-P / cross-driver differential oracle.
+//!
+//! One fixed configuration (66 x 24 grid, excited jet, 6 steps — even, so
+//! runs end on a completed `L1`/`L2` alternation) is executed across the
+//! whole equivalence matrix:
+//!
+//! * every kernel `Version` rung V1-V6, serially;
+//! * `run_parallel` over processor counts P (each rank running the same
+//!   versioned kernels);
+//! * `run_parallel_chaos` with a fault-free plan (the recovery machinery
+//!   must be a perfect no-op when nothing fails);
+//! * the comm-protocol versions V5/V6/V7 (physics-neutral by design).
+//!
+//! Each cell asserts the *strongest* property the design guarantees:
+//! bitwise identity for V5<->V6 (plus identical FLOP ledgers), for Euler
+//! serial<->parallel, for chaos<->parallel and for comm protocols;
+//! truncation-level agreement (documented tolerance) for V1-V4 (different
+//! operation orderings round differently) and for Navier-Stokes
+//! serial<->parallel (the radial operator's one-sided viscous
+//! cross-derivative stencils at internal patch edges).
+
+use std::collections::BTreeMap;
+
+use ns_core::config::{Regime, SolverConfig, Version};
+use ns_core::driver::Solver;
+use ns_core::Field;
+use ns_numerics::Grid;
+use ns_runtime::{run_parallel, run_parallel_chaos, ChaosOptions, CommVersion, FaultPlan};
+use serde::Serialize;
+
+use crate::snapshot::{self, FieldSnapshot};
+
+/// Tolerance for cross-kernel-version comparisons (V1-V4 vs V5): pure
+/// rounding-level reassociation differences.
+pub const TOL_VERSION: f64 = 1e-9;
+/// Tolerance for Navier-Stokes serial-vs-parallel: truncation-level viscous
+/// edge stencils, still far below any physical scale.
+pub const TOL_NS_PARALLEL: f64 = 1e-8;
+
+/// What a cell is allowed to differ by from its baseline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Expect {
+    /// Bitwise identity (max abs diff must be exactly zero).
+    Bitwise,
+    /// Relative agreement: `max_diff / scale <= tol`.
+    Rel(f64),
+}
+
+/// A deliberate single-ulp perturbation of one run, used by the oracle's
+/// own negative-path tests to prove the harness can fail.
+#[derive(Clone, Debug)]
+pub struct Perturb {
+    /// Cell key whose field to perturb (e.g. `"euler/V6/serial"`).
+    pub key: String,
+    /// Component to touch.
+    pub component: usize,
+    /// Interior indices.
+    pub i: usize,
+    /// Interior indices.
+    pub j: usize,
+}
+
+/// Oracle configuration: the run matrix and the fixed run shape.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Grid (identical for every cell; golden snapshots pin it).
+    pub grid: Grid,
+    /// Steps per run (even, fixed across quick/full so goldens match).
+    pub steps: u64,
+    /// Kernel versions to cover (must include V5, the baseline).
+    pub versions: Vec<Version>,
+    /// Processor counts for the distributed drivers.
+    pub procs: Vec<usize>,
+    /// Governing equations to cover.
+    pub regimes: Vec<Regime>,
+    /// Non-baseline comm protocols to cover (baseline is V5).
+    pub comm_versions: Vec<CommVersion>,
+    /// Fault injection for negative-path tests (`None` in production).
+    pub perturb: Option<Perturb>,
+}
+
+impl OracleConfig {
+    /// The standard matrix. `quick` trims to the corners that catch nearly
+    /// everything (V5/V6, P in {1,4}, comm V6) for the CI gate; the full
+    /// matrix is the issue's exhaustive V1-V6 x {1,2,4,8,16} x all drivers.
+    pub fn standard(quick: bool) -> Self {
+        let grid = Grid::new(66, 24, 50.0, 5.0);
+        let regimes = vec![Regime::Euler, Regime::NavierStokes];
+        if quick {
+            Self {
+                grid,
+                steps: 6,
+                versions: vec![Version::V5, Version::V6],
+                procs: vec![1, 4],
+                regimes,
+                comm_versions: vec![CommVersion::V6],
+                perturb: None,
+            }
+        } else {
+            Self {
+                grid,
+                steps: 6,
+                versions: Version::ALL.to_vec(),
+                procs: vec![1, 2, 4, 8, 16],
+                regimes,
+                comm_versions: vec![CommVersion::V6, CommVersion::V7],
+                perturb: None,
+            }
+        }
+    }
+}
+
+/// One comparison in the matrix.
+#[derive(Clone, Debug, Serialize)]
+pub struct OracleCell {
+    /// Cell key, e.g. `"euler/V3/parallel/p4"`.
+    pub key: String,
+    /// Key of the run this cell was compared against.
+    pub baseline: String,
+    /// The asserted property (`"bitwise"` or `"rel<=..."`).
+    pub expected: String,
+    /// Measured max abs difference over the interior.
+    pub max_abs_diff: f64,
+    /// Measured relative difference (max_abs_diff / baseline scale).
+    pub rel_diff: f64,
+    /// Verdict.
+    pub pass: bool,
+}
+
+/// The whole matrix outcome plus the reference snapshots for the golden
+/// file.
+#[derive(Clone, Debug, Serialize)]
+pub struct OracleReport {
+    /// Oracle grid.
+    pub grid: [usize; 2],
+    /// Steps per run.
+    pub steps: u64,
+    /// Every comparison made.
+    pub cells: Vec<OracleCell>,
+    /// Serial V5 reference snapshots per regime (the golden entries).
+    pub snapshots: BTreeMap<String, FieldSnapshot>,
+}
+
+impl OracleReport {
+    /// True when every cell passed.
+    pub fn pass(&self) -> bool {
+        self.cells.iter().all(|c| c.pass)
+    }
+}
+
+fn regime_key(regime: Regime) -> &'static str {
+    match regime {
+        Regime::Euler => "euler",
+        Regime::NavierStokes => "navier-stokes",
+    }
+}
+
+fn comm_key(v: CommVersion) -> &'static str {
+    match v {
+        CommVersion::V5 => "commV5",
+        CommVersion::V6 => "commV6",
+        CommVersion::V7 => "commV7",
+    }
+}
+
+fn base_cfg(oc: &OracleConfig, regime: Regime, version: Version) -> SolverConfig {
+    let mut cfg = SolverConfig::paper(oc.grid.clone(), regime);
+    cfg.version = version;
+    cfg
+}
+
+/// Fault-free chaos options: recovery machinery armed (checkpoint cadence
+/// shorter than the run) but no faults planned.
+fn chaos_opts() -> ChaosOptions {
+    ChaosOptions { plan: FaultPlan::none(42), checkpoint_every: 3, ..Default::default() }
+}
+
+fn maybe_perturb(oc: &OracleConfig, key: &str, field: &mut Field) {
+    if let Some(p) = &oc.perturb {
+        if p.key == key {
+            let v = field.at(p.component, p.i as isize, p.j as isize);
+            field.set(p.component, p.i as isize, p.j as isize, f64::from_bits(v.to_bits() ^ 1));
+        }
+    }
+}
+
+/// Max interior magnitude of the baseline, the scale for relative diffs.
+fn field_scale(field: &Field) -> f64 {
+    let mut m = 0.0f64;
+    for c in 0..4 {
+        for i in 0..field.nxl() {
+            for j in 0..field.nr() {
+                m = m.max(field.at(c, i as isize, j as isize).abs());
+            }
+        }
+    }
+    m
+}
+
+fn compare(key: &str, baseline: &str, a: &Field, b: &Field, expect: Expect) -> OracleCell {
+    let max_abs_diff = a.max_diff(b);
+    let scale = field_scale(b).max(f64::MIN_POSITIVE);
+    let rel_diff = max_abs_diff / scale;
+    let (expected, pass) = match expect {
+        Expect::Bitwise => ("bitwise".to_string(), max_abs_diff == 0.0),
+        Expect::Rel(tol) => (format!("rel<={tol:e}"), rel_diff <= tol),
+    };
+    OracleCell { key: key.to_string(), baseline: baseline.to_string(), expected, max_abs_diff, rel_diff, pass }
+}
+
+/// Run the full differential-oracle matrix.
+pub fn run_matrix(oc: &OracleConfig) -> OracleReport {
+    assert!(oc.versions.contains(&Version::V5), "the oracle baseline is V5");
+    assert!(oc.steps.is_multiple_of(2), "runs must end on a completed L1/L2 alternation");
+    let mut cells = Vec::new();
+    let mut snapshots = BTreeMap::new();
+    for &regime in &oc.regimes {
+        let rk = regime_key(regime);
+
+        // --- serial ladder ------------------------------------------------
+        let mut serial: Vec<(Version, Field, ns_core::opcount::FlopLedger)> = Vec::new();
+        for &v in &oc.versions {
+            let mut solver = Solver::new(base_cfg(oc, regime, v));
+            solver.run(oc.steps);
+            let mut field = solver.field.clone();
+            maybe_perturb(oc, &format!("{rk}/{v:?}/serial"), &mut field);
+            serial.push((v, field, solver.ledger));
+        }
+        let (v5_field, v5_ledger) = {
+            let e = serial.iter().find(|(v, _, _)| *v == Version::V5).unwrap();
+            (e.1.clone(), e.2)
+        };
+        snapshots.insert(format!("{rk}/serial/V5"), snapshot::of(&v5_field));
+
+        let v5_key = format!("{rk}/V5/serial");
+        for (v, field, ledger) in &serial {
+            if *v == Version::V5 {
+                continue;
+            }
+            let key = format!("{rk}/{v:?}/serial");
+            let expect = if *v == Version::V6 { Expect::Bitwise } else { Expect::Rel(TOL_VERSION) };
+            let mut cell = compare(&key, &v5_key, field, &v5_field, expect);
+            if *v == Version::V6 && *ledger != v5_ledger {
+                // the fused path must also account identical FLOPs
+                cell.pass = false;
+                cell.expected = "bitwise+ledger".to_string();
+            }
+            cells.push(cell);
+        }
+
+        // --- distributed drivers ------------------------------------------
+        for (v, serial_field, _) in &serial {
+            let cfg = base_cfg(oc, regime, *v);
+            let serial_key = format!("{rk}/{v:?}/serial");
+            let par_expect = match regime {
+                Regime::Euler => Expect::Bitwise,
+                Regime::NavierStokes => Expect::Rel(TOL_NS_PARALLEL),
+            };
+            for &p in &oc.procs {
+                let par_key = format!("{rk}/{v:?}/parallel/p{p}");
+                let mut par = run_parallel(&cfg, p, oc.steps, CommVersion::V5).gather_field();
+                maybe_perturb(oc, &par_key, &mut par);
+                cells.push(compare(&par_key, &serial_key, &par, serial_field, par_expect));
+
+                // fault-free chaos must be a bitwise no-op on the parallel run
+                let chaos_key = format!("{rk}/{v:?}/chaos/p{p}");
+                let mut chaos = run_parallel_chaos(&cfg, p, oc.steps, CommVersion::V5, &chaos_opts()).gather_field();
+                maybe_perturb(oc, &chaos_key, &mut chaos);
+                cells.push(compare(&chaos_key, &par_key, &chaos, &par, Expect::Bitwise));
+            }
+        }
+
+        // --- comm-protocol versions (physics-neutral, V5 kernels, P=4) ----
+        let cfg = base_cfg(oc, regime, Version::V5);
+        let baseline = run_parallel(&cfg, 4, oc.steps, CommVersion::V5).gather_field();
+        let base_key = format!("{rk}/V5/parallel/p4");
+        for &cv in &oc.comm_versions {
+            let key = format!("{rk}/V5/parallel/p4/{}", comm_key(cv));
+            let mut f = run_parallel(&cfg, 4, oc.steps, cv).gather_field();
+            maybe_perturb(oc, &key, &mut f);
+            cells.push(compare(&key, &base_key, &f, &baseline, Expect::Bitwise));
+        }
+    }
+    OracleReport { grid: [oc.grid.nx, oc.grid.nr], steps: oc.steps, cells, snapshots }
+}
