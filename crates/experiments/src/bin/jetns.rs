@@ -20,6 +20,11 @@
 //! jetns verify     [--quick] [--bless] [--json FILE]                   correctness gate: MMS order
 //!                  [--golden FILE]                                     sweeps, conservation ledgers,
 //!                                                                      differential oracle, goldens
+//! jetns serve      --jobs FILE [--workers N] [--depth N]               run a JSON job list through
+//!                  [--golden FILE] [--out FILE]                        the sharded batch service
+//! jetns loadgen    [--quick] [--workers N] [--depth N] [--out FILE]   replay the sweep through the
+//!                                                                      service; report p50/p99,
+//!                                                                      throughput, cache hit rate
 //! ```
 
 use ns_core::checkpoint::Checkpoint;
@@ -64,6 +69,13 @@ impl Args {
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
         self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
+}
+
+/// Write a file with a contextual error instead of a bare panic; every
+/// artifact the CLI produces goes through here so a full disk or a bad
+/// path is a clean nonzero exit, not an unwrap backtrace.
+fn write_file(path: &str, content: impl AsRef<[u8]>) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn config(args: &Args) -> SolverConfig {
@@ -113,8 +125,8 @@ fn cmd_run(args: &Args) -> ExitCode {
     if let Some(path) = args.get("summary") {
         let mut summary = serial_summary(&s, &mon, steps, taken, wall);
         summary.conservation = Some(ledger.close(&s.field).to_summary());
-        if let Err(e) = std::fs::write(path, summary.to_json()) {
-            eprintln!("cannot write {path}: {e}");
+        if let Err(e) = write_file(path, summary.to_json()) {
+            eprintln!("jetns run: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
@@ -146,6 +158,7 @@ fn serial_summary(s: &Solver, mon: &HealthMonitor, requested: u64, taken: u64, w
         comm: ns_telemetry::CommTotals::default(),
         recovery: None,
         conservation: None,
+        serve: None,
         health: mon.samples.clone(),
     };
     summary.set_phases(s.phase_ledger());
@@ -165,7 +178,7 @@ fn cmd_telemetry(args: &Args) -> ExitCode {
         ranks,
         health.cadence
     );
-    let opts = TelemetryOptions { phases: true, trace: true, health: Some(health) };
+    let opts = TelemetryOptions { phases: true, trace: true, health: Some(health), ..Default::default() };
     let run = run_parallel_instrumented(&cfg, ranks, steps, CommVersion::V5, opts);
 
     // per-rank phase breakdown next to a simulated reference column that
@@ -198,8 +211,8 @@ fn cmd_telemetry(args: &Args) -> ExitCode {
     ];
     for (name, content) in writes {
         let path = format!("{outdir}/{name}");
-        if let Err(e) = std::fs::write(&path, content) {
-            eprintln!("cannot write {path}: {e}");
+        if let Err(e) = write_file(&path, content) {
+            eprintln!("jetns telemetry: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -263,8 +276,8 @@ fn cmd_checkpoint(args: &Args) -> ExitCode {
     s.run(steps);
     match Checkpoint::capture(&s).to_bytes() {
         Ok(bytes) => {
-            if let Err(e) = std::fs::write(path, &bytes) {
-                eprintln!("cannot write {path}: {e}");
+            if let Err(e) = write_file(path, &bytes) {
+                eprintln!("jetns checkpoint: {e}");
                 return ExitCode::FAILURE;
             }
             println!("wrote {path}: {} bytes at t = {:.3}, step {}", bytes.len(), s.t, s.nstep);
@@ -354,8 +367,8 @@ fn cmd_chaos(args: &Args) -> ExitCode {
     let sweep = ns_experiments::chaos::sweep(&cfg, &procs, &rates, steps, seed, crash);
     print!("{}", ns_experiments::chaos::render(&sweep));
     if let Some(path) = args.get("json") {
-        if let Err(e) = std::fs::write(path, ns_experiments::chaos::to_json(&sweep)) {
-            eprintln!("cannot write {path}: {e}");
+        if let Err(e) = write_file(path, ns_experiments::chaos::to_json(&sweep)) {
+            eprintln!("jetns chaos: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
@@ -396,8 +409,8 @@ fn cmd_verify(args: &Args) -> ExitCode {
 
     print!("{}", report.render());
     if let Some(path) = args.get("json") {
-        if let Err(e) = std::fs::write(path, report.to_json()) {
-            eprintln!("cannot write {path}: {e}");
+        if let Err(e) = write_file(path, report.to_json()) {
+            eprintln!("jetns verify: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
@@ -409,9 +422,171 @@ fn cmd_verify(args: &Args) -> ExitCode {
     }
 }
 
+/// Load a golden file when asked for (or silently probe the default path):
+/// cold results whose shape the differential oracle covers are
+/// cross-checked against its FNV field fingerprints.
+fn serve_golden(args: &Args) -> Option<ns_verify::snapshot::GoldenFile> {
+    match args.get("golden") {
+        Some(path) => match ns_verify::snapshot::GoldenFile::load(path) {
+            Ok(g) => Some(g),
+            Err(e) => {
+                eprintln!("jetns serve: {e}; running without golden cross-checks");
+                None
+            }
+        },
+        None => ns_verify::snapshot::GoldenFile::load("GOLDEN_verify.json").ok(),
+    }
+}
+
+fn cmd_serve(args: &Args) -> ExitCode {
+    use ns_serve::{JobDesc, Outcome, Server, ServerConfig, SubmitError};
+    let Some(jobs_path) = args.get("jobs") else {
+        eprintln!("jetns serve requires --jobs FILE (a JSON array of job descriptions)");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(jobs_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("jetns serve: cannot read {jobs_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let descs: Vec<JobDesc> = match serde_json::from_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("jetns serve: bad job list {jobs_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ServerConfig {
+        workers: args.num("workers", 2usize).max(1),
+        queue_depth: args.num("depth", 32usize).max(1),
+        golden: serve_golden(args),
+    };
+    println!("serving {} jobs on {} workers (queue depth {})…", descs.len(), cfg.workers, cfg.queue_depth);
+    let (server, rx) = Server::new(cfg);
+    let mut expected = 0u64;
+    for (i, desc) in descs.iter().enumerate() {
+        let spec = match desc.to_spec() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("jetns serve: job {i} is invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        loop {
+            match server.submit(spec.clone()) {
+                Ok(_) => {
+                    expected += 1;
+                    break;
+                }
+                Err(SubmitError::Busy { retry_after }) => {
+                    // a CLI batch has nowhere to go: honour our own hint
+                    std::thread::sleep(retry_after);
+                }
+                Err(e) => {
+                    eprintln!("jetns serve: job {i} rejected: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let mut payloads = Vec::new();
+    let mut failed = 0u64;
+    for _ in 0..expected {
+        match rx.recv() {
+            Ok(Outcome::Done(r)) => {
+                let golden = match r.run.golden {
+                    Some(true) => ", golden ok",
+                    Some(false) => ", GOLDEN MISMATCH",
+                    None => "",
+                };
+                println!(
+                    "done {:<28} [{}] queue {:.1} ms, run {:.1} ms{golden}",
+                    r.label,
+                    if r.cache_hit { "cache" } else { "cold " },
+                    r.queue_wait.as_secs_f64() * 1e3,
+                    r.run_wall.as_secs_f64() * 1e3,
+                );
+                payloads.push(r);
+            }
+            Ok(Outcome::Shed { label, .. }) => {
+                // queue sized by --depth; a shed batch job simply reports
+                eprintln!("shed {label} (outranked under a full queue)");
+            }
+            Ok(Outcome::Failed { label, error, .. }) => {
+                eprintln!("FAILED {label}: {error}");
+                failed += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    let stats = server.finish();
+    println!(
+        "served {} ({} cold, {} cache hits), {} failed, {} golden checks ({} mismatched)",
+        stats.completed,
+        stats.cache_misses,
+        stats.cache_hits,
+        stats.failed,
+        stats.golden_checked,
+        stats.golden_mismatches
+    );
+    if let Some(path) = args.get("out") {
+        // the out file is a JSON array of the jobs' RunSummary payloads
+        // (each already carries its serve block), spliced verbatim so a
+        // cache hit is byte-identical to its cold twin
+        let mut body = String::from("[\n");
+        for (i, r) in payloads.iter().enumerate() {
+            body.push_str(&r.run.payload);
+            if i + 1 < payloads.len() {
+                body.push(',');
+            }
+            body.push('\n');
+        }
+        body.push_str("]\n");
+        if let Err(e) = write_file(path, body) {
+            eprintln!("jetns serve: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if failed == 0 && stats.golden_mismatches == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_loadgen(args: &Args) -> ExitCode {
+    let opts = ns_serve::LoadgenOptions {
+        quick: args.has("quick"),
+        workers: args.num("workers", 2usize).max(1),
+        queue_depth: args.num("depth", 64usize).max(16),
+    };
+    println!(
+        "loadgen: {} sweep on {} workers (queue depth {})…",
+        if opts.quick { "quick" } else { "full" },
+        opts.workers,
+        opts.queue_depth
+    );
+    let report = ns_serve::run_loadgen(&opts);
+    print!("{}", ns_experiments::serve_report::render(&report));
+    let path = args.get("out").unwrap_or("SERVE_loadgen.json");
+    if let Err(e) = write_file(path, report.to_json()) {
+        eprintln!("jetns loadgen: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    if report.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report|chaos|verify> [flags]\n\
+        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report|chaos|verify|serve|loadgen> [flags]\n\
          see the module docs in crates/experiments/src/bin/jetns.rs"
     );
     ExitCode::FAILURE
@@ -435,6 +610,8 @@ fn main() -> ExitCode {
         "bench-report" => cmd_bench_report(&args),
         "chaos" => cmd_chaos(&args),
         "verify" => cmd_verify(&args),
+        "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
         _ => usage(),
     }
 }

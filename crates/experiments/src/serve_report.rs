@@ -1,0 +1,77 @@
+//! Human-readable rendering of a `jetns loadgen` run: the serving summary
+//! (latency percentiles, throughput, cache behaviour, golden cross-checks,
+//! the overload burst) and the per-job table.
+
+use ns_serve::LoadgenReport;
+use std::fmt::Write;
+
+/// Render the loadgen report as the table `jetns loadgen` prints.
+pub fn render(r: &LoadgenReport) -> String {
+    let mut out = String::new();
+    let mode = if r.quick { "quick" } else { "full" };
+    let _ = writeln!(out, "## Serve loadgen ({mode} sweep, {} workers, queue depth {})", r.workers, r.queue_depth);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "jobs: {} submitted, {} completed, {} failed  |  throughput {:.1} jobs/s",
+        r.jobs_submitted, r.jobs_completed, r.jobs_failed, r.throughput_jobs_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "latency: p50 {:.1} ms, p99 {:.1} ms, mean {:.1} ms, max {:.1} ms",
+        r.latency.p50_ms, r.latency.p99_ms, r.latency.mean_ms, r.latency.max_ms
+    );
+    let _ = writeln!(
+        out,
+        "cache: {} hits / {} cold ({:.0}% hit rate, {} coalesced)  |  duplicates byte-identical: {}",
+        r.cache_hits,
+        r.cache_misses,
+        r.cache_hit_rate * 100.0,
+        r.cache_coalesced,
+        if r.duplicates_byte_identical { "yes" } else { "NO" }
+    );
+    let _ = writeln!(out, "golden cross-checks: {} checked, {} mismatched", r.golden_checked, r.golden_mismatches);
+    let _ = writeln!(
+        out,
+        "burst: {} submitted -> {} admitted, {} rejected (min retry-after {:.0} ms), {} shed, {} completed",
+        r.burst.submitted,
+        r.burst.admitted,
+        r.burst.rejected,
+        r.burst.min_retry_after_ms,
+        r.burst.shed,
+        r.burst.completed
+    );
+    let _ = writeln!(out);
+    let label_w = r.rows.iter().map(|row| row.label.len()).max().unwrap_or(5).max(5);
+    let _ = writeln!(
+        out,
+        "{:<label_w$}  {:>8}  {:>5}  {:>9}  {:>8}  {:>9}",
+        "label", "priority", "cache", "queue ms", "run ms", "total ms"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:<label_w$}  {:>8}  {:>5}  {:>9.2}  {:>8.2}  {:>9.2}",
+            row.label, row.priority, row.cache, row.queue_ms, row.run_ms, row.total_ms
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "acceptance: {}", if r.pass() { "PASS" } else { "FAIL" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_serve::{run_loadgen, LoadgenOptions};
+
+    #[test]
+    fn renders_the_quick_sweep() {
+        let report = run_loadgen(&LoadgenOptions { quick: true, workers: 2, queue_depth: 64 });
+        let text = render(&report);
+        assert!(text.contains("acceptance: PASS"), "quick sweep renders as passing:\n{text}");
+        assert!(text.contains("p99"));
+        assert!(text.contains("burst:"));
+        assert!(text.lines().count() > report.rows.len(), "one line per job plus the summary");
+    }
+}

@@ -265,6 +265,9 @@ pub enum CommError {
     Disconnected,
     /// No matching message arrived within the deadline.
     Timeout,
+    /// A matched payload failed to unpack (wrong framing or length for the
+    /// receiver's geometry) — the peer is in an inconsistent state.
+    Malformed,
 }
 
 impl std::fmt::Display for CommError {
@@ -273,6 +276,7 @@ impl std::fmt::Display for CommError {
             CommError::NoSuchRank(r) => write!(f, "no such rank {r}"),
             CommError::Disconnected => write!(f, "peer disconnected"),
             CommError::Timeout => write!(f, "receive timed out"),
+            CommError::Malformed => write!(f, "malformed payload"),
         }
     }
 }
@@ -477,6 +481,18 @@ impl Endpoint {
         }
     }
 
+    /// Absolute deadline for a receive that started at `start`. `start +
+    /// timeout` overflows `Instant` for effectively-infinite timeouts
+    /// (`Duration::MAX` as "wait forever"), which used to panic before the
+    /// channel was even polled; saturate to a deadline ~136 years out
+    /// instead. Both receive paths derive their deadline here and compare
+    /// it with `saturating_duration_since`, so an already-expired deadline
+    /// is a clean `Timeout` on either path, never Duration arithmetic
+    /// underflow.
+    fn recv_deadline(&self, start: Instant) -> Instant {
+        start.checked_add(self.timeout).unwrap_or_else(|| start + Duration::from_secs(u32::MAX as u64))
+    }
+
     /// Blocking receive matching `(from, tag)`; non-matching arrivals are
     /// stashed for later receives.
     pub fn recv(&mut self, from: usize, tag: Tag) -> Result<Bytes, CommError> {
@@ -489,14 +505,15 @@ impl Endpoint {
             let m = self.stash.swap_remove(pos);
             return Ok(self.deliver(m, start));
         }
-        let deadline = start + self.timeout;
+        let deadline = self.recv_deadline(start);
         loop {
             let now = Instant::now();
-            if now >= deadline {
+            let left = deadline.saturating_duration_since(now);
+            if left.is_zero() {
                 self.wait_time += now - start;
                 return Err(CommError::Timeout);
             }
-            match self.rx.recv_timeout(deadline - now) {
+            match self.rx.recv_timeout(left) {
                 Ok(m) if m.src == from && m.tag == tag => {
                     self.wait_time += start.elapsed();
                     return Ok(self.deliver(m, start));
@@ -541,14 +558,14 @@ impl Endpoint {
             let m = self.stash.swap_remove(pos);
             return Ok(self.deliver(m, start));
         }
-        let deadline = start + self.timeout;
+        let deadline = self.recv_deadline(start);
         let cfg = self.reliability.as_ref().expect("reliable path").cfg;
         let mut retries = 0u32;
         let mut interval = cfg.retry_timeout;
-        let mut retry_at = start + interval;
+        let mut retry_at = start.checked_add(interval).unwrap_or(deadline);
         loop {
             let now = Instant::now();
-            if now >= deadline {
+            if deadline.saturating_duration_since(now).is_zero() {
                 self.wait_time += now - start;
                 return Err(CommError::Timeout);
             }
@@ -575,7 +592,7 @@ impl Endpoint {
                         retries += 1;
                         self.send_nack(from, tag);
                         interval = interval.saturating_mul(2);
-                        retry_at = Instant::now() + interval;
+                        retry_at = Instant::now().checked_add(interval).unwrap_or(deadline);
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -737,6 +754,44 @@ mod tests {
         let err = a.recv(1, tag(MsgKind::Prims1, 0)).unwrap_err();
         assert_eq!(err, CommError::Timeout);
         assert!(a.wait_time >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn infinite_timeout_recv_does_not_panic() {
+        // regression: `start + self.timeout` overflowed (panicked) for
+        // effectively-infinite timeouts like `Duration::MAX` before the
+        // inbox was even polled, on both the plain and reliable paths
+        let mut eps = universe(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, tag(MsgKind::Prims1, 0), buf(&[4.0])).unwrap();
+        b.timeout = Duration::MAX;
+        let got = b.recv(0, tag(MsgKind::Prims1, 0)).unwrap();
+        assert_eq!(vals(got, 1), vec![4.0]);
+
+        let mut eps = universe_reliable(2, ReliableConfig::default(), None);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, tag(MsgKind::Prims1, 0), buf(&[7.0])).unwrap();
+        b.timeout = Duration::MAX;
+        let got = b.recv(0, tag(MsgKind::Prims1, 0)).unwrap();
+        assert_eq!(vals(got, 1), vec![7.0]);
+    }
+
+    #[test]
+    fn expired_deadline_recv_times_out_cleanly() {
+        // regression: an already-expired deadline must surface as a clean
+        // `Timeout` (saturating arithmetic), never a Duration underflow —
+        // exercised on both receive paths, which now share `recv_deadline`
+        let mut eps = universe(2);
+        let mut a = eps.remove(0);
+        a.timeout = Duration::ZERO;
+        assert_eq!(a.recv(1, tag(MsgKind::Prims1, 0)).unwrap_err(), CommError::Timeout);
+
+        let mut eps = universe_reliable(2, ReliableConfig::default(), None);
+        let mut a = eps.remove(0);
+        a.timeout = Duration::ZERO;
+        assert_eq!(a.recv(1, tag(MsgKind::Prims1, 0)).unwrap_err(), CommError::Timeout);
     }
 
     #[test]

@@ -150,15 +150,25 @@ impl<'a> ThreadHalo<'a> {
         b
     }
 
+    /// Unpack a received primitive column. A payload that does not match
+    /// this rank's geometry (a peer in an inconsistent state) is a recorded
+    /// [`CommError::Malformed`] failure in lenient mode — not a panic — so
+    /// the no-op contract holds even against a misbehaving peer.
     fn unpack_prim_col(&mut self, prim: &mut PrimField, ii: usize, payload: bytes::Bytes) {
         let mut u = UnpackBuf::new(payload);
         for plane in [&mut prim.u, &mut prim.v, &mut prim.t] {
-            u.unpack_f64_slice(&mut self.scratch).expect("prim halo payload");
+            if u.unpack_f64_slice(&mut self.scratch).is_err() {
+                self.fail("prim halo payload", CommError::Malformed);
+                return;
+            }
             for (j, &v) in self.scratch.iter().enumerate() {
                 plane.set(ii, j + NG, v);
             }
         }
-        self.pool.recycle(u.finish().expect("prim halo framing"));
+        match u.finish() {
+            Ok(b) => self.pool.recycle(b),
+            Err(_) => self.fail("prim halo framing", CommError::Malformed),
+        }
     }
 
     fn pack_flux_cols(&mut self, flux: &FluxField, cols: &[usize]) -> PackBuf {
@@ -210,17 +220,25 @@ impl<'a> ThreadHalo<'a> {
         }
     }
 
+    /// Unpack received ghost flux columns; malformed payloads are recorded
+    /// failures in lenient mode (see [`ThreadHalo::unpack_prim_col`]).
     fn unpack_flux_cols(&mut self, flux: &mut FluxField, ghost_cols: &[isize], payload: bytes::Bytes) {
         let mut u = UnpackBuf::new(payload);
         for c in 0..4 {
             for &gi in ghost_cols {
-                u.unpack_f64_slice(&mut self.scratch).expect("flux halo payload");
+                if u.unpack_f64_slice(&mut self.scratch).is_err() {
+                    self.fail("flux halo payload", CommError::Malformed);
+                    return;
+                }
                 for (j, &v) in self.scratch.iter().enumerate() {
                     flux.set(c, gi, j as isize, v);
                 }
             }
         }
-        self.pool.recycle(u.finish().expect("flux halo framing"));
+        match u.finish() {
+            Ok(b) => self.pool.recycle(b),
+            Err(_) => self.fail("flux halo framing", CommError::Malformed),
+        }
     }
 }
 
@@ -265,9 +283,15 @@ impl XHalo for ThreadHalo<'_> {
     }
 
     fn finish_prims(&mut self, prim: &mut PrimField) {
-        if let Some(tag) = self.pending_prims.take() {
-            self.receive_prims(prim, tag);
+        let Some(tag) = self.pending_prims.take() else {
+            return;
+        };
+        // post-failure exchanges are true no-ops: drop the pending phase
+        // without touching the endpoint
+        if self.failure.is_some() {
+            return;
         }
+        self.receive_prims(prim, tag);
     }
 
     fn exchange_prims(&mut self, prim: &mut PrimField) {
@@ -447,6 +471,111 @@ mod tests {
         assert_eq!(v5[1].0, v7[1].0, "rank 1 ghost values agree");
         assert_eq!(v7[0].1.sends, 2 * v5[0].1.sends, "V7 doubles flux start-ups");
         assert_eq!(v5[0].1.bytes_sent, v7[0].1.bytes_sent, "same total volume");
+    }
+
+    /// Once a lenient halo has failed, every later exchange must be a true
+    /// no-op: no sends, no receives, no blocking — and the recorded error
+    /// stays the *first* one even if a later attempt would have failed
+    /// differently.
+    #[test]
+    fn lenient_failure_makes_later_exchanges_true_noops() {
+        let grid = Grid::small();
+        let patch = Patch::block(grid.clone(), 0, 2);
+        let mut eps = universe(2);
+        let mut ep = eps.remove(0); // rank 1's endpoint dropped: silent peer
+        ep.timeout = std::time::Duration::from_millis(20);
+        let mut prim = PrimField::zeros(&patch);
+        let mut flux = FluxField::zeros(&patch);
+        let mut halo = ThreadHalo::new(&mut ep, None, Some(1), patch.nxl, grid.nr, CommVersion::V5);
+        halo.set_lenient();
+        halo.begin_step(0);
+        halo.exchange_prims(&mut prim);
+        assert_eq!(halo.failure(), Some(&CommError::Timeout), "silent peer must surface as Timeout");
+        let stats = halo.endpoint().stats;
+
+        // point the halo at a nonexistent rank: if any later exchange still
+        // attempted a send it would now fail with NoSuchRank, overwriting
+        // the first error and bumping no counters is impossible
+        halo.right = Some(7);
+        let t0 = std::time::Instant::now();
+        halo.begin_step(1);
+        halo.exchange_prims(&mut prim);
+        halo.exchange_flux(&mut flux);
+        halo.exchange_prims(&mut prim);
+        halo.exchange_flux(&mut flux);
+        assert_eq!(halo.reduce_max(3.5), 3.5, "post-failure reduction is identity");
+        assert_eq!(halo.endpoint().stats, stats, "no sends or recvs after the first failure");
+        assert!(t0.elapsed() < std::time::Duration::from_millis(10), "no blocking after the first failure");
+        assert_eq!(halo.failure(), Some(&CommError::Timeout), "first error is kept");
+    }
+
+    /// A V6 split-phase exchange posted before the failure must be dropped,
+    /// not completed, once the halo has failed.
+    #[test]
+    fn lenient_failure_drops_pending_split_phase() {
+        let grid = Grid::small();
+        let patch = Patch::block(grid.clone(), 0, 2);
+        let mut eps = universe(2);
+        let mut ep = eps.remove(0);
+        ep.timeout = std::time::Duration::from_millis(20);
+        let mut prim = PrimField::zeros(&patch);
+        let mut halo = ThreadHalo::new(&mut ep, None, Some(1), patch.nxl, grid.nr, CommVersion::V6);
+        halo.set_lenient();
+        halo.begin_step(0);
+        halo.post_prims(&mut prim); // send posted, receive pending
+        halo.finish_prims(&mut prim); // silent peer -> Timeout recorded
+        assert_eq!(halo.failure(), Some(&CommError::Timeout));
+        let stats = halo.endpoint().stats;
+        halo.begin_step(1);
+        halo.post_prims(&mut prim); // no-op: nothing sent, nothing pending
+        let t0 = std::time::Instant::now();
+        halo.finish_prims(&mut prim); // must not block on the dead receive
+        assert!(t0.elapsed() < std::time::Duration::from_millis(10));
+        assert_eq!(halo.endpoint().stats, stats);
+    }
+
+    /// Regression: a payload that does not match the receiver's geometry
+    /// used to panic (`expect`) even in lenient mode; it must be a recorded
+    /// `Malformed` failure, after which exchanges are no-ops as usual.
+    #[test]
+    fn malformed_payload_is_a_recorded_failure_in_lenient_mode() {
+        let grid = Grid::small();
+        let patch = Patch::block(grid.clone(), 0, 2);
+        let mut eps = universe(2);
+        let mut peer = eps.pop().unwrap();
+        let mut ep = eps.pop().unwrap();
+        // the peer sends a one-double "prim column" — far short of the
+        // 3 * nr doubles this rank's geometry expects
+        let mut b = PackBuf::new();
+        b.pack_f64(1.0);
+        peer.send(0, Tag { kind: MsgKind::Prims1, seq: 0 }, b).unwrap();
+        let mut prim = PrimField::zeros(&patch);
+        let mut halo = ThreadHalo::new(&mut ep, None, Some(1), patch.nxl, grid.nr, CommVersion::V5);
+        halo.set_lenient();
+        halo.begin_step(0);
+        halo.exchange_prims(&mut prim);
+        assert_eq!(halo.failure(), Some(&CommError::Malformed));
+        let stats = halo.endpoint().stats;
+        halo.exchange_prims(&mut prim);
+        assert_eq!(halo.endpoint().stats, stats, "exchanges after a malformed payload are no-ops");
+    }
+
+    /// Strict mode keeps the fail-fast contract on malformed payloads.
+    #[test]
+    #[should_panic(expected = "prim halo payload")]
+    fn malformed_payload_panics_in_strict_mode() {
+        let grid = Grid::small();
+        let patch = Patch::block(grid.clone(), 0, 2);
+        let mut eps = universe(2);
+        let mut peer = eps.pop().unwrap();
+        let mut ep = eps.pop().unwrap();
+        let mut b = PackBuf::new();
+        b.pack_f64(1.0);
+        peer.send(0, Tag { kind: MsgKind::Prims1, seq: 0 }, b).unwrap();
+        let mut prim = PrimField::zeros(&patch);
+        let mut halo = ThreadHalo::new(&mut ep, None, Some(1), patch.nxl, grid.nr, CommVersion::V5);
+        halo.begin_step(0);
+        halo.exchange_prims(&mut prim);
     }
 
     /// After the warm-up step every send buffer must come from recycled

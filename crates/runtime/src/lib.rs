@@ -38,5 +38,7 @@ pub mod recover;
 pub use comm::{CommStats, Endpoint, ReliableConfig};
 pub use fault::{CrashSpec, FaultInjector, FaultPlan, FaultStats};
 pub use halo::{CommVersion, ThreadHalo};
-pub use parallel::{run_parallel, run_parallel_instrumented, ParallelRun, RankResult, TelemetryOptions};
+pub use parallel::{
+    run_parallel, run_parallel_from, run_parallel_instrumented, CancelToken, ParallelRun, RankResult, TelemetryOptions,
+};
 pub use recover::{run_parallel_chaos, ChaosOptions, RecoveryReport};

@@ -18,11 +18,41 @@ use ns_telemetry::{
     CommTotals, EventKind, HealthConfig, HealthMonitor, HealthSample, PhaseLedger, RunSummary, TraceEvent,
 };
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cooperative cancellation handle for an in-flight parallel run. Cloning
+/// shares the flag; [`CancelToken::cancel`] asks every rank to stop at the
+/// next step boundary. The stop is *collective*: each step the ranks
+/// max-reduce their local view of the flag (under its own epoch namespace),
+/// so they always break out of the step loop together — an in-flight rank
+/// team is wound down, never abandoned mid-exchange.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request the run stop at the next step boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// Which telemetry instruments to arm for a parallel run. Everything is off
 /// by default; the uninstrumented paths pay one branch per hook.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TelemetryOptions {
     /// Attribute each rank's wall time to the solver's named phases.
     pub phases: bool,
@@ -31,11 +61,20 @@ pub struct TelemetryOptions {
     /// Sample the watchdogs on this cadence, with a collective early abort
     /// the moment any rank's sample violates the limits.
     pub health: Option<HealthConfig>,
+    /// Cooperative cancellation: when armed, every step starts with a
+    /// max-reduction of the token's flag, so all ranks stop together at the
+    /// same step boundary.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Epoch namespace for the health monitor's abort reduction, disjoint from
 /// the adaptive-dt reduction (which uses the raw step number).
 const HEALTH_EPOCH: u64 = 1 << 62;
+
+/// Epoch namespace for the cancellation reduction, disjoint from the
+/// adaptive-dt (raw step), health (`1 << 62`) and checkpoint (`1 << 61`)
+/// namespaces.
+const CANCEL_EPOCH: u64 = 3 << 60;
 
 /// Result of one rank's run.
 #[derive(Debug)]
@@ -207,6 +246,7 @@ impl ParallelRun {
             },
             recovery: self.recovery.as_ref().map(|r| r.to_summary(&stats)),
             conservation: None,
+            serve: None,
             health: self.merged_health(),
         };
         let mut all = PhaseLedger::default();
@@ -274,6 +314,17 @@ fn health_check(solver: &Solver, halo: &mut ThreadHalo<'_>, mon: &mut HealthMoni
     global == 0.0
 }
 
+/// One collective cancellation check at a step boundary. Same collective
+/// shape as [`health_check`]: a max-reduction of the local flag decides for
+/// every rank at once, so a token fired between two ranks' checks can never
+/// split the team. Returns the abort reason once cancellation is global.
+fn cancel_check(solver: &Solver, halo: &mut ThreadHalo<'_>, tok: &CancelToken) -> Option<String> {
+    let flag = if tok.is_cancelled() { 1.0 } else { 0.0 };
+    let global = collectives::allreduce_max(halo.endpoint_mut(), flag, CANCEL_EPOCH + solver.nstep)
+        .expect("cancellation reduction failed");
+    (global > 0.0).then(|| format!("cancelled at step {}", solver.nstep))
+}
+
 fn run_impl(
     cfg: &SolverConfig,
     p: usize,
@@ -292,6 +343,9 @@ fn run_impl(
         assert!(cp.patch.nxl == cfg.grid.nx, "distributed restart needs a whole-grid checkpoint");
     }
     let endpoints = universe(p);
+    // shared by reference across the rank threads (the cancel token is a
+    // shared flag; cloning per rank would be equivalent but pointless)
+    let opts = &opts;
     // One origin for every rank's clock, so the per-rank timelines align.
     let trace_origin = Instant::now();
     let start = Instant::now();
@@ -329,12 +383,19 @@ fn run_impl(
                     }
                     let mut mon = opts.health.map(HealthMonitor::new);
                     let mut steps = 0u64;
+                    let mut cancelled: Option<String> = None;
                     let t0 = Instant::now();
                     {
                         let mut halo = ThreadHalo::new(&mut ep, left, right, nxl, nr, version);
                         let healthy_start = mon.as_mut().is_none_or(|m| health_check(&solver, &mut halo, m));
                         if healthy_start {
                             for _ in 0..nsteps {
+                                if let Some(tok) = opts.cancel.as_ref() {
+                                    cancelled = cancel_check(&solver, &mut halo, tok);
+                                    if cancelled.is_some() {
+                                        break;
+                                    }
+                                }
                                 halo.begin_step(solver.nstep);
                                 solver.step_with_halo(&mut halo);
                                 steps += 1;
@@ -367,6 +428,7 @@ fn run_impl(
                         }
                     }
                     let (health, abort) = mon.map_or((Vec::new(), None), |m| (m.samples, m.abort));
+                    let abort = abort.or(cancelled);
                     RankResult {
                         rank,
                         field: solver.field,
@@ -499,6 +561,7 @@ mod tests {
             phases: true,
             trace: true,
             health: Some(ns_telemetry::HealthConfig { cadence: 2, ..Default::default() }),
+            ..Default::default()
         };
         let run = run_parallel_instrumented(&c, 3, 4, CommVersion::V5, opts);
         assert_eq!(run.steps_taken(), 4);
@@ -543,7 +606,7 @@ mod tests {
             2,
             3,
             CommVersion::V5,
-            TelemetryOptions { phases: true, trace: true, health: Some(Default::default()) },
+            TelemetryOptions { phases: true, trace: true, health: Some(Default::default()), ..Default::default() },
         );
         assert!(plain.ranks.iter().all(|r| r.phases.is_empty() && r.trace.is_empty() && r.health.is_empty()));
         // instrumentation observes, never perturbs
@@ -559,6 +622,7 @@ mod tests {
             phases: false,
             trace: false,
             health: Some(ns_telemetry::HealthConfig { cadence: 2, limits }),
+            ..Default::default()
         };
         let run = run_parallel_instrumented(&c, 3, 10, CommVersion::V5, opts);
         // the step-0 sample already violates, so nobody takes a step
@@ -567,6 +631,43 @@ mod tests {
         assert!(reason.contains("Mach"), "got: {reason}");
         // every rank stopped, none deadlocked
         assert!(run.ranks.iter().all(|r| r.abort.is_some()));
+    }
+
+    #[test]
+    fn cancel_token_stops_all_ranks_together() {
+        let c = cfg(Regime::Euler);
+        let tok = CancelToken::new();
+        let opts = TelemetryOptions { cancel: Some(tok.clone()), ..Default::default() };
+        let firer = tok.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            firer.cancel();
+        });
+        // far more steps than fit in 30ms: without cancellation this would
+        // run for minutes
+        let run = run_parallel_instrumented(&c, 3, 1_000_000, CommVersion::V5, opts);
+        h.join().unwrap();
+        assert!(run.steps_taken() < 1_000_000, "run must stop early");
+        // the collective reduction stops every rank at the same boundary
+        let steps: Vec<u64> = run.ranks.iter().map(|r| r.steps).collect();
+        assert!(steps.windows(2).all(|w| w[0] == w[1]), "ranks diverged: {steps:?}");
+        let reason = run.aborted().expect("cancellation is an abort");
+        assert!(reason.contains("cancelled"), "got: {reason}");
+        assert!(run.ranks.iter().all(|r| r.abort.is_some()), "every rank records the stop");
+    }
+
+    /// An armed but never-fired token must not perturb the run: same steps,
+    /// bitwise-identical field, no abort.
+    #[test]
+    fn armed_unfired_cancel_is_a_bitwise_noop() {
+        let c = cfg(Regime::Euler);
+        let plain = run_parallel(&c, 2, 4, CommVersion::V5);
+        let tok = CancelToken::new();
+        let opts = TelemetryOptions { cancel: Some(tok), ..Default::default() };
+        let armed = run_parallel_instrumented(&c, 2, 4, CommVersion::V5, opts);
+        assert_eq!(armed.steps_taken(), 4);
+        assert!(armed.aborted().is_none());
+        assert_eq!(plain.gather_field().max_diff(&armed.gather_field()), 0.0);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Content-addressed, single-flight result cache.
+//!
+//! Keys are [`crate::job::JobSpec::canonical_key`] hashes; values are the
+//! cold run's serialized `RunSummary` payload plus its field fingerprint.
+//! A hit replays the cold payload byte-for-byte (the stored `Arc` is
+//! shared, not re-serialized). The cache is *single-flight*: the first
+//! claimant of a key becomes its owner and computes; concurrent claimants
+//! of the same key block until the owner fills (or abandons) the slot, so
+//! a duplicated sweep cell is computed exactly once even when both copies
+//! are dequeued simultaneously.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A cached cold-run result.
+#[derive(Clone, Debug)]
+pub struct CachedRun {
+    /// Canonical case name of the cell.
+    pub case: String,
+    /// The cold run's full `RunSummary` JSON, replayed verbatim on hits.
+    pub payload: String,
+    /// FNV-1a 64 fingerprint of the final field's interior bit patterns
+    /// (the same hash `GOLDEN_verify.json` records).
+    pub field_hash: u64,
+    /// Golden cross-check verdict: `None` when no golden entry applied,
+    /// `Some(true/false)` when the fingerprint was checked.
+    pub golden: Option<bool>,
+}
+
+enum Slot {
+    /// An owner is computing this key.
+    Pending,
+    /// Result available.
+    Ready(Arc<CachedRun>),
+}
+
+/// What a [`ResultCache::claim`] got.
+pub enum Claim {
+    /// Nobody has computed this key: the caller owns it and must
+    /// [`ResultCache::fill`] or [`ResultCache::abandon`] it.
+    Owner,
+    /// Served from cache (counted as a hit; claimants that waited out a
+    /// pending owner are additionally counted as coalesced).
+    Hit(Arc<CachedRun>),
+}
+
+/// Monotonic cache counters, readable at any time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Claims served from a ready slot (includes coalesced waiters).
+    pub hits: u64,
+    /// Claims that became owners (cold computes).
+    pub misses: u64,
+    /// Hits that waited out a concurrent owner instead of finding the
+    /// result ready.
+    pub coalesced: u64,
+}
+
+/// The cache. All methods are thread-safe.
+#[derive(Default)]
+pub struct ResultCache {
+    slots: Mutex<HashMap<u64, Slot>>,
+    cv: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claim a key: either become its owner or get the (possibly awaited)
+    /// result.
+    pub fn claim(&self, key: u64) -> Claim {
+        let mut slots = self.slots.lock().unwrap();
+        let mut waited = false;
+        loop {
+            match slots.get(&key) {
+                None => {
+                    slots.insert(key, Slot::Pending);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Claim::Owner;
+                }
+                Some(Slot::Ready(run)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if waited {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Claim::Hit(Arc::clone(run));
+                }
+                Some(Slot::Pending) => {
+                    waited = true;
+                    slots = self.cv.wait(slots).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Publish the owner's result and wake coalesced waiters.
+    pub fn fill(&self, key: u64, run: CachedRun) -> Arc<CachedRun> {
+        let run = Arc::new(run);
+        self.slots.lock().unwrap().insert(key, Slot::Ready(Arc::clone(&run)));
+        self.cv.notify_all();
+        run
+    }
+
+    /// Give up ownership without a result (failed or aborted run): the slot
+    /// is cleared so a waiter (or a retry) can become the next owner.
+    pub fn abandon(&self, key: u64) {
+        let mut slots = self.slots.lock().unwrap();
+        if matches!(slots.get(&key), Some(Slot::Pending)) {
+            slots.remove(&key);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Ready entries currently stored.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().values().filter(|s| matches!(s, Slot::Ready(_))).count()
+    }
+
+    /// True when no ready entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(case: &str) -> CachedRun {
+        CachedRun { case: case.into(), payload: format!("{{\"case\":\"{case}\"}}"), field_hash: 7, golden: None }
+    }
+
+    #[test]
+    fn owner_then_hit_shares_the_same_allocation() {
+        let c = ResultCache::new();
+        assert!(matches!(c.claim(1), Claim::Owner));
+        let stored = c.fill(1, run("a"));
+        match c.claim(1) {
+            Claim::Hit(got) => assert!(Arc::ptr_eq(&got, &stored), "hits replay the stored payload, not a copy"),
+            Claim::Owner => panic!("second claim must hit"),
+        }
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, coalesced: 0 });
+    }
+
+    #[test]
+    fn concurrent_duplicate_claims_coalesce() {
+        let c = Arc::new(ResultCache::new());
+        assert!(matches!(c.claim(9), Claim::Owner));
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || match c.claim(9) {
+                Claim::Hit(r) => r.case.clone(),
+                Claim::Owner => panic!("waiter must not become owner"),
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.fill(9, run("dup"));
+        assert_eq!(waiter.join().unwrap(), "dup");
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, coalesced: 1 });
+    }
+
+    #[test]
+    fn abandon_lets_a_waiter_take_over() {
+        let c = Arc::new(ResultCache::new());
+        assert!(matches!(c.claim(5), Claim::Owner));
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || matches!(c.claim(5), Claim::Owner))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.abandon(5);
+        assert!(waiter.join().unwrap(), "after abandon the waiter owns the key");
+        assert_eq!(c.stats().misses, 2);
+    }
+}

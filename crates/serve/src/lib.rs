@@ -1,0 +1,46 @@
+//! ns-serve: a sharded batch-run service over the solver drivers.
+//!
+//! The paper's experiments (Figures 3–6) are parameter sweeps: the same
+//! jet case run across optimization versions, communication protocols and
+//! processor counts, many cells repeated. This crate serves that workload
+//! as jobs rather than scripts:
+//!
+//! * **Admission control** — a bounded priority queue
+//!   ([`queue::JobQueue`]). A full queue sheds a strictly lower-priority
+//!   queued job to admit higher-priority work, or rejects the newcomer
+//!   with a retry-after hint derived from observed service time. Only
+//!   *queued* jobs are ever shed; an in-flight rank team is never
+//!   abandoned — immediate shutdown uses the runtime's cooperative
+//!   [`ns_runtime::CancelToken`], a per-step collective, so every rank of
+//!   a team stops at the same step boundary.
+//! * **Sharding** — a bounded worker pool ([`server::Server`]) executes
+//!   jobs on the real backends: the serial [`ns_core::Solver`], the
+//!   message-passing `run_parallel` drivers (any comm protocol version),
+//!   the fault-tolerant chaos driver, and the shared-memory
+//!   [`ns_core::shared::SharedSolver`].
+//! * **Result caching** — a content-addressed, single-flight cache
+//!   ([`cache::ResultCache`]) keyed by the canonical config hash
+//!   ([`job::JobSpec::canonical_key`]). A repeated sweep cell is served
+//!   the cold run's `RunSummary` payload byte-for-byte, and cold results
+//!   are cross-checked against golden FNV field fingerprints where the
+//!   differential oracle guarantees bitwise agreement.
+//! * **Telemetry** — per-job queue wait, run wall and cache disposition
+//!   are folded into the ns-telemetry [`ns_telemetry::RunSummary`] as its
+//!   `serve` block.
+//!
+//! [`loadgen`] replays the sweep through the server and writes the
+//! latency/throughput/cache artifact that `jetns loadgen` and CI gate on.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod job;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheStats, CachedRun, Claim, ResultCache};
+pub use job::{Backend, JobDesc, JobSpec, Priority};
+pub use loadgen::{run_loadgen, sweep_jobs, BurstReport, JobRow, LatencyStats, LoadgenOptions, LoadgenReport};
+pub use queue::{JobQueue, PushError, Pushed, QueuedJob};
+pub use server::{golden_expectation, JobResult, Outcome, ServeStats, Server, ServerConfig, SubmitError};

@@ -1,0 +1,582 @@
+//! The job-execution server: admission control in front, a bounded worker
+//! pool over the real solver drivers behind, the single-flight result
+//! cache in between.
+//!
+//! Life of a job: `submit` validates the spec and pushes it through the
+//! bounded priority queue (rejecting with a retry-after hint, or shedding
+//! a lower-priority job, when full). A worker pops it, claims its
+//! canonical key in the cache — a hit streams the cold run's payload back
+//! byte-for-byte; an owner executes the backend run, stamps the job-level
+//! telemetry into the `RunSummary`, optionally cross-checks the field
+//! fingerprint against the committed golden snapshots, and fills the
+//! cache. Shutdown is graceful by construction: cancellation is the
+//! cooperative collective token from `ns-runtime`, so an in-flight rank
+//! team always winds down together — it is never abandoned mid-exchange.
+
+use crate::cache::{CacheStats, CachedRun, Claim, ResultCache};
+use crate::job::{Backend, JobSpec, Priority};
+use crate::queue::{JobQueue, PushError, Pushed, QueuedJob};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use ns_core::config::Regime;
+use ns_core::shared::SharedSolver;
+use ns_core::Solver;
+use ns_runtime::{
+    run_parallel_chaos, run_parallel_instrumented, CancelToken, ChaosOptions, FaultPlan, TelemetryOptions,
+};
+use ns_telemetry::{RunSummary, ServeJobSummary};
+use ns_verify::snapshot::{field_hash, GoldenFile};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (each runs one job at a time; a parallel job spawns
+    /// its rank team inside the worker).
+    pub workers: usize,
+    /// Admission-queue depth bound.
+    pub queue_depth: usize,
+    /// Golden snapshots to cross-check cold results against, where a cell's
+    /// shape matches the oracle's (see [`golden_expectation`]).
+    pub golden: Option<GoldenFile>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 2, queue_depth: 32, golden: None }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Validation failed; nothing was queued.
+    Invalid(String),
+    /// Queue at capacity (and the job outranked nothing sheddable): back
+    /// off for roughly `retry_after` and try again.
+    Busy {
+        /// Suggested backoff, derived from the observed service time and
+        /// the queue depth ahead of the caller.
+        retry_after: Duration,
+    },
+    /// The server is shutting down.
+    Closed,
+}
+
+/// A finished job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// Reporting label (the spec's, or the canonical case when unset).
+    pub label: String,
+    /// Canonical case name of the cell.
+    pub case: String,
+    /// Admission priority.
+    pub priority: Priority,
+    /// Served from cache?
+    pub cache_hit: bool,
+    /// Time between admission and a worker claiming the job.
+    pub queue_wait: Duration,
+    /// Backend execution time (zero for cache hits).
+    pub run_wall: Duration,
+    /// The result: payload, field fingerprint, golden verdict. Hits share
+    /// the cold run's allocation, so duplicate cells are byte-identical by
+    /// construction.
+    pub run: Arc<CachedRun>,
+}
+
+/// Everything a worker can report back.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Completed (cold or from cache).
+    Done(JobResult),
+    /// Evicted from the queue to admit higher-priority work, or drained by
+    /// an immediate shutdown. Never an in-flight job.
+    Shed {
+        /// Job id.
+        id: u64,
+        /// Reporting label.
+        label: String,
+        /// The shed job's priority.
+        priority: Priority,
+    },
+    /// The backend failed (panic, abort, or cancellation).
+    Failed {
+        /// Job id.
+        id: u64,
+        /// Reporting label.
+        label: String,
+        /// What happened.
+        error: String,
+    },
+}
+
+/// Monotonic server counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ServeStats {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs completed (cold and cached).
+    pub completed: u64,
+    /// Submissions rejected with retry-after.
+    pub rejected: u64,
+    /// Queued jobs shed (eviction or shutdown drain).
+    pub shed: u64,
+    /// Jobs that failed in a backend.
+    pub failed: u64,
+    /// Cache hits (including coalesced waiters).
+    pub cache_hits: u64,
+    /// Cold computes.
+    pub cache_misses: u64,
+    /// Hits that waited out a concurrent duplicate instead of recomputing.
+    pub cache_coalesced: u64,
+    /// Cold results cross-checked against a golden fingerprint.
+    pub golden_checked: u64,
+    /// Cross-checks that disagreed.
+    pub golden_mismatches: u64,
+}
+
+struct Inner {
+    outcomes: Sender<Outcome>,
+    cancel: CancelToken,
+    golden: Option<GoldenFile>,
+    workers: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    golden_checked: AtomicU64,
+    golden_mismatches: AtomicU64,
+    /// EWMA of cold-run service time, microseconds (retry-after estimate).
+    avg_run_us: AtomicU64,
+}
+
+impl Inner {
+    fn record_service_time(&self, wall: Duration) {
+        let cur = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        let old = self.avg_run_us.load(Ordering::Relaxed);
+        let new = if old == 0 { cur } else { (old * 7 + cur * 3) / 10 };
+        self.avg_run_us.store(new, Ordering::Relaxed);
+    }
+}
+
+/// The server. Dropping it without calling [`Server::finish`] or
+/// [`Server::shutdown_now`] joins nothing — call one of them.
+pub struct Server {
+    queue: Arc<JobQueue>,
+    cache: Arc<ResultCache>,
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Server {
+    /// Start a server and return it with the outcome stream.
+    pub fn new(cfg: ServerConfig) -> (Self, Receiver<Outcome>) {
+        assert!(cfg.workers >= 1);
+        let (tx, rx) = unbounded();
+        let queue = Arc::new(JobQueue::new(cfg.queue_depth));
+        let cache = Arc::new(ResultCache::new());
+        let inner = Arc::new(Inner {
+            outcomes: tx,
+            cancel: CancelToken::new(),
+            golden: cfg.golden,
+            workers: cfg.workers,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            golden_checked: AtomicU64::new(0),
+            golden_mismatches: AtomicU64::new(0),
+            avg_run_us: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&cache);
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&queue, &cache, &inner))
+            })
+            .collect();
+        (Self { queue, cache, inner, workers, next_id: AtomicU64::new(1) }, rx)
+    }
+
+    /// Validate and enqueue a job; returns its id.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        spec.validate().map_err(SubmitError::Invalid)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = QueuedJob { id, spec, submitted: Instant::now() };
+        match self.queue.push(job) {
+            Ok(Pushed::Admitted) => {}
+            Ok(Pushed::Shed(victim)) => {
+                self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = self.inner.outcomes.send(Outcome::Shed {
+                    id: victim.id,
+                    label: label_of(&victim.spec),
+                    priority: victim.spec.priority,
+                });
+            }
+            Err(PushError::Full) => {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Busy { retry_after: self.retry_after() });
+            }
+            Err(PushError::Closed) => return Err(SubmitError::Closed),
+        }
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Suggested backoff when the queue is full: the observed service time
+    /// times the queue depth ahead of a retrying caller, spread over the
+    /// worker pool.
+    pub fn retry_after(&self) -> Duration {
+        let avg = self.inner.avg_run_us.load(Ordering::Relaxed);
+        let per_job = Duration::from_micros(if avg == 0 { 50_000 } else { avg });
+        let waves = (self.queue.len() / self.inner.workers).max(1) as u32;
+        per_job * waves
+    }
+
+    /// Jobs currently queued (not yet claimed by a worker).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counter snapshot (cache counters folded in).
+    pub fn stats(&self) -> ServeStats {
+        let CacheStats { hits, misses, coalesced } = self.cache.stats();
+        ServeStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_coalesced: coalesced,
+            golden_checked: self.inner.golden_checked.load(Ordering::Relaxed),
+            golden_mismatches: self.inner.golden_mismatches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, serve everything queued, join
+    /// the workers.
+    pub fn finish(mut self) -> ServeStats {
+        self.queue.close();
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+
+    /// Immediate shutdown: drain the queue (draining jobs are reported as
+    /// shed), fire the cooperative cancel token so in-flight rank teams
+    /// wind down together at the next step boundary, join the workers.
+    pub fn shutdown_now(mut self) -> ServeStats {
+        for victim in self.queue.drain() {
+            self.inner.shed.fetch_add(1, Ordering::Relaxed);
+            let _ = self.inner.outcomes.send(Outcome::Shed {
+                id: victim.id,
+                label: label_of(&victim.spec),
+                priority: victim.spec.priority,
+            });
+        }
+        self.inner.cancel.cancel();
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+fn label_of(spec: &JobSpec) -> String {
+    if spec.label.is_empty() {
+        spec.case()
+    } else {
+        spec.label.clone()
+    }
+}
+
+fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
+    while let Some(job) = queue.pop() {
+        let queue_wait = job.submitted.elapsed();
+        let key = job.spec.canonical_key();
+        let case = job.spec.case();
+        let label = label_of(&job.spec);
+        match cache.claim(key) {
+            Claim::Hit(run) => {
+                inner.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = inner.outcomes.send(Outcome::Done(JobResult {
+                    id: job.id,
+                    label,
+                    case,
+                    priority: job.spec.priority,
+                    cache_hit: true,
+                    queue_wait,
+                    run_wall: Duration::ZERO,
+                    run,
+                }));
+            }
+            Claim::Owner => {
+                let t0 = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| execute(&job.spec, &inner.cancel)));
+                let run_wall = t0.elapsed();
+                let result = match outcome {
+                    Ok(r) => r,
+                    Err(panic) => Err(panic_message(&panic)),
+                };
+                match result {
+                    Ok((mut summary, hash)) => {
+                        inner.record_service_time(run_wall);
+                        let golden =
+                            inner.golden.as_ref().and_then(|g| golden_expectation(g, &job.spec)).map(|expected| {
+                                inner.golden_checked.fetch_add(1, Ordering::Relaxed);
+                                let ok = expected == ns_verify::snapshot::hash_hex(hash);
+                                if !ok {
+                                    inner.golden_mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                                ok
+                            });
+                        summary.serve = Some(ServeJobSummary {
+                            job_id: job.id,
+                            priority: job.spec.priority.level(),
+                            queue_wait_seconds: queue_wait.as_secs_f64(),
+                            run_seconds: run_wall.as_secs_f64(),
+                            cache: "cold".into(),
+                        });
+                        let run = cache.fill(
+                            key,
+                            CachedRun { case: case.clone(), payload: summary.to_json(), field_hash: hash, golden },
+                        );
+                        inner.completed.fetch_add(1, Ordering::Relaxed);
+                        let _ = inner.outcomes.send(Outcome::Done(JobResult {
+                            id: job.id,
+                            label,
+                            case,
+                            priority: job.spec.priority,
+                            cache_hit: false,
+                            queue_wait,
+                            run_wall,
+                            run,
+                        }));
+                    }
+                    Err(error) => {
+                        // aborted/failed runs are never cached: clear the
+                        // slot so a waiter or retry can own the key
+                        cache.abandon(key);
+                        inner.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = inner.outcomes.send(Outcome::Failed { id: job.id, label, error });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("backend panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("backend panicked: {s}")
+    } else {
+        "backend panicked".to_string()
+    }
+}
+
+/// A summary for the single-process backends (serial, shared), shaped like
+/// the parallel driver's.
+fn process_summary(spec: &JobSpec, ranks: usize, steps: u64, wall: Duration) -> RunSummary {
+    RunSummary {
+        case: spec.case(),
+        regime: match spec.cfg.regime {
+            Regime::Euler => "euler".to_string(),
+            Regime::NavierStokes => "navier-stokes".to_string(),
+        },
+        nx: spec.cfg.grid.nx,
+        nr: spec.cfg.grid.nr,
+        ranks,
+        steps_requested: spec.steps,
+        steps_taken: steps,
+        wall_seconds: wall.as_secs_f64(),
+        aborted: None,
+        phase_seconds: std::collections::BTreeMap::new(),
+        comm: ns_telemetry::CommTotals::default(),
+        recovery: None,
+        conservation: None,
+        serve: None,
+        health: Vec::new(),
+    }
+}
+
+/// Execute one job on its backend. Returns the summary (without the serve
+/// block, stamped by the worker) and the final field's fingerprint, or the
+/// abort/cancellation reason.
+fn execute(spec: &JobSpec, cancel: &CancelToken) -> Result<(RunSummary, u64), String> {
+    let case = spec.case();
+    match spec.backend {
+        Backend::Serial => {
+            let t0 = Instant::now();
+            let mut solver = Solver::new(spec.cfg.clone());
+            for _ in 0..spec.steps {
+                if cancel.is_cancelled() {
+                    return Err(format!("cancelled at step {}", solver.nstep));
+                }
+                solver.step();
+            }
+            Ok((process_summary(spec, 1, spec.steps, t0.elapsed()), field_hash(&solver.field)))
+        }
+        Backend::Shared => {
+            let t0 = Instant::now();
+            let mut solver = SharedSolver::new(spec.cfg.clone(), spec.procs);
+            for _ in 0..spec.steps {
+                if cancel.is_cancelled() {
+                    return Err(format!("cancelled at step {}", solver.nstep));
+                }
+                solver.step();
+            }
+            Ok((process_summary(spec, 1, spec.steps, t0.elapsed()), field_hash(&solver.field)))
+        }
+        Backend::Parallel => {
+            let opts = TelemetryOptions { cancel: Some(cancel.clone()), ..Default::default() };
+            let run = run_parallel_instrumented(&spec.cfg, spec.procs, spec.steps, spec.comm, opts);
+            if let Some(reason) = run.aborted() {
+                return Err(reason);
+            }
+            let hash = field_hash(&run.gather_field());
+            Ok((run.summary(&case), hash))
+        }
+        Backend::Chaos => {
+            // fault-free plan: the recovery machinery is armed (checkpoint
+            // cadence shorter than the run) but nothing is injected
+            let opts = ChaosOptions { plan: FaultPlan::none(42), checkpoint_every: 4, ..Default::default() };
+            let run = run_parallel_chaos(&spec.cfg, spec.procs, spec.steps, spec.comm, &opts);
+            if let Some(reason) = run.aborted() {
+                return Err(reason);
+            }
+            let hash = field_hash(&run.gather_field());
+            Ok((run.summary(&case), hash))
+        }
+    }
+}
+
+/// The golden fingerprint a cold result must reproduce, if the committed
+/// snapshots cover this cell. Applicability is deliberately conservative —
+/// exactly the cells the differential oracle guarantees *bitwise*: the
+/// oracle's grid/steps/paper-config shape, kernel V5 or V6 (fused V6 is
+/// bitwise-V5 by design), and a backend that is bitwise against the serial
+/// reference for the regime (Euler: all of them; Navier-Stokes: only the
+/// serial and shared drivers — the distributed radial stencils differ at
+/// truncation level).
+pub fn golden_expectation<'g>(golden: &'g GoldenFile, spec: &JobSpec) -> Option<&'g str> {
+    let c = spec.canonical();
+    if [c.cfg.grid.nx, c.cfg.grid.nr] != golden.grid || c.steps != golden.steps {
+        return None;
+    }
+    use ns_core::config::Version;
+    if c.cfg.version != Version::V5 && c.cfg.version != Version::V6 {
+        return None;
+    }
+    // the rest of the config must be exactly the oracle's paper config
+    let mut reference = ns_core::config::SolverConfig::paper(c.cfg.grid.clone(), c.cfg.regime);
+    reference.version = c.cfg.version;
+    if c.cfg != reference {
+        return None;
+    }
+    let bitwise = match c.cfg.regime {
+        Regime::Euler => true,
+        Regime::NavierStokes => matches!(c.backend, Backend::Serial | Backend::Shared),
+    };
+    if !bitwise {
+        return None;
+    }
+    let rk = match c.cfg.regime {
+        Regime::Euler => "euler",
+        Regime::NavierStokes => "navier-stokes",
+    };
+    golden.entries.get(&format!("{rk}/serial/V5")).map(|snap| snap.hash.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_core::config::SolverConfig;
+    use ns_numerics::Grid;
+    use ns_verify::snapshot;
+
+    fn oracle_shaped_golden() -> (GoldenFile, SolverConfig) {
+        // a golden file built from a fresh serial V5 reference on a small
+        // oracle-shaped cell (committed golden hashes are
+        // platform-dependent; the mechanism is what is under test)
+        let grid = Grid::new(48, 16, 50.0, 5.0);
+        let cfg = SolverConfig::paper(grid.clone(), Regime::Euler);
+        let mut reference = Solver::new(cfg.clone());
+        reference.run(4);
+        let mut entries = std::collections::BTreeMap::new();
+        entries.insert("euler/serial/V5".to_string(), snapshot::of(&reference.field));
+        (GoldenFile { schema: snapshot::SCHEMA, grid: [48, 16], steps: 4, entries }, cfg)
+    }
+
+    #[test]
+    fn golden_cross_check_confirms_bitwise_cells_and_flags_drift() {
+        let (golden, cfg) = oracle_shaped_golden();
+        let spec = JobSpec::new(cfg.clone(), 4, 2); // parallel Euler: bitwise
+        assert!(golden_expectation(&golden, &spec).is_some(), "oracle-shaped Euler parallel cell is covered");
+        let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: Some(golden.clone()) });
+        server.submit(spec.clone()).unwrap();
+        let done = match rx.recv().unwrap() {
+            Outcome::Done(r) => r,
+            other => panic!("expected Done, got {other:?}"),
+        };
+        assert_eq!(done.run.golden, Some(true), "fresh run matches its golden fingerprint");
+        let stats = server.finish();
+        assert_eq!((stats.golden_checked, stats.golden_mismatches), (1, 0));
+
+        // corrupt the golden entry: the same cell must now be flagged
+        let mut bad = golden;
+        bad.entries.get_mut("euler/serial/V5").unwrap().hash = snapshot::hash_hex(0xdead_beef);
+        let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: Some(bad) });
+        server.submit(spec).unwrap();
+        match rx.recv().unwrap() {
+            Outcome::Done(r) => assert_eq!(r.run.golden, Some(false)),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        let stats = server.finish();
+        assert_eq!((stats.golden_checked, stats.golden_mismatches), (1, 1));
+    }
+
+    #[test]
+    fn golden_applicability_is_conservative() {
+        let (golden, cfg) = oracle_shaped_golden();
+        // NS parallel is only truncation-level: not covered
+        let mut ns = cfg.clone();
+        ns.regime = Regime::NavierStokes;
+        let ns = SolverConfig::paper(ns.grid, Regime::NavierStokes);
+        let ns_par = JobSpec::new(ns, 4, 2);
+        assert!(golden_expectation(&golden, &ns_par).is_none());
+        // different steps: not covered
+        let other_steps = JobSpec::new(cfg.clone(), 6, 2);
+        assert!(golden_expectation(&golden, &other_steps).is_none());
+        // non-paper config (adaptive dt): not covered
+        let mut tweaked = cfg;
+        tweaked.adaptive_dt = !tweaked.adaptive_dt;
+        assert!(golden_expectation(&golden, &JobSpec::new(tweaked, 4, 2)).is_none());
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected_at_admission_not_in_a_worker() {
+        let (server, _rx) = Server::new(ServerConfig { workers: 1, queue_depth: 2, golden: None });
+        let mut spec = JobSpec::new(SolverConfig::paper(Grid::small(), Regime::Euler), 2, 20);
+        assert!(matches!(server.submit(spec.clone()), Err(SubmitError::Invalid(_))));
+        spec.procs = 2;
+        spec.steps = 0;
+        assert!(matches!(server.submit(spec), Err(SubmitError::Invalid(_))));
+        let stats = server.finish();
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.failed, 0);
+    }
+}

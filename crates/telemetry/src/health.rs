@@ -224,6 +224,27 @@ pub struct ConservationSummary {
     pub residual_rel: [f64; 4],
 }
 
+/// Job-level serving telemetry, stamped by `ns-serve` when a run was
+/// executed on behalf of a queued job: where the job's latency went and
+/// whether the payload was produced cold or replayed from the result
+/// cache.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ServeJobSummary {
+    /// Server-assigned job id (admission order).
+    pub job_id: u64,
+    /// Admission priority level (higher is more urgent).
+    pub priority: u8,
+    /// Seconds the job waited in the admission queue before a worker
+    /// claimed it.
+    pub queue_wait_seconds: f64,
+    /// Seconds executing the backend run (0 for cache hits).
+    pub run_seconds: f64,
+    /// `"cold"` for a computed run; cache hits replay the cold payload
+    /// byte-for-byte, so a served summary always reads `"cold"` — hit/miss
+    /// accounting lives in the server's own counters.
+    pub cache: String,
+}
+
 /// Machine-readable description of a finished (or aborted) run: what was
 /// asked for, what happened, where the time went, and the watchdog series.
 #[derive(Clone, Debug, Serialize)]
@@ -254,6 +275,9 @@ pub struct RunSummary {
     pub recovery: Option<RecoverySummary>,
     /// Closed conservation ledger (`null` when no ledger was attached).
     pub conservation: Option<ConservationSummary>,
+    /// Job-level serving telemetry (`null` unless the run was executed by
+    /// `ns-serve` on behalf of a queued job).
+    pub serve: Option<ServeJobSummary>,
     /// The watchdog series.
     pub health: Vec<HealthSample>,
 }
@@ -368,6 +392,7 @@ mod tests {
             comm: CommTotals { sends: 16, recvs: 16, bytes_sent: 4096, bytes_recvd: 4096, ..Default::default() },
             recovery: None,
             conservation: Some(ConservationSummary { steps: 100, ..Default::default() }),
+            serve: None,
             health: vec![good_sample(0), good_sample(10)],
         };
         let mut ledger = PhaseLedger::default();

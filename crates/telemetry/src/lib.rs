@@ -33,7 +33,7 @@ pub mod trace;
 
 pub use health::{
     CommTotals, ConservationSummary, HealthConfig, HealthLimits, HealthMonitor, HealthSample, RecoverySummary,
-    RunSummary,
+    RunSummary, ServeJobSummary,
 };
 pub use phase::{PhaseEvent, PhaseLedger, PhaseStat, PhaseTimer};
 pub use trace::{to_chrome_trace, to_jsonl, trace_from_jsonl, EventKind, TraceEvent, Tracer};

@@ -41,6 +41,14 @@ pub fn field_hash(field: &Field) -> u64 {
     h
 }
 
+/// The canonical textual form of a field fingerprint — the 16-hex-digit
+/// encoding the golden file stores and every cross-checker (the oracle,
+/// the serve cache-correctness check) must compare with. One definition so
+/// the formats cannot drift apart.
+pub fn hash_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
 /// Compact summary of one field: bit-exact hash plus per-component norms.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FieldSnapshot {
@@ -68,7 +76,7 @@ pub fn of(field: &Field) -> FieldSnapshot {
         }
         l2[c] = (ss / n).sqrt();
     }
-    FieldSnapshot { hash: format!("{:016x}", field_hash(field)), l2, linf }
+    FieldSnapshot { hash: hash_hex(field_hash(field)), l2, linf }
 }
 
 /// The committed golden-snapshot file.
