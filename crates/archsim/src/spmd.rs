@@ -303,6 +303,7 @@ fn simulate_impl(cfg: &SimConfig, traced: bool) -> (SimResult, Vec<TraceEvent>) 
                         label: label.to_string(),
                         peer: None,
                         bytes: 0,
+                        span: None,
                     });
                 }
             }
@@ -330,6 +331,7 @@ fn simulate_impl(cfg: &SimConfig, traced: bool) -> (SimResult, Vec<TraceEvent>) 
                         label: "msg".to_string(),
                         peer: Some(to),
                         bytes,
+                        span: None,
                     });
                 }
             }
@@ -350,6 +352,7 @@ fn simulate_impl(cfg: &SimConfig, traced: bool) -> (SimResult, Vec<TraceEvent>) 
                         label: "msg".to_string(),
                         peer: Some(from),
                         bytes: 0,
+                        span: None,
                     });
                 }
             }

@@ -3,7 +3,8 @@
 //! paper blames for NOW overheads, measured on the real implementation.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
-use ns_bench::MedianBench;
+use ns_bench::{GroupItem, MedianBench};
+use ns_metrics::{FlightRecorder, Registry};
 use ns_runtime::collectives;
 use ns_runtime::comm::{universe, MsgKind, Tag};
 use ns_runtime::pack::{BufPool, PackBuf, UnpackBuf};
@@ -129,7 +130,56 @@ fn json_runtime() {
             seq += 1;
         });
     }
+    json_metrics_overhead(&mut h);
     h.write_merged(&ns_bench::output_path()).expect("write BENCH_kernels.json");
+}
+
+/// The cost of the always-on observability layer, measured as a paired
+/// experiment (ISSUE 6 acceptance): the same synthetic hot loop with and
+/// without each metric operation inlined, interleaved so CPU drift lands on
+/// both sides equally. The committed deltas document what the default
+/// (no opt-out) instrumentation costs per event.
+fn json_metrics_overhead(h: &mut MedianBench) {
+    let work = |acc: &mut f64| {
+        for k in 0..32 {
+            *acc += f64::from(k) * 1.000001;
+        }
+        std::hint::black_box(*acc);
+    };
+    let counter = Registry::global().counter("bench_overhead_counter");
+    let histogram = Registry::global().histogram("bench_overhead_histogram");
+    let mut flight = FlightRecorder::default();
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut k = 0u64;
+    let mut items = [
+        GroupItem { id: "hot_loop_bare".to_string(), flops: None, f: Box::new(|| work(&mut a0)) },
+        GroupItem {
+            id: "hot_loop_counter".to_string(),
+            flops: None,
+            f: Box::new(|| {
+                work(&mut a1);
+                counter.inc();
+            }),
+        },
+        GroupItem {
+            id: "hot_loop_histogram".to_string(),
+            flops: None,
+            f: Box::new(|| {
+                work(&mut a2);
+                k += 1;
+                histogram.record(k & 0xffff);
+            }),
+        },
+        GroupItem {
+            id: "hot_loop_flight".to_string(),
+            flops: None,
+            f: Box::new(|| {
+                work(&mut a3);
+                flight.record("send", "Flux1", Some(1), Some(7), Some(9), 800);
+            }),
+        },
+    ];
+    h.measure_interleaved("metrics_overhead", &mut items);
 }
 
 criterion_group!(benches, bench_pack, bench_ping_pong, bench_collectives);

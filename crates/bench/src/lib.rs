@@ -207,18 +207,33 @@ impl MedianBench {
 
     /// Merge these records into the JSON file at `path`: groups measured by
     /// this harness replace their previous contents wholesale; groups owned
-    /// by other bench binaries are preserved. An unreadable or foreign file
-    /// is overwritten.
+    /// by other bench binaries are preserved. A missing file starts fresh;
+    /// an unreadable, unparsable, or foreign-schema file is an error — the
+    /// committed trajectory must never be clobbered because of a typo'd
+    /// path or a half-written file.
     pub fn write_merged(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::{Error, ErrorKind};
         let mine: std::collections::BTreeSet<&str> = self.records.iter().map(|r| r.group.as_str()).collect();
-        let mut records: Vec<BenchRecord> = std::fs::read_to_string(path)
-            .ok()
-            .and_then(|s| serde_json::from_str::<BenchFile>(&s).ok())
-            .map(|f| f.records)
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|r| !mine.contains(r.group.as_str()))
-            .collect();
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let file: BenchFile = serde_json::from_str(&text).map_err(|e| {
+                    Error::new(
+                        ErrorKind::InvalidData,
+                        format!("{}: not a bench file ({e}); refusing to overwrite", path.display()),
+                    )
+                })?;
+                if file.schema != SCHEMA {
+                    return Err(Error::new(
+                        ErrorKind::InvalidData,
+                        format!("{}: schema `{}` != `{SCHEMA}`; refusing to overwrite", path.display(), file.schema),
+                    ));
+                }
+                file.records
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let mut records: Vec<BenchRecord> = existing.into_iter().filter(|r| !mine.contains(r.group.as_str())).collect();
         records.extend(self.records.iter().cloned());
         let file = BenchFile { schema: SCHEMA.to_string(), quick: self.quick, records };
         let mut text = serde_json::to_string_pretty(&file).expect("bench file serializes");
@@ -288,6 +303,34 @@ mod tests {
         assert_eq!(alphas.len(), 1);
         assert_eq!(alphas[0].id, "z");
         assert!(file.records.iter().any(|r| r.group == "beta" && r.id == "y"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_merged_refuses_to_clobber_a_foreign_file() {
+        let dir = std::env::temp_dir().join(format!("ns-bench-foreign-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut h = MedianBench::with_mode(true);
+        h.measure("alpha", "x", None, || {
+            std::hint::black_box(1u64);
+        });
+
+        // not JSON at all
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "not json {").unwrap();
+        assert!(h.write_merged(&garbled).is_err());
+        assert_eq!(std::fs::read_to_string(&garbled).unwrap(), "not json {", "file left untouched");
+
+        // valid JSON, wrong schema
+        let foreign = dir.join("foreign.json");
+        std::fs::write(&foreign, r#"{"schema": "someone-elses/v9", "quick": false, "records": []}"#).unwrap();
+        let err = h.write_merged(&foreign).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+
+        // a missing file is fine: first write creates it
+        let fresh = dir.join("fresh.json");
+        h.write_merged(&fresh).unwrap();
+        assert!(fresh.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -18,6 +18,15 @@ use crate::opcount::FlopLedger;
 use crate::scheme::{self, NoHalo, Variant, XHalo};
 use crate::{bc, diag, dissipation};
 use ns_numerics::GasModel;
+use std::sync::{Arc, OnceLock};
+
+/// Wall-clock latency of every completed step, in microseconds, recorded
+/// into the process-global metrics registry. Resolved once; the per-step
+/// cost is two `Instant::now` reads and one relaxed atomic record.
+fn step_latency() -> &'static Arc<ns_metrics::Histogram> {
+    static H: OnceLock<Arc<ns_metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| ns_metrics::Registry::global().histogram("ns_step_latency_us"))
+}
 
 /// Build the initial condition on a patch: the parallel-flow extension of
 /// the inflow mean profile (`W(x, r) = W_inflow(r)`), the standard start for
@@ -129,6 +138,7 @@ impl Solver {
 
     /// Advance one step with the given axial halo exchanger.
     pub fn step_with_halo(&mut self, halo: &mut dyn XHalo) {
+        let step_start = std::time::Instant::now();
         let cfg = self.cfg.clone();
         if cfg.adaptive_dt {
             self.ws.timers.start("diag:watchdog");
@@ -193,6 +203,7 @@ impl Solver {
         self.ws.timers.pause();
         self.t += dt;
         self.nstep += 1;
+        step_latency().record(step_start.elapsed().as_micros() as u64);
     }
 
     /// Advance `n` steps.
@@ -410,6 +421,17 @@ mod tests {
         assert_eq!(taken, 0, "step-0 sample must already abort");
         assert!(!mon.healthy());
         assert!(mon.abort.as_deref().unwrap().contains("Mach"));
+    }
+
+    #[test]
+    fn every_step_records_into_the_latency_histogram() {
+        let before = ns_metrics::Registry::global().snapshot();
+        let cfg = SolverConfig::paper(Grid::small(), Regime::Euler);
+        let mut s = Solver::new(cfg);
+        s.run(3);
+        let delta = ns_metrics::Registry::global().snapshot().diff(&before);
+        let h = delta.histograms.get("ns_step_latency_us").expect("histogram registered");
+        assert!(h.count >= 3, "3 steps must record >= 3 samples, got {}", h.count);
     }
 
     #[test]

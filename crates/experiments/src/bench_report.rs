@@ -91,6 +91,119 @@ pub fn render(data: &BenchData) -> String {
     out
 }
 
+/// One point of a baseline-vs-candidate comparison.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// `group/id` key the point was matched on.
+    pub key: String,
+    /// Baseline median, ns/op.
+    pub baseline_ns: f64,
+    /// Candidate median, ns/op.
+    pub candidate_ns: f64,
+    /// candidate / baseline (> 1 means slower).
+    pub ratio: f64,
+    /// Ratio exceeded the tolerance.
+    pub regressed: bool,
+}
+
+/// Outcome of [`compare`]: every baseline point matched against the
+/// candidate file.
+#[derive(Clone, Debug)]
+pub struct BenchCompare {
+    /// Slowdown factor a point may reach before it counts as a regression.
+    pub tolerance: f64,
+    /// Matched points, file order.
+    pub rows: Vec<CompareRow>,
+    /// Baseline keys the candidate file lacks (a silently dropped bench
+    /// must fail the gate, not pass it).
+    pub missing: Vec<String>,
+    /// Baseline groups absent from a *quick* candidate wholesale: the
+    /// short CI budget deliberately skips the large-grid ladders, so their
+    /// absence is reported but does not fail the gate.
+    pub skipped_groups: Vec<String>,
+}
+
+impl BenchCompare {
+    /// Points slower than `tolerance × baseline`.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count()
+    }
+
+    /// The gate: no regressions and no dropped points.
+    pub fn pass(&self) -> bool {
+        self.regressions() == 0 && self.missing.is_empty()
+    }
+}
+
+/// Compare a candidate bench file against the committed baseline, matching
+/// points by `group/id`. The tolerance is a *ratio*, not a percentage,
+/// because the expected use is a quick-mode CI run (short budget, noisy
+/// medians, possibly a slower shared runner) against a committed full-mode
+/// baseline: ~3x absorbs that noise while still catching an accidental
+/// order-of-magnitude regression. Candidate-only points (new benches) are
+/// ignored — they have no baseline to regress from.
+pub fn compare(baseline: &BenchData, candidate: &BenchData, tolerance: f64) -> BenchCompare {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    let mut skipped_groups = Vec::new();
+    let candidate_groups: std::collections::BTreeSet<&str> =
+        candidate.records.iter().map(|c| c.group.as_str()).collect();
+    for b in &baseline.records {
+        let key = format!("{}/{}", b.group, b.id);
+        if candidate.quick && !candidate_groups.contains(b.group.as_str()) {
+            if !skipped_groups.contains(&b.group) {
+                skipped_groups.push(b.group.clone());
+            }
+            continue;
+        }
+        match candidate.records.iter().find(|c| c.group == b.group && c.id == b.id) {
+            Some(c) => {
+                let ratio = if b.median_ns > 0.0 { c.median_ns / b.median_ns } else { f64::INFINITY };
+                rows.push(CompareRow {
+                    key,
+                    baseline_ns: b.median_ns,
+                    candidate_ns: c.median_ns,
+                    ratio,
+                    regressed: ratio > tolerance,
+                });
+            }
+            None => missing.push(key),
+        }
+    }
+    BenchCompare { tolerance, rows, missing, skipped_groups }
+}
+
+/// Render the comparison table.
+pub fn render_compare(cmp: &BenchCompare) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("bench regression gate (tolerance {:.1}x)\n", cmp.tolerance));
+    out.push_str(&format!("  {:<34} {:>12} {:>12} {:>7}\n", "point", "baseline ns", "candidate ns", "ratio"));
+    for r in &cmp.rows {
+        out.push_str(&format!(
+            "  {:<34} {:>12.1} {:>12.1} {:>6.2}x{}\n",
+            r.key,
+            r.baseline_ns,
+            r.candidate_ns,
+            r.ratio,
+            if r.regressed { "  REGRESSED" } else { "" }
+        ));
+    }
+    for key in &cmp.missing {
+        out.push_str(&format!("  {key:<34} MISSING from candidate\n"));
+    }
+    for group in &cmp.skipped_groups {
+        out.push_str(&format!("  {group:<34} skipped (group absent from quick candidate)\n"));
+    }
+    out.push_str(&format!(
+        "{} points, {} regressions, {} missing: {}\n",
+        cmp.rows.len(),
+        cmp.regressions(),
+        cmp.missing.len(),
+        if cmp.pass() { "pass" } else { "FAIL" }
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +246,45 @@ mod tests {
     fn quick_files_are_flagged() {
         let data = parse(&sample().replace("\"quick\": false", "\"quick\": true")).unwrap();
         assert!(render(&data).contains("NS_BENCH_QUICK"));
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_dropped_points_but_not_noise() {
+        let baseline = parse(sample()).unwrap();
+        // candidate: V1 within tolerance (2x), V5 regressed (4x), pack_f64
+        // dropped, V6 unchanged
+        let mut candidate = baseline.clone();
+        candidate.records[0].median_ns *= 2.0;
+        candidate.records[1].median_ns *= 4.0;
+        candidate.records.retain(|p| p.group != "pack_f64");
+        let cmp = compare(&baseline, &candidate, 3.0);
+        assert_eq!(cmp.regressions(), 1);
+        assert_eq!(cmp.missing, vec!["pack_f64/800".to_string()]);
+        assert!(!cmp.pass());
+        // the same wholesale group absence in a *quick* candidate is a skip
+        candidate.quick = true;
+        let cmp_quick = compare(&baseline, &candidate, 5.0);
+        assert!(cmp_quick.missing.is_empty());
+        assert_eq!(cmp_quick.skipped_groups, vec!["pack_f64".to_string()]);
+        assert!(cmp_quick.pass());
+        assert!(render_compare(&cmp_quick).contains("skipped"));
+        candidate.quick = false;
+        let text = render_compare(&cmp);
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("MISSING"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+        // the same candidate with everything restored passes
+        let cmp = compare(&baseline, &baseline, 3.0);
+        assert!(cmp.pass());
+        assert!(render_compare(&cmp).contains("pass"));
+        // a candidate-only point is no failure: new benches have no baseline
+        let mut grown = baseline.clone();
+        grown.records.push(BenchPoint {
+            group: "metrics_overhead".into(),
+            id: "counter_inc".into(),
+            median_ns: 1.0,
+            mflops: None,
+        });
+        assert!(compare(&baseline, &grown, 3.0).pass());
     }
 }

@@ -14,9 +14,13 @@
 //! jetns bench-report [--file PATH]                                     render the measured V1→V6
 //!                                                                      MFLOPS ladder (Figure 2
 //!                                                                      analogue) from BENCH_kernels.json
+//! jetns bench-compare --candidate FILE [--baseline FILE]               bench regression gate:
+//!                  [--tolerance X]                                     fresh medians vs committed
+//!                                                                      BENCH_kernels.json
 //! jetns chaos      [--steps N] [--nx N] [--nr N] [--seed S]            fault-injection sweep:
 //!                  [--rates R1,R2,..] [--procs P1,P2,..] [--no-crash]  survival/overhead table,
-//!                  [--json FILE]                                       bitwise-recovery check
+//!                  [--json FILE] [--flight-dir DIR]                    bitwise-recovery check,
+//!                                                                      FLIGHT_<rank>.json dumps
 //! jetns verify     [--quick] [--bless] [--json FILE]                   correctness gate: MMS order
 //!                  [--golden FILE]                                     sweeps, conservation ledgers,
 //!                                                                      differential oracle, goldens
@@ -25,6 +29,9 @@
 //! jetns loadgen    [--quick] [--workers N] [--depth N] [--out FILE]   replay the sweep through the
 //!                                                                      service; report p50/p99,
 //!                                                                      throughput, cache hit rate
+//! jetns metrics    [--ranks P] [--steps N] [--nx N] [--nr N]           short instrumented run, then
+//!                  [--prom FILE] [--json FILE]                         the live registry window in
+//!                                                                      Prometheus text / JSON
 //! ```
 
 use ns_core::checkpoint::Checkpoint;
@@ -97,6 +104,7 @@ fn cmd_run(args: &Args) -> ExitCode {
     let mut mon = HealthMonitor::new(health);
     let gas = *s.gas();
     let mut ledger = diag::ConservationLedger::open(&s.field, &gas);
+    let metrics_before = ns_metrics::Registry::global().snapshot();
     let t0 = std::time::Instant::now();
     let mut taken = 0;
     let aborted_at_start = mon.due(s.nstep) && !mon.observe(s.health_sample());
@@ -125,6 +133,9 @@ fn cmd_run(args: &Args) -> ExitCode {
     if let Some(path) = args.get("summary") {
         let mut summary = serial_summary(&s, &mon, steps, taken, wall);
         summary.conservation = Some(ledger.close(&s.field).to_summary());
+        let window = ns_metrics::Registry::global().snapshot().diff(&metrics_before);
+        let metrics = ns_metrics::MetricsSummary::from_snapshot(&window);
+        summary.metrics = (!metrics.is_empty()).then_some(metrics);
         if let Err(e) = write_file(path, summary.to_json()) {
             eprintln!("jetns run: {e}");
             return ExitCode::FAILURE;
@@ -142,6 +153,7 @@ fn cmd_run(args: &Args) -> ExitCode {
 fn serial_summary(s: &Solver, mon: &HealthMonitor, requested: u64, taken: u64, wall: f64) -> ns_telemetry::RunSummary {
     let cfg = &s.cfg;
     let mut summary = ns_telemetry::RunSummary {
+        schema_version: ns_telemetry::RUN_SUMMARY_SCHEMA,
         case: "jet-serial".to_string(),
         regime: match cfg.regime {
             Regime::Euler => "euler".to_string(),
@@ -159,6 +171,7 @@ fn serial_summary(s: &Solver, mon: &HealthMonitor, requested: u64, taken: u64, w
         recovery: None,
         conservation: None,
         serve: None,
+        metrics: None,
         health: mon.samples.clone(),
     };
     summary.set_phases(s.phase_ledger());
@@ -373,6 +386,15 @@ fn cmd_chaos(args: &Args) -> ExitCode {
         }
         println!("wrote {path}");
     }
+    if let Some(dir) = args.get("flight-dir") {
+        match ns_experiments::chaos::write_flight_dumps(&sweep, dir) {
+            Ok(paths) => println!("wrote {} flight dump(s) to {dir}/", paths.len()),
+            Err(e) => {
+                eprintln!("jetns chaos: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if ns_experiments::chaos::all_recovered(&sweep) {
         ExitCode::SUCCESS
     } else {
@@ -584,9 +606,78 @@ fn cmd_loadgen(args: &Args) -> ExitCode {
     }
 }
 
+/// Run a short instrumented workload and expose the live registry: every
+/// subsystem the tentpole instruments (comm, driver, recovery) feeds the
+/// process-global registry, so a fresh CLI process must generate traffic
+/// before there is anything to report.
+fn cmd_metrics(args: &Args) -> ExitCode {
+    let ranks = args.num("ranks", 2usize).max(2);
+    let steps = args.num("steps", 8u64).max(1);
+    let mut cfg = SolverConfig::paper(
+        Grid::new(args.num("nx", 48usize).max(16), args.num("nr", 16usize).max(8), 20.0, 4.0),
+        Regime::Euler,
+    );
+    cfg.dissipation = 0.0;
+    println!("metrics probe: {} ranks, {steps} steps on {}x{}…", ranks, cfg.grid.nx, cfg.grid.nr);
+    let before = ns_metrics::Registry::global().snapshot();
+    let run = run_parallel_instrumented(&cfg, ranks, steps, CommVersion::V7, TelemetryOptions::default());
+    if let Some(reason) = run.aborted() {
+        eprintln!("jetns metrics: probe run aborted: {reason}");
+        return ExitCode::FAILURE;
+    }
+    let window = ns_metrics::Registry::global().snapshot().diff(&before);
+    print!("{}", window.to_prometheus());
+    if let Some(path) = args.get("prom") {
+        if let Err(e) = write_file(path, window.to_prometheus()) {
+            eprintln!("jetns metrics: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.get("json") {
+        if let Err(e) = write_file(path, window.to_json()) {
+            eprintln!("jetns metrics: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The bench regression gate: compare a (typically quick-mode) candidate
+/// MedianBench file against the committed full-mode baseline.
+fn cmd_bench_compare(args: &Args) -> ExitCode {
+    let Some(candidate_path) = args.get("candidate") else {
+        eprintln!("bench-compare requires --candidate FILE (a fresh BENCH_kernels.json)");
+        return ExitCode::FAILURE;
+    };
+    let baseline_path = args.get("baseline").unwrap_or("BENCH_kernels.json");
+    let tolerance = args.num("tolerance", 3.0f64).max(1.0);
+    let load = |path: &str| -> Result<bench_report::BenchData, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        bench_report::parse(&text)
+    };
+    let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("jetns bench-compare: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmp = bench_report::compare(&baseline, &candidate, tolerance);
+    print!("{}", bench_report::render_compare(&cmp));
+    if cmp.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report|chaos|verify|serve|loadgen> [flags]\n\
+        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report|bench-compare|chaos|verify|serve|loadgen|metrics> [flags]\n\
          see the module docs in crates/experiments/src/bin/jetns.rs"
     );
     ExitCode::FAILURE
@@ -612,6 +703,8 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args),
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
+        "metrics" => cmd_metrics(&args),
+        "bench-compare" => cmd_bench_compare(&args),
         _ => usage(),
     }
 }

@@ -14,9 +14,13 @@
 //! would have wanted to hand them.
 
 use ns_core::config::SolverConfig;
+use ns_metrics::FlightDump;
 use ns_runtime::{run_parallel, run_parallel_chaos, ChaosOptions, CommVersion, CrashSpec, FaultPlan};
 use ns_telemetry::RecoverySummary;
 use serde::Serialize;
+
+/// Schema version stamped into the chaos-sweep JSON artifact.
+pub const CHAOS_SCHEMA: u32 = 1;
 
 /// One `(fault rate, processor count)` cell of the sweep.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -45,6 +49,8 @@ pub struct ChaosCell {
 /// The whole sweep, ready for rendering or the CI artifact.
 #[derive(Clone, Debug, Serialize)]
 pub struct ChaosSweep {
+    /// Artifact schema version ([`CHAOS_SCHEMA`]).
+    pub schema: u32,
     /// Grid of the swept problem.
     pub nx: usize,
     /// Radial points of the swept problem.
@@ -55,6 +61,10 @@ pub struct ChaosSweep {
     pub seed: u64,
     /// The cells, rate-major.
     pub cells: Vec<ChaosCell>,
+    /// Flight-recorder dumps collected across the chaos runs (crashed
+    /// ranks, rolled-back generations), in sweep order; also written as
+    /// individual `FLIGHT_<rank>.json` files by [`write_flight_dumps`].
+    pub flight_dumps: Vec<FlightDump>,
 }
 
 /// The deterministic plan for one cell: drops at `rate`, corruption and
@@ -78,6 +88,7 @@ pub fn cell_plan(seed: u64, rate: f64, p: usize, nsteps: u64, crash: bool) -> Fa
 /// halo) and every rank needs at least 4 interior columns.
 pub fn sweep(cfg: &SolverConfig, procs: &[usize], rates: &[f64], nsteps: u64, seed: u64, crash: bool) -> ChaosSweep {
     let mut cells = Vec::new();
+    let mut flight_dumps = Vec::new();
     for &rate in rates {
         for &p in procs {
             let clean_t = std::time::Instant::now();
@@ -92,11 +103,14 @@ pub fn sweep(cfg: &SolverConfig, procs: &[usize], rates: &[f64], nsteps: u64, se
             .ok();
             let chaos_seconds = chaos_t.elapsed().as_secs_f64();
 
+            if let Some(run) = &chaos {
+                flight_dumps.extend(run.flight_dumps().into_iter().cloned());
+            }
             let (survived, bitwise, recovery) = match &chaos {
                 Some(run) => (
                     true,
                     reference.gather_field().max_diff(&run.gather_field()) == 0.0,
-                    run.recovery.map(|r| r.to_summary(&run.total_stats())).unwrap_or_default(),
+                    run.recovery.as_ref().map(|r| r.to_summary(&run.total_stats())).unwrap_or_default(),
                 ),
                 // the rollback budget panicked: the cell is lost, not the sweep
                 None => (false, false, RecoverySummary::default()),
@@ -114,7 +128,23 @@ pub fn sweep(cfg: &SolverConfig, procs: &[usize], rates: &[f64], nsteps: u64, se
             });
         }
     }
-    ChaosSweep { nx: cfg.grid.nx, nr: cfg.grid.nr, nsteps, seed, cells }
+    ChaosSweep { schema: CHAOS_SCHEMA, nx: cfg.grid.nx, nr: cfg.grid.nr, nsteps, seed, cells, flight_dumps }
+}
+
+/// Write every collected flight dump into `dir` under its canonical
+/// `FLIGHT_<rank>.json` name (a rank that crashed in several cells keeps
+/// its last dump). Returns the paths written.
+pub fn write_flight_dumps(s: &ChaosSweep, dir: &str) -> Result<Vec<String>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let mut paths = Vec::new();
+    for dump in &s.flight_dumps {
+        let path = format!("{dir}/{}", FlightDump::file_name(dump.rank));
+        std::fs::write(&path, dump.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !paths.contains(&path) {
+            paths.push(path);
+        }
+    }
+    Ok(paths)
 }
 
 /// Render the survival/overhead table.
@@ -181,10 +211,30 @@ mod tests {
     fn sweep_json_artifact_is_complete() {
         let sweep = sweep(&tiny_cfg(), &[2], &[0.01], 4, 7, true);
         let json = to_json(&sweep);
-        for key in ["cells", "survived", "bitwise", "overhead", "recovery", "rollbacks"] {
+        for key in ["schema", "cells", "survived", "bitwise", "overhead", "recovery", "rollbacks", "flight_dumps"] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        assert_eq!(sweep.schema, CHAOS_SCHEMA);
         assert!(sweep.cells[0].crashed);
+    }
+
+    #[test]
+    fn crashing_sweep_collects_and_writes_flight_dumps() {
+        let sweep = sweep(&tiny_cfg(), &[2], &[0.0], 4, 7, true);
+        assert!(
+            sweep.flight_dumps.iter().any(|d| d.reason == "rank-crash"),
+            "a crashed cell must surface its rank-crash dump"
+        );
+        let dir = std::env::temp_dir().join(format!("ns-chaos-flight-{}", std::process::id()));
+        let dir = dir.to_str().unwrap().to_string();
+        let paths = write_flight_dumps(&sweep, &dir).unwrap();
+        // crash spec kills rank p/2 = 1
+        assert!(paths.iter().any(|p| p.ends_with("FLIGHT_1.json")), "{paths:?}");
+        for p in &paths {
+            let dump = FlightDump::from_json(&std::fs::read_to_string(p).unwrap()).unwrap();
+            assert!(!dump.events.is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -365,6 +365,7 @@ mod tests {
             label: label.to_string(),
             peer: None,
             bytes: 0,
+            span: None,
         };
         let trace = vec![
             ev(0, 50, 0, EventKind::Phase, "x:flux"),

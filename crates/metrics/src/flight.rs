@@ -1,0 +1,218 @@
+//! The flight recorder: a fixed-size ring of recent per-rank events.
+//!
+//! Every rank keeps recording the whole run — frames sent and admitted,
+//! faults injected and healed, step/phase transitions, checkpoints — into a
+//! bounded ring (old events fall off the back, with a drop counter so the
+//! dump says how much history was lost). Nothing is written anywhere until
+//! something goes wrong: a rank crash, a rollback, a watchdog abort or a
+//! serve-job cancellation turns the ring into a [`FlightDump`], which the
+//! CLI writes as `FLIGHT_<rank>.json`. The dump is the black box that makes
+//! a chaos failure diagnosable after the fact: the event sequence
+//! reconstructs what the failing generation was doing, frame by frame.
+//!
+//! The recorder is single-writer (one per rank, owned by that rank's
+//! endpoint), so recording is a ring push — no atomics, no locking.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Schema version stamped into every dump.
+pub const FLIGHT_SCHEMA: u32 = 1;
+
+/// Default ring capacity: enough for several steps of 4-neighbour halo
+/// traffic plus the fault churn around a crash, small enough to be free.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// Microseconds since the recorder's origin.
+    pub t_us: u64,
+    /// Event class (`"send"`, `"recv"`, `"fault"`, `"step"`, `"checkpoint"`,
+    /// `"crash"`, …).
+    pub kind: String,
+    /// Event detail (message kind, fault action, phase label…).
+    pub label: String,
+    /// Peer rank, for comm events.
+    pub peer: Option<usize>,
+    /// Frame sequence number, for framed traffic.
+    pub seq: Option<u64>,
+    /// Causal span (see [`crate::span_id`]), when the event happened inside
+    /// a step.
+    pub span: Option<u64>,
+    /// Payload bytes, for comm events.
+    pub bytes: u64,
+}
+
+/// The per-rank ring buffer.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    origin: Instant,
+    cap: usize,
+    ring: VecDeque<FlightEvent>,
+    dropped: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self { origin: Instant::now(), cap, ring: VecDeque::with_capacity(cap), dropped: 0 }
+    }
+
+    /// Re-anchor timestamps to `origin` (share one origin across ranks so
+    /// their dumps line up on a common clock).
+    pub fn set_origin(&mut self, origin: Instant) {
+        self.origin = origin;
+    }
+
+    /// Record an event; the oldest event is evicted when the ring is full.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        kind: impl Into<String>,
+        label: impl Into<String>,
+        peer: Option<usize>,
+        seq: Option<u64>,
+        span: Option<u64>,
+        bytes: u64,
+    ) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(FlightEvent {
+            t_us: self.origin.elapsed().as_micros() as u64,
+            kind: kind.into(),
+            label: label.into(),
+            peer,
+            seq,
+            span,
+            bytes,
+        });
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Freeze the ring into a dump (the recorder keeps recording).
+    pub fn dump(&self, rank: usize, reason: impl Into<String>) -> FlightDump {
+        FlightDump {
+            schema_version: FLIGHT_SCHEMA,
+            rank,
+            reason: reason.into(),
+            dropped: self.dropped,
+            events: self.ring.iter().cloned().collect(),
+        }
+    }
+}
+
+/// A frozen flight-recorder ring, ready to write as `FLIGHT_<rank>.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Dump format version (see [`FLIGHT_SCHEMA`]).
+    pub schema_version: u32,
+    /// Rank the recorder belonged to.
+    pub rank: usize,
+    /// Why the dump was taken (`"rank-crash"`, `"rollback"`,
+    /// `"watchdog-abort"`, `"cancelled"`).
+    pub reason: String,
+    /// Events that fell off the back of the ring before the dump.
+    pub dropped: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+impl FlightDump {
+    /// Canonical artifact name for a rank's dump.
+    pub fn file_name(rank: usize) -> String {
+        format!("FLIGHT_{rank}.json")
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("flight dump serializes")
+    }
+
+    /// Parse a dump, rejecting unknown schema versions loudly.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let dump: FlightDump = serde_json::from_str(text).map_err(|e| format!("parse flight dump: {e}"))?;
+        if dump.schema_version != FLIGHT_SCHEMA {
+            return Err(format!(
+                "flight dump schema_version {} unsupported (expected {FLIGHT_SCHEMA})",
+                dump.schema_version
+            ));
+        }
+        Ok(dump)
+    }
+
+    /// Events belonging to one causal span, in recorded order.
+    pub fn events_for_span(&self, span: u64) -> Vec<&FlightEvent> {
+        self.events.iter().filter(|e| e.span == Some(span)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record("send", "Prims1", Some(1), Some(i), None, 16);
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let dump = fr.dump(0, "rollback");
+        assert_eq!(dump.events.len(), 3);
+        assert_eq!(dump.events[0].seq, Some(2), "oldest retained event is seq 2");
+        assert_eq!(dump.events[2].seq, Some(4));
+        assert_eq!(dump.dropped, 2);
+    }
+
+    #[test]
+    fn dump_round_trips_and_validates_schema() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record("step", "begin", None, None, Some(crate::span_id(0, 3)), 0);
+        fr.record("fault", "drop", Some(1), Some(9), Some(crate::span_id(0, 3)), 0);
+        let dump = fr.dump(1, "rank-crash");
+        let back = FlightDump::from_json(&dump.to_json()).unwrap();
+        assert_eq!(dump, back);
+        assert_eq!(back.events_for_span(crate::span_id(0, 3)).len(), 2);
+
+        let mut foreign = dump.clone();
+        foreign.schema_version = 42;
+        let err = FlightDump::from_json(&foreign.to_json()).unwrap_err();
+        assert!(err.contains("schema_version 42"), "{err}");
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_file_name_is_canonical() {
+        let mut fr = FlightRecorder::default();
+        fr.record("a", "x", None, None, None, 0);
+        fr.record("b", "y", None, None, None, 0);
+        let d = fr.dump(7, "cancelled");
+        assert!(d.events[1].t_us >= d.events[0].t_us);
+        assert_eq!(FlightDump::file_name(7), "FLIGHT_7.json");
+    }
+}

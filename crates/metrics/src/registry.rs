@@ -1,0 +1,650 @@
+//! The lock-free metrics registry.
+//!
+//! Instrumented code obtains an `Arc` handle once ([`Registry::counter`],
+//! [`Registry::gauge`], [`Registry::histogram`]) and afterwards touches only
+//! that handle: one relaxed atomic RMW per update, no lock, no allocation.
+//! The registry's own lock guards only registration and snapshotting — both
+//! cold paths.
+//!
+//! Names follow the Prometheus convention (`ns_comm_sends_total`,
+//! `ns_step_latency_us`); a fixed label can be folded into the name
+//! (`ns_serve_backend_runs_total{backend="parallel"}`) since the cardinality
+//! here is a handful of ranks and backends, not an open set.
+//!
+//! A [`MetricsSnapshot`] is a point-in-time read of every metric. Snapshots
+//! **merge** (aggregation across ranks or processes) and **diff**
+//! (before/after a run, which is how a [`MetricsSummary`] for one run is
+//! cut from the process-lifetime registry).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Schema version stamped into serialized snapshots.
+pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+/// Number of log2 histogram buckets (bucket `i` counts values whose bit
+/// length is `i`, i.e. `[2^(i-1), 2^i)`; bucket 0 counts zeros).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (queue depth, workers
+/// busy).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram of non-negative integer samples (typically
+/// latencies in microseconds or nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), count: AtomicU64::new(0), sum: AtomicU64::new(0) }
+    }
+}
+
+/// Bucket index of a sample: its bit length (0 for 0).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v).min(HISTOGRAM_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the buckets and totals.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts ([`HISTOGRAM_BUCKETS`] entries; bucket `i`
+    /// covers values of bit length `i`).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Bucket-wise `self - baseline`, saturating (the before/after cut of a
+    /// live registry).
+    pub fn diff(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = self.clone();
+        for (i, a) in out.buckets.iter_mut().enumerate() {
+            *a = a.saturating_sub(baseline.buckets.get(i).copied().unwrap_or(0));
+        }
+        out.count = out.count.saturating_sub(baseline.count);
+        out.sum = out.sum.saturating_sub(baseline.sum);
+        out
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample (log2
+    /// resolution: within a factor of 2 of the true quantile).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(self.buckets.len().saturating_sub(1))
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`; saturates at `u64::MAX`).
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A point-in-time read of every metric in a registry, as three typed maps
+/// (the vendored serde shim has no tagged enums, and three maps are easier
+/// to merge anyway).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Snapshot format version (see [`SNAPSHOT_SCHEMA`]).
+    pub schema_version: u32,
+    /// Counter readings by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge readings by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram readings by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot at the current schema version.
+    pub fn new() -> Self {
+        Self { schema_version: SNAPSHOT_SCHEMA, ..Default::default() }
+    }
+
+    /// Fold `other` into this snapshot: counters and histograms add, and
+    /// gauges add too (a merged queue depth over shards is the sum of the
+    /// shard depths).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// `self - baseline` for counters and histograms (gauges keep their
+    /// current reading — a depth has no meaningful delta). This is how a
+    /// per-run [`MetricsSummary`] is cut from the process-lifetime registry:
+    /// snapshot before, snapshot after, diff.
+    pub fn diff(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (name, v) in &mut out.counters {
+            *v = v.saturating_sub(baseline.counters.get(name).copied().unwrap_or(0));
+        }
+        for (name, h) in &mut out.histograms {
+            if let Some(b) = baseline.histograms.get(name) {
+                *h = h.diff(b);
+            }
+        }
+        out
+    }
+
+    /// Counter reading by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge reading by name (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram reading by name (`None` if absent).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics snapshot serializes")
+    }
+
+    /// Parse a snapshot, rejecting unknown schema versions loudly.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let snap: MetricsSnapshot = serde_json::from_str(text).map_err(|e| format!("parse metrics snapshot: {e}"))?;
+        if snap.schema_version != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "metrics snapshot schema_version {} unsupported (expected {SNAPSHOT_SCHEMA})",
+                snap.schema_version
+            ));
+        }
+        Ok(snap)
+    }
+
+    /// Render the snapshot as a Prometheus text-format page.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, n) in &self.counters {
+            out.push_str(&format!("# TYPE {} counter\n{name} {n}\n", base_name(name)));
+        }
+        for (name, n) in &self.gauges {
+            out.push_str(&format!("# TYPE {} gauge\n{name} {n}\n", base_name(name)));
+        }
+        for (name, h) in &self.histograms {
+            let base = base_name(name);
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cum += n;
+                out.push_str(&format!("{base}_bucket{{le=\"{}\"}} {cum}\n", bucket_upper(i)));
+            }
+            out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{base}_sum {}\n{base}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+/// A folded label `base{k="v"}` keeps the base name for `# TYPE` lines.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Compact per-run digest of a (diffed) snapshot — the block folded into
+/// `RunSummary`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Counter deltas over the run (zero-valued counters omitted).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge readings at the end of the run.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram digests over the run (empty histograms omitted).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Digest of one histogram: count, mean and log2-resolution quantiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Median (upper bucket bound).
+    pub p50: u64,
+    /// 90th percentile (upper bucket bound).
+    pub p90: u64,
+    /// 99th percentile (upper bucket bound).
+    pub p99: u64,
+}
+
+impl MetricsSummary {
+    /// Digest a snapshot (typically an after-minus-before diff).
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> Self {
+        let mut out = Self::default();
+        for (name, n) in &snap.counters {
+            if *n > 0 {
+                out.counters.insert(name.clone(), *n);
+            }
+        }
+        out.gauges = snap.gauges.clone();
+        for (name, h) in &snap.histograms {
+            if h.count > 0 {
+                out.histograms.insert(
+                    name.clone(),
+                    HistogramSummary {
+                        count: h.count,
+                        mean: h.mean(),
+                        p50: h.quantile(0.50),
+                        p90: h.quantile(0.90),
+                        p99: h.quantile(0.99),
+                    },
+                );
+            }
+        }
+        out
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// The registry: name → metric, instantiable for tests, with one
+/// process-wide instance ([`Registry::global`]) that all default-path
+/// instrumentation shares.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry (tests; the product code uses [`Registry::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different kind — that is
+    /// an instrumentation bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("metrics registry lock");
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Counter(Arc::default())) {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the gauge `name` (same contract as [`Self::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("metrics registry lock");
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::default())) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the histogram `name` (same contract as
+    /// [`Self::counter`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("metrics registry lock");
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Histogram(Arc::default())) {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Point-in-time read of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().expect("metrics registry lock");
+        let mut snap = MetricsSnapshot::new();
+        for (name, v) in m.iter() {
+            match v {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counters_and_gauges_read_back() {
+        let r = Registry::new();
+        let c = r.counter("ns_test_total");
+        let g = r.gauge("ns_test_depth");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.add(-2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("ns_test_total"), 5);
+        assert_eq!(snap.gauge("ns_test_depth"), 5);
+        // a second lookup returns the same underlying atomic
+        r.counter("ns_test_total").inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        let _c = r.counter("ns_clash");
+        let _g = r.gauge("ns_clash");
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 6);
+        assert_eq!(s.buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(s.buckets[1], 1, "one lands in bucket 1");
+        assert_eq!(s.buckets[2], 2, "2 and 3 share bucket 2");
+        assert_eq!(s.buckets[10], 1, "1000 has bit length 10");
+        assert_eq!(s.buckets[63], 1, "u64::MAX clamps to the last bucket");
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+        let p50 = s.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 bucket bound {p50} must cover the true median");
+        assert!(s.quantile(1.0) >= 1000);
+        assert!(s.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn snapshot_diff_cuts_a_run_window() {
+        let r = Registry::new();
+        let c = r.counter("ns_run_total");
+        let h = r.histogram("ns_run_us");
+        c.add(10);
+        h.record(5);
+        let before = r.snapshot();
+        c.add(3);
+        h.record(9);
+        let delta = r.snapshot().diff(&before);
+        assert_eq!(delta.counter("ns_run_total"), 3);
+        assert_eq!(delta.histogram("ns_run_us").unwrap().count, 1);
+        let summary = MetricsSummary::from_snapshot(&delta);
+        assert_eq!(summary.counters["ns_run_total"], 3);
+        assert_eq!(summary.histograms["ns_run_us"].count, 1);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_and_validates_schema() {
+        let r = Registry::new();
+        r.counter("ns_x_total").add(2);
+        r.histogram("ns_x_us").record(17);
+        let snap = r.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+        let mut foreign = snap.clone();
+        foreign.schema_version = 99;
+        let err = MetricsSnapshot::from_json(&foreign.to_json()).unwrap_err();
+        assert!(err.contains("schema_version 99"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_page_has_types_buckets_and_totals() {
+        let r = Registry::new();
+        r.counter("ns_a_total").add(3);
+        r.gauge("ns_b_depth").set(-1);
+        let h = r.histogram("ns_c_us");
+        h.record(1);
+        h.record(100);
+        r.counter("ns_d_total{backend=\"serial\"}").inc();
+        let page = r.snapshot().to_prometheus();
+        assert!(page.contains("# TYPE ns_a_total counter\nns_a_total 3\n"));
+        assert!(page.contains("# TYPE ns_b_depth gauge\nns_b_depth -1\n"));
+        assert!(page.contains("# TYPE ns_c_us histogram\n"));
+        assert!(page.contains("ns_c_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(page.contains("ns_c_us_sum 101\n"));
+        assert!(page.contains("ns_c_us_count 2\n"));
+        // cumulative le buckets are monotone: the le="1" bucket holds 1, +Inf holds 2
+        assert!(page.contains("ns_c_us_bucket{le=\"1\"} 1\n"));
+        // folded label keeps the base name in # TYPE
+        assert!(page.contains("# TYPE ns_d_total counter\nns_d_total{backend=\"serial\"} 1\n"));
+    }
+
+    #[test]
+    fn concurrent_snapshots_never_go_backwards() {
+        let r = std::sync::Arc::new(Registry::new());
+        let c = r.counter("ns_mono_total");
+        let h = r.histogram("ns_mono_us");
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let (stop, c, h) = (stop.clone(), c.clone(), h.clone());
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    c.inc();
+                    h.record(n % 1000);
+                    n += 1;
+                }
+                n
+            })
+        };
+        let mut last_c = 0u64;
+        let mut last_h = 0u64;
+        for _ in 0..200 {
+            let snap = r.snapshot();
+            let cv = snap.counter("ns_mono_total");
+            let hv = snap.histogram("ns_mono_us").map_or(0, |h| h.count);
+            assert!(cv >= last_c, "counter snapshot went backwards: {cv} < {last_c}");
+            assert!(hv >= last_h, "histogram count went backwards: {hv} < {last_h}");
+            last_c = cv;
+            last_h = hv;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total = writer.join().unwrap();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("ns_mono_total"), total, "final snapshot sees every increment");
+        assert_eq!(snap.histogram("ns_mono_us").unwrap().count, total);
+    }
+
+    fn arb_hist() -> impl Strategy<Value = HistogramSnapshot> {
+        (prop::collection::vec(0u64..1000, HISTOGRAM_BUCKETS), 0u64..100_000).prop_map(|(buckets, sum)| {
+            let count = buckets.iter().sum();
+            HistogramSnapshot { buckets, count, sum }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_merge_is_commutative(a in arb_hist(), b in arb_hist()) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn histogram_merge_is_associative(a in arb_hist(), b in arb_hist(), c in arb_hist()) {
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn merge_then_diff_recovers_the_addend(a in arb_hist(), b in arb_hist()) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            prop_assert_eq!(ab.diff(&a), b);
+        }
+
+        #[test]
+        fn bucket_of_is_monotone(v in 0u64..u64::MAX) {
+            prop_assert!(bucket_of(v) <= bucket_of(v.saturating_add(1)));
+            let i = bucket_of(v);
+            if v > 0 {
+                prop_assert!(v >= 1u64 << (i - 1), "lower bound");
+                prop_assert!(v <= bucket_upper(i), "upper bound");
+            }
+        }
+    }
+}

@@ -31,12 +31,51 @@
 //! untouched: reliability off costs one `Option` check per call.
 
 use crate::fault::{FaultAction, FaultInjector};
-use crate::pack::{open_frame, PackBuf, UnpackBuf};
+use crate::pack::{open_frame, peek_span, PackBuf, UnpackBuf};
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ns_metrics::{Counter, FlightRecorder, Registry};
 use ns_telemetry::{EventKind, Tracer};
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Registry handles for the comm-layer counters, resolved once per endpoint
+/// so the hot path is one relaxed atomic add per update (the registry lock
+/// is touched only here).
+#[derive(Debug)]
+struct CommMetrics {
+    sends: Arc<Counter>,
+    recvs: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    bytes_recvd: Arc<Counter>,
+    retries: Arc<Counter>,
+    resends: Arc<Counter>,
+    corrupt_frames: Arc<Counter>,
+    dup_frames: Arc<Counter>,
+}
+
+impl CommMetrics {
+    fn new() -> Self {
+        let r = Registry::global();
+        Self {
+            sends: r.counter("ns_comm_sends_total"),
+            recvs: r.counter("ns_comm_recvs_total"),
+            bytes_sent: r.counter("ns_comm_bytes_sent_total"),
+            bytes_recvd: r.counter("ns_comm_bytes_recvd_total"),
+            retries: r.counter("ns_comm_retries_total"),
+            resends: r.counter("ns_comm_resends_total"),
+            corrupt_frames: r.counter("ns_comm_corrupt_frames_total"),
+            dup_frames: r.counter("ns_comm_dup_frames_total"),
+        }
+    }
+}
+
+/// `0` means "no span"; everything else is a minted span id.
+#[inline]
+fn span_opt(span: u64) -> Option<u64> {
+    (span != 0).then_some(span)
+}
 
 /// Message kinds of the solver protocol plus collective plumbing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -123,6 +162,10 @@ pub struct Message {
     pub src: usize,
     /// Tag.
     pub tag: Tag,
+    /// Causal span the message belongs to (0 = none). On the reliable path
+    /// this is recovered from the frame trailer on receive, so it survives
+    /// the wire, the retransmit cache and the stash.
+    pub span: u64,
     /// Payload bytes.
     pub payload: Bytes,
 }
@@ -290,6 +333,13 @@ pub struct Endpoint {
     rx: Receiver<Message>,
     stash: Vec<Message>,
     reliability: Option<Box<Reliability>>,
+    /// Current causal span: stamped into every frame this endpoint seals
+    /// (0 = outside any step). Set per step by the halo layer.
+    span: u64,
+    metrics: CommMetrics,
+    /// Flight recorder: a bounded ring of recent comm events, dumped as the
+    /// rank's black box when something goes wrong.
+    pub flight: FlightRecorder,
     /// Accumulated statistics.
     pub stats: CommStats,
     /// Accumulated blocking time inside `recv` (the "non-overlapped
@@ -327,6 +377,18 @@ impl Endpoint {
         self.reliability.is_some()
     }
 
+    /// Set the current causal span (0 = none). Every frame sealed after
+    /// this call carries the span in its trailer, so receives, NACKs and
+    /// resends of the step's traffic stitch into one cross-rank trace.
+    pub fn set_span(&mut self, span: u64) {
+        self.span = span;
+    }
+
+    /// The current causal span (0 = none).
+    pub fn current_span(&self) -> u64 {
+        self.span
+    }
+
     /// Attach a deterministic fault injector (requires reliability — an
     /// unframed endpoint cannot recover from what the injector does).
     pub fn set_fault_injector(&mut self, inj: FaultInjector) {
@@ -346,16 +408,29 @@ impl Endpoint {
             return self.send_reliable(to, tag, buf);
         }
         let start = Instant::now();
+        let span = self.span;
         let payload = buf.freeze();
         let bytes = payload.len() as u64;
         let tx = self.txs.get(to).ok_or(CommError::NoSuchRank(to))?;
-        tx.send(Message { src: self.rank, tag, payload }).map_err(|_| CommError::Disconnected)?;
+        tx.send(Message { src: self.rank, tag, span, payload }).map_err(|_| CommError::Disconnected)?;
         // count only delivered hand-offs: a Disconnected error is not a
         // start-up, and Tables 1-2 must not credit it as one
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes;
+        self.metrics.sends.inc();
+        self.metrics.bytes_sent.add(bytes);
+        self.flight.record("send", tag.kind.name(), Some(to), None, span_opt(span), bytes);
         if self.tracer.enabled() {
-            self.tracer.record(EventKind::Send, self.rank, tag.kind.name(), Some(to), bytes, start, start.elapsed());
+            self.tracer.record_spanned(
+                EventKind::Send,
+                self.rank,
+                tag.kind.name(),
+                Some(to),
+                bytes,
+                start,
+                start.elapsed(),
+                span_opt(span),
+            );
         }
         Ok(())
     }
@@ -369,37 +444,38 @@ impl Endpoint {
         if to >= self.txs.len() {
             return Err(CommError::NoSuchRank(to));
         }
+        let span = self.span;
         let r = self.reliability.as_mut().expect("checked by caller");
         let seq = r.next_seq[to];
         r.next_seq[to] += 1;
-        buf.seal_frame(seq);
+        buf.seal_frame(seq, span);
         let payload = buf.freeze();
         let bytes = payload.len() as u64;
         r.remember(to, tag, payload.clone());
         let action = r.injector.as_mut().map_or(FaultAction::Deliver, |i| i.decide());
         let src = self.rank;
         let outcome = match action {
-            FaultAction::Deliver => self.txs[to].send(Message { src, tag, payload }).is_ok(),
+            FaultAction::Deliver => self.txs[to].send(Message { src, tag, span, payload }).is_ok(),
             FaultAction::Drop => {
-                self.trace_fault("fault:drop", Some(to), bytes, start);
+                self.trace_fault("fault:drop", Some(to), Some(seq), bytes, start);
                 true // the network ate it; the app's send succeeded
             }
             FaultAction::Corrupt { byte, bit } => {
                 let mut wire = payload.to_vec();
                 let idx = (byte % wire.len() as u64) as usize;
                 wire[idx] ^= 1 << bit;
-                self.trace_fault("fault:corrupt", Some(to), bytes, start);
-                self.txs[to].send(Message { src, tag, payload: Bytes::from(wire) }).is_ok()
+                self.trace_fault("fault:corrupt", Some(to), Some(seq), bytes, start);
+                self.txs[to].send(Message { src, tag, span, payload: Bytes::from(wire) }).is_ok()
             }
             FaultAction::Duplicate => {
-                self.trace_fault("fault:dup", Some(to), bytes, start);
-                let first = self.txs[to].send(Message { src, tag, payload: payload.clone() }).is_ok();
-                first && self.txs[to].send(Message { src, tag, payload }).is_ok()
+                self.trace_fault("fault:dup", Some(to), Some(seq), bytes, start);
+                let first = self.txs[to].send(Message { src, tag, span, payload: payload.clone() }).is_ok();
+                first && self.txs[to].send(Message { src, tag, span, payload }).is_ok()
             }
             FaultAction::Delay(d) => {
-                self.trace_fault("fault:delay", Some(to), bytes, start);
+                self.trace_fault("fault:delay", Some(to), Some(seq), bytes, start);
                 std::thread::sleep(d);
-                self.txs[to].send(Message { src, tag, payload }).is_ok()
+                self.txs[to].send(Message { src, tag, span, payload }).is_ok()
             }
         };
         if !outcome {
@@ -407,15 +483,37 @@ impl Endpoint {
         }
         self.stats.sends += 1;
         self.stats.bytes_sent += bytes;
+        self.metrics.sends.inc();
+        self.metrics.bytes_sent.add(bytes);
+        self.flight.record("send", tag.kind.name(), Some(to), Some(seq), span_opt(span), bytes);
         if self.tracer.enabled() {
-            self.tracer.record(EventKind::Send, self.rank, tag.kind.name(), Some(to), bytes, start, start.elapsed());
+            self.tracer.record_spanned(
+                EventKind::Send,
+                self.rank,
+                tag.kind.name(),
+                Some(to),
+                bytes,
+                start,
+                start.elapsed(),
+                span_opt(span),
+            );
         }
         Ok(())
     }
 
-    fn trace_fault(&mut self, label: &'static str, peer: Option<usize>, bytes: u64, start: Instant) {
+    fn trace_fault(&mut self, label: &'static str, peer: Option<usize>, seq: Option<u64>, bytes: u64, start: Instant) {
+        self.flight.record("fault", label, peer, seq, span_opt(self.span), bytes);
         if self.tracer.enabled() {
-            self.tracer.record(EventKind::Fault, self.rank, label, peer, bytes, start, start.elapsed());
+            self.tracer.record_spanned(
+                EventKind::Fault,
+                self.rank,
+                label,
+                peer,
+                bytes,
+                start,
+                start.elapsed(),
+                span_opt(self.span),
+            );
         }
     }
 
@@ -428,10 +526,12 @@ impl Endpoint {
         b.pack_u64(wanted.seq);
         let payload = b.freeze();
         if let Some(tx) = self.txs.get(to) {
-            let _ = tx.send(Message { src: self.rank, tag: Tag { kind: MsgKind::Nack, seq: 0 }, payload });
+            let _ =
+                tx.send(Message { src: self.rank, tag: Tag { kind: MsgKind::Nack, seq: 0 }, span: self.span, payload });
         }
         self.stats.retries += 1;
-        self.trace_fault("fault:nack", Some(to), 0, Instant::now());
+        self.metrics.retries.inc();
+        self.trace_fault("fault:nack", Some(to), None, 0, Instant::now());
     }
 
     /// Service a peer's NACK from the retransmit cache. A cache miss (frame
@@ -449,11 +549,28 @@ impl Endpoint {
         let cached = self.reliability.as_ref().and_then(|r| r.cache.get(&(m.src, wanted)).cloned());
         if let Some(frame) = cached {
             let src = self.rank;
+            // the resend serves the cached sealed bytes, so the frame's
+            // original span rides along; label the resend with it too
+            let frame_span = peek_span(&frame).unwrap_or(0);
             if let Some(tx) = self.txs.get(m.src) {
-                let _ = tx.send(Message { src, tag: wanted, payload: frame });
+                let _ = tx.send(Message { src, tag: wanted, span: frame_span, payload: frame });
             }
             self.stats.resends += 1;
-            self.trace_fault("fault:resend", Some(m.src), 0, Instant::now());
+            self.metrics.resends.inc();
+            self.flight.record("fault", "fault:resend", Some(m.src), None, span_opt(frame_span), 0);
+            if self.tracer.enabled() {
+                let now = Instant::now();
+                self.tracer.record_spanned(
+                    EventKind::Fault,
+                    self.rank,
+                    "fault:resend",
+                    Some(m.src),
+                    0,
+                    now,
+                    now.elapsed(),
+                    span_opt(frame_span),
+                );
+            }
         }
     }
 
@@ -467,14 +584,22 @@ impl Endpoint {
                 let fresh = self.reliability.as_mut().expect("reliable path").accept(src, frame.seq);
                 if !fresh {
                     self.stats.dup_frames += 1;
-                    self.trace_fault("fault:dup-discard", Some(src), frame.body.len() as u64, Instant::now());
+                    self.metrics.dup_frames.inc();
+                    self.trace_fault(
+                        "fault:dup-discard",
+                        Some(src),
+                        Some(frame.seq),
+                        frame.body.len() as u64,
+                        Instant::now(),
+                    );
                     return None;
                 }
-                Some(Message { src, tag, payload: frame.body })
+                Some(Message { src, tag, span: frame.span, payload: frame.body })
             }
             Err(_) => {
                 self.stats.corrupt_frames += 1;
-                self.trace_fault("fault:checksum", Some(src), 0, Instant::now());
+                self.metrics.corrupt_frames.inc();
+                self.trace_fault("fault:checksum", Some(src), None, 0, Instant::now());
                 self.send_nack(src, tag);
                 None
             }
@@ -531,19 +656,27 @@ impl Endpoint {
         }
     }
 
-    /// Count and trace a matched message, returning its payload.
+    /// Count and trace a matched message, returning its payload. The trace
+    /// and flight events carry the *sender's* span (recovered from the
+    /// frame trailer), which is what stitches the two rank timelines into
+    /// one causal trace.
     fn deliver(&mut self, m: Message, start: Instant) -> Bytes {
+        let bytes = m.payload.len() as u64;
         self.stats.recvs += 1;
-        self.stats.bytes_recvd += m.payload.len() as u64;
+        self.stats.bytes_recvd += bytes;
+        self.metrics.recvs.inc();
+        self.metrics.bytes_recvd.add(bytes);
+        self.flight.record("recv", m.tag.kind.name(), Some(m.src), None, span_opt(m.span), bytes);
         if self.tracer.enabled() {
-            self.tracer.record(
+            self.tracer.record_spanned(
                 EventKind::Recv,
                 self.rank,
                 m.tag.kind.name(),
                 Some(m.src),
-                m.payload.len() as u64,
+                bytes,
                 start,
                 start.elapsed(),
+                span_opt(m.span),
             );
         }
         m.payload
@@ -622,6 +755,9 @@ pub fn universe(size: usize) -> Vec<Endpoint> {
             rx,
             stash: Vec::new(),
             reliability: None,
+            span: 0,
+            metrics: CommMetrics::new(),
+            flight: FlightRecorder::default(),
             stats: CommStats::default(),
             wait_time: Duration::ZERO,
             timeout: Duration::from_secs(30),
@@ -833,6 +969,9 @@ mod tests {
             rx: rx_a,
             stash: Vec::new(),
             reliability: None,
+            span: 0,
+            metrics: CommMetrics::new(),
+            flight: FlightRecorder::default(),
             stats: CommStats::default(),
             wait_time: Duration::ZERO,
             timeout: Duration::from_secs(1),
@@ -1031,5 +1170,102 @@ mod tests {
             assert_eq!(a.stats.startups(), 2);
             assert_eq!(b.stats.startups(), 2);
         });
+    }
+
+    // ---- causal spans & flight recorder ----
+
+    #[test]
+    fn span_rides_the_frame_trailer_to_the_receiver() {
+        let t0 = Instant::now();
+        let mut eps = universe_reliable(2, ReliableConfig::default(), None);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.tracer.enable(t0);
+        let span = ns_metrics::span_id(2, 9);
+        a.set_span(span);
+        a.send(1, tag(MsgKind::Prims1, 9), buf(&[1.0])).unwrap();
+        let _ = b.recv(0, tag(MsgKind::Prims1, 9)).unwrap();
+        // the receiver never called set_span: the span crossed on the wire
+        assert_eq!(b.tracer.events.len(), 1);
+        assert_eq!(b.tracer.events[0].span, Some(span));
+        // both flight recorders hold the same span
+        let da = a.flight.dump(0, "test");
+        let db = b.flight.dump(1, "test");
+        assert_eq!(da.events_for_span(span).len(), 1, "sender recorded the spanned send");
+        assert_eq!(db.events_for_span(span).len(), 1, "receiver recorded the spanned recv");
+        assert_eq!(da.events[0].kind, "send");
+        assert_eq!(db.events[0].kind, "recv");
+    }
+
+    #[test]
+    fn resend_chain_under_drops_is_one_connected_span() {
+        // drop every original frame: delivery goes NACK -> resend, and every
+        // event of the chain — send, drop, nack, resend, recv — must carry
+        // the same span on both ranks, so the cross-rank trace is connected
+        let plan = crate::fault::FaultPlan { seed: 77, drop_rate: 1.0, ..crate::fault::FaultPlan::default() };
+        let cfg = ReliableConfig { retry_timeout: Duration::from_millis(2), max_retries: 8 };
+        let t0 = Instant::now();
+        let mut eps = universe_reliable(2, cfg, Some(&plan));
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.timeout = Duration::from_secs(5);
+        b.timeout = Duration::from_secs(5);
+        let span = ns_metrics::span_id(1, 4);
+        a.set_span(span);
+        b.set_span(span);
+        a.tracer.enable(t0);
+        b.tracer.enable(t0);
+        thread::scope(|s| {
+            let ha = s.spawn(move || {
+                a.send(1, tag(MsgKind::Prims1, 4), buf(&[2.25])).unwrap();
+                // stay in a recv long enough to service b's NACKs
+                a.timeout = Duration::from_millis(500);
+                let _ = a.recv(1, tag(MsgKind::Flux1, 99)).unwrap_err();
+                a
+            });
+            let hb = s.spawn(move || {
+                let got = b.recv(0, tag(MsgKind::Prims1, 4)).unwrap();
+                assert_eq!(vals(got, 1), vec![2.25]);
+                b
+            });
+            let a = ha.join().unwrap();
+            let b = hb.join().unwrap();
+            // every trace event on either rank that names the chain carries
+            // the one span: the trace is a single connected component
+            let chain: Vec<&ns_telemetry::TraceEvent> = a
+                .tracer
+                .events
+                .iter()
+                .chain(b.tracer.events.iter())
+                .filter(|e| {
+                    e.label == "Prims1"
+                        || e.label == "fault:drop"
+                        || e.label == "fault:nack"
+                        || e.label == "fault:resend"
+                })
+                .collect();
+            assert!(chain.len() >= 4, "send + drop + nack + resend + recv, got {}", chain.len());
+            assert!(chain.iter().all(|e| e.span == Some(span)), "all chain events share the span: {chain:?}");
+            // the two ranks' flight dumps also stitch on the span
+            let da = a.flight.dump(0, "test");
+            let db = b.flight.dump(1, "test");
+            assert!(da.events_for_span(span).iter().any(|e| e.label == "fault:resend"));
+            assert!(db.events_for_span(span).iter().any(|e| e.label == "fault:nack"));
+            assert!(db.events_for_span(span).iter().any(|e| e.kind == "recv"));
+        });
+    }
+
+    #[test]
+    fn comm_metrics_land_in_the_global_registry() {
+        let before = Registry::global().snapshot();
+        let mut eps = universe(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, tag(MsgKind::Prims1, 0), buf(&[0.0; 4])).unwrap();
+        let _ = b.recv(0, tag(MsgKind::Prims1, 0)).unwrap();
+        let delta = Registry::global().snapshot().diff(&before);
+        assert!(delta.counter("ns_comm_sends_total") >= 1);
+        assert!(delta.counter("ns_comm_recvs_total") >= 1);
+        assert!(delta.counter("ns_comm_bytes_sent_total") >= 32);
     }
 }

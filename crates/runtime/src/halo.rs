@@ -44,6 +44,10 @@ pub struct ThreadHalo<'a> {
     nr: usize,
     version: CommVersion,
     step: u64,
+    /// Recovery generation (0 outside chaos runs); minted into the causal
+    /// span so a re-executed step gets a fresh span, distinct from the one
+    /// the crashed generation used.
+    generation: u64,
     prim_calls: u8,
     flux_calls: u8,
     /// Kind of a posted-but-unreceived split-phase prim exchange (V6).
@@ -80,6 +84,7 @@ impl<'a> ThreadHalo<'a> {
             nr,
             version,
             step: 0,
+            generation: 0,
             prim_calls: 0,
             flux_calls: 0,
             pending_prims: None,
@@ -112,14 +117,26 @@ impl<'a> ThreadHalo<'a> {
         }
     }
 
+    /// Set the recovery generation minted into the causal span (see
+    /// [`ThreadHalo::begin_step`]).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
     /// Mark the start of a time step (resets the per-step phase counters
-    /// that map exchange calls onto protocol tags).
+    /// that map exchange calls onto protocol tags) and mint the step's
+    /// causal span: every frame the endpoint seals until the next
+    /// `begin_step` carries it, which is what stitches this rank's sends
+    /// into its neighbours' traces.
     pub fn begin_step(&mut self, step: u64) {
         assert!(self.pending_prims.is_none() || self.failure.is_some(), "split-phase exchange left dangling");
         self.pending_prims = None;
         self.step = step;
         self.prim_calls = 0;
         self.flux_calls = 0;
+        let span = ns_metrics::span_id(self.generation, step);
+        self.ep.set_span(span);
+        self.ep.flight.record("step", "begin", None, None, Some(span), 0);
     }
 
     /// Borrow the endpoint (stats inspection).

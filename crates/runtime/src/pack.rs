@@ -82,14 +82,16 @@ impl PackBuf {
         self.buf.put_u64_le(v);
     }
 
-    /// Append the reliability trailer: the frame sequence number and a
-    /// checksum over the body and the sequence number. The body bytes are
-    /// untouched, so sealing is a 16-byte append, not a copy — the fault-free
+    /// Append the reliability trailer: the frame sequence number, the
+    /// causal span the frame was sent under (0 = none), and a checksum over
+    /// the body, the sequence number and the span. The body bytes are
+    /// untouched, so sealing is a 24-byte append, not a copy — the fault-free
     /// framed path stays on the zero-allocation pool.
-    pub fn seal_frame(&mut self, seq: u64) {
-        let sum = frame_checksum(seq, &self.buf);
+    pub fn seal_frame(&mut self, seq: u64, span: u64) {
+        let sum = frame_checksum(seq, span, &self.buf);
         self.buf.reserve(FRAME_TRAILER);
         self.buf.put_u64_le(seq);
+        self.buf.put_u64_le(span);
         self.buf.put_u64_le(sum);
     }
 
@@ -164,19 +166,20 @@ impl UnpackBuf {
     }
 }
 
-/// Bytes appended to a sealed frame: sequence number + checksum.
-pub const FRAME_TRAILER: usize = 16;
+/// Bytes appended to a sealed frame: sequence number + span + checksum.
+pub const FRAME_TRAILER: usize = 24;
 
 /// FNV-1a (folded 8 bytes at a time for speed) over the body, seeded with
-/// the frame sequence number, so a flipped bit anywhere in the frame —
-/// body, sequence, or checksum itself — fails validation: each round is
-/// xor-then-multiply-by-odd, which is bijective on the 64-bit state, so a
-/// single changed chunk always changes the digest. Not cryptographic; it
-/// models the link-level CRC a real LACE-era network would apply per
-/// packet.
-pub fn frame_checksum(seq: u64, body: &[u8]) -> u64 {
+/// the frame sequence number and the causal span, so a flipped bit anywhere
+/// in the frame — body, sequence, span, or checksum itself — fails
+/// validation: each round is xor-then-multiply-by-odd, which is bijective on
+/// the 64-bit state, so a single changed chunk always changes the digest.
+/// Not cryptographic; it models the link-level CRC a real LACE-era network
+/// would apply per packet.
+pub fn frame_checksum(seq: u64, span: u64, body: &[u8]) -> u64 {
     const P: u64 = 0x0000_0100_0000_01b3;
-    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut h =
+        0xcbf2_9ce4_8422_2325u64 ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ span.wrapping_mul(0xd6e8_feb8_6659_fd93);
     // four independent lanes give the multiplier's latency somewhere to
     // hide on halo-sized bodies; the fold passes each lane through the
     // same xor-multiply bijection, so a flipped chunk in any lane still
@@ -204,12 +207,16 @@ pub fn frame_checksum(seq: u64, body: &[u8]) -> u64 {
     h
 }
 
-/// A validated frame: the sequence number and the body with the trailer
-/// stripped.
+/// A validated frame: the sequence number, the causal span, and the body
+/// with the trailer stripped.
 #[derive(Debug)]
 pub struct Frame {
     /// Per-link monotone sequence number (duplicate detection).
     pub seq: u64,
+    /// Causal span the frame was sealed under (0 = none); a resend serves
+    /// the cached sealed bytes, so the original span survives the NACK
+    /// round-trip.
+    pub span: u64,
     /// The original packed payload.
     pub body: Bytes,
 }
@@ -223,15 +230,27 @@ pub fn open_frame(payload: Bytes) -> Result<Frame, PackError> {
     }
     let blen = payload.len() - FRAME_TRAILER;
     let seq = u64::from_le_bytes(payload[blen..blen + 8].try_into().expect("8-byte slice"));
-    let sum = u64::from_le_bytes(payload[blen + 8..].try_into().expect("8-byte slice"));
-    if frame_checksum(seq, &payload[..blen]) != sum {
+    let span = u64::from_le_bytes(payload[blen + 8..blen + 16].try_into().expect("8-byte slice"));
+    let sum = u64::from_le_bytes(payload[blen + 16..].try_into().expect("8-byte slice"));
+    if frame_checksum(seq, span, &payload[..blen]) != sum {
         return Err(PackError::CorruptFrame);
     }
     // narrowing the view hides the trailer without copying, even while the
     // sender's retransmit cache still holds a clone of the frame
     let mut body = payload;
     body.truncate(blen);
-    Ok(Frame { seq, body })
+    Ok(Frame { seq, span, body })
+}
+
+/// Read the span field straight out of a sealed frame's trailer without
+/// validating the checksum (trace labelling of cached frames on the resend
+/// path, where the frame was already validated when it was sealed).
+pub fn peek_span(payload: &[u8]) -> Option<u64> {
+    if payload.len() < FRAME_TRAILER {
+        return None;
+    }
+    let blen = payload.len() - FRAME_TRAILER;
+    Some(u64::from_le_bytes(payload[blen + 8..blen + 16].try_into().expect("8-byte slice")))
 }
 
 /// A pool of reusable message buffers.
@@ -347,10 +366,11 @@ mod tests {
         let mut p = PackBuf::new();
         p.pack_f64_slice(&[1.0, -2.5, f64::NAN]);
         let body_len = p.len();
-        p.seal_frame(42);
+        p.seal_frame(42, 9001);
         assert_eq!(p.len(), body_len + FRAME_TRAILER);
         let frame = open_frame(p.freeze()).unwrap();
         assert_eq!(frame.seq, 42);
+        assert_eq!(frame.span, 9001);
         let mut u = UnpackBuf::new(frame.body);
         assert_eq!(u.unpack_f64().unwrap(), 1.0);
         assert_eq!(u.unpack_f64().unwrap(), -2.5);
@@ -361,10 +381,21 @@ mod tests {
     #[test]
     fn empty_body_frames_are_valid() {
         let mut p = PackBuf::new();
-        p.seal_frame(7);
+        p.seal_frame(7, 0);
         let frame = open_frame(p.freeze()).unwrap();
         assert_eq!(frame.seq, 7);
+        assert_eq!(frame.span, 0);
         assert!(frame.body.is_empty());
+    }
+
+    #[test]
+    fn peek_span_reads_the_trailer_without_validation() {
+        let mut p = PackBuf::new();
+        p.pack_f64(4.0);
+        p.seal_frame(3, 777);
+        let payload = p.freeze();
+        assert_eq!(peek_span(&payload), Some(777));
+        assert_eq!(peek_span(b"tiny"), None);
     }
 
     #[test]
@@ -374,10 +405,10 @@ mod tests {
         // chunks, so both checksum paths a packed message can hit are
         // exercised
         p.pack_f64_slice(&[3.25, 9.5, -1.0, 0.0, 2.5e-3, 7.75]);
-        p.seal_frame(11);
+        p.seal_frame(11, 13);
         let pristine = p.freeze();
-        // flip every bit position in turn: body, seq and checksum bytes all
-        // must trip validation
+        // flip every bit position in turn: body, seq, span and checksum
+        // bytes all must trip validation
         for byte in 0..pristine.len() {
             for bit in 0..8u8 {
                 let mut corrupted = pristine.to_vec();
@@ -393,15 +424,16 @@ mod tests {
         // bodies that are not a multiple of 8 exercise the byte-tail path
         for n in [0usize, 1, 7, 31, 33, 45] {
             let body: Vec<u8> = (0..n as u8).collect();
-            let pristine = frame_checksum(5, &body);
+            let pristine = frame_checksum(5, 0, &body);
             for byte in 0..n {
                 for bit in 0..8u8 {
                     let mut c = body.clone();
                     c[byte] ^= 1 << bit;
-                    assert_ne!(frame_checksum(5, &c), pristine, "flip at byte {byte} bit {bit} of {n}");
+                    assert_ne!(frame_checksum(5, 0, &c), pristine, "flip at byte {byte} bit {bit} of {n}");
                 }
             }
-            assert_ne!(frame_checksum(6, &body), pristine, "seq must perturb the digest (len {n})");
+            assert_ne!(frame_checksum(6, 0, &body), pristine, "seq must perturb the digest (len {n})");
+            assert_ne!(frame_checksum(5, 1, &body), pristine, "span must perturb the digest (len {n})");
         }
     }
 

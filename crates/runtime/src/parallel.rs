@@ -14,8 +14,10 @@ use ns_core::config::{Regime, SolverConfig};
 use ns_core::field::{Field, Patch};
 use ns_core::opcount::FlopLedger;
 use ns_core::Solver;
+use ns_metrics::{FlightDump, MetricsSummary, Registry};
 use ns_telemetry::{
     CommTotals, EventKind, HealthConfig, HealthMonitor, HealthSample, PhaseLedger, RunSummary, TraceEvent,
+    RUN_SUMMARY_SCHEMA,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -103,6 +105,9 @@ pub struct RankResult {
     pub steps: u64,
     /// Why this rank stopped early, if it did.
     pub abort: Option<String>,
+    /// Flight-recorder dump, taken only when this rank stopped early (a
+    /// watchdog abort or cancellation freezes the ring as the black box).
+    pub flight: Option<FlightDump>,
 }
 
 /// Result of a parallel run.
@@ -119,6 +124,9 @@ pub struct ParallelRun {
     /// Rollback/recovery accounting (populated only by
     /// [`crate::recover::run_parallel_chaos`]).
     pub recovery: Option<crate::recover::RecoveryReport>,
+    /// Metrics recorded during this run: the after-minus-before diff of the
+    /// process-wide registry, cut around the rank threads.
+    pub metrics: MetricsSummary,
 }
 
 impl ParallelRun {
@@ -217,10 +225,21 @@ impl ParallelRun {
         self.ranks.iter().map(|r| r.steps).min().unwrap_or(0)
     }
 
+    /// Flight-recorder dumps of the ranks that stopped early (empty for a
+    /// clean run), plus any the recovery driver collected.
+    pub fn flight_dumps(&self) -> Vec<&FlightDump> {
+        let mut out: Vec<&FlightDump> = self.ranks.iter().filter_map(|r| r.flight.as_ref()).collect();
+        if let Some(rec) = &self.recovery {
+            out.extend(rec.flight_dumps.iter());
+        }
+        out
+    }
+
     /// The machine-readable run summary the `jetns` CLI writes as JSON.
     pub fn summary(&self, case: &str) -> RunSummary {
         let stats = self.total_stats();
         let mut s = RunSummary {
+            schema_version: RUN_SUMMARY_SCHEMA,
             case: case.to_string(),
             regime: match self.cfg.regime {
                 Regime::Euler => "euler".to_string(),
@@ -247,6 +266,7 @@ impl ParallelRun {
             recovery: self.recovery.as_ref().map(|r| r.to_summary(&stats)),
             conservation: None,
             serve: None,
+            metrics: (!self.metrics.is_empty()).then(|| self.metrics.clone()),
             health: self.merged_health(),
         };
         let mut all = PhaseLedger::default();
@@ -348,6 +368,7 @@ fn run_impl(
     let opts = &opts;
     // One origin for every rank's clock, so the per-rank timelines align.
     let trace_origin = Instant::now();
+    let metrics_before = Registry::global().snapshot();
     let start = Instant::now();
     let mut ranks: Vec<RankResult> = std::thread::scope(|s| {
         let handles: Vec<_> = endpoints
@@ -381,6 +402,7 @@ fn run_impl(
                     } else if opts.phases {
                         solver.enable_phase_timing();
                     }
+                    ep.flight.set_origin(trace_origin);
                     let mut mon = opts.health.map(HealthMonitor::new);
                     let mut steps = 0u64;
                     let mut cancelled: Option<String> = None;
@@ -428,7 +450,15 @@ fn run_impl(
                         }
                     }
                     let (health, abort) = mon.map_or((Vec::new(), None), |m| (m.samples, m.abort));
+                    let was_cancelled = cancelled.is_some();
                     let abort = abort.or(cancelled);
+                    // a rank that stopped early freezes its ring: the dump
+                    // is the black box for diagnosing why
+                    let flight = abort.as_ref().map(|reason| {
+                        let kind = if was_cancelled { "cancelled" } else { "watchdog-abort" };
+                        ep.flight.record(kind, reason.clone(), None, None, None, 0);
+                        ep.flight.dump(rank, kind)
+                    });
                     RankResult {
                         rank,
                         field: solver.field,
@@ -441,6 +471,7 @@ fn run_impl(
                         health,
                         steps,
                         abort,
+                        flight,
                     }
                 })
             })
@@ -449,7 +480,8 @@ fn run_impl(
     });
     let elapsed = start.elapsed();
     ranks.sort_by_key(|r| r.rank);
-    ParallelRun { ranks, elapsed, cfg: cfg.clone(), nsteps, recovery: None }
+    let metrics = MetricsSummary::from_snapshot(&Registry::global().snapshot().diff(&metrics_before));
+    ParallelRun { ranks, elapsed, cfg: cfg.clone(), nsteps, recovery: None, metrics }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use ns_core::config::SolverConfig;
 use ns_core::field::{Field, Patch};
 use ns_core::opcount::FlopLedger;
 use ns_core::Solver;
+use ns_metrics::{FlightDump, MetricsSummary, Registry};
 use ns_telemetry::{PhaseLedger, RecoverySummary};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -64,7 +65,7 @@ impl Default for ChaosOptions {
 }
 
 /// What recovery did over a whole chaos run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RecoveryReport {
     /// Execution generations (1 = the first attempt survived).
     pub generations: u32,
@@ -79,6 +80,10 @@ pub struct RecoveryReport {
     /// Faults the plan actually injected, summed over ranks and
     /// generations.
     pub faults: FaultStats,
+    /// Flight-recorder dumps frozen by failing generations: the crashed
+    /// rank's ring (reason `"rank-crash"`) plus every rank that rolled back
+    /// on a comm failure (reason `"rollback"`).
+    pub flight_dumps: Vec<FlightDump>,
 }
 
 impl RecoveryReport {
@@ -110,6 +115,7 @@ struct GenOutcome {
     wait: Duration,
     busy: Duration,
     faults: Option<FaultStats>,
+    flight: Option<FlightDump>,
 }
 
 /// Run the solver on `p` ranks under an unreliable network, surviving it.
@@ -137,6 +143,7 @@ pub fn run_parallel_chaos(
     }
 
     let start = Instant::now();
+    let metrics_before = Registry::global().snapshot();
     let mut plan = opts.plan.clone();
     let mut resume: Option<Vec<Checkpoint>> = None;
     let mut resume_step = 0u64;
@@ -154,6 +161,9 @@ pub fn run_parallel_chaos(
             a.2 += o.busy;
             if let Some(f) = &o.faults {
                 report.faults.merge(f);
+            }
+            if let Some(d) = &o.flight {
+                report.flight_dumps.push(d.clone());
             }
         }
         report.checkpoints += outcomes[0].cps.len() as u64;
@@ -175,10 +185,27 @@ pub fn run_parallel_chaos(
                         health: Vec::new(),
                         steps: o.reached,
                         abort: None,
+                        flight: None,
                     }
                 })
                 .collect();
-            return ParallelRun { ranks, elapsed: start.elapsed(), cfg: cfg.clone(), nsteps, recovery: Some(report) };
+            // recovery accounting lands in the registry before the run's
+            // metrics window is cut, so the summary shows it
+            let m = Registry::global();
+            m.counter("ns_recover_generations_total").add(u64::from(report.generations));
+            m.counter("ns_recover_rollbacks_total").add(u64::from(report.rollbacks));
+            m.counter("ns_recover_recomputed_steps_total").add(report.recomputed_steps);
+            m.counter("ns_recover_checkpoints_total").add(report.checkpoints);
+            m.counter("ns_recover_crashes_total").add(u64::from(report.crashes));
+            let metrics = MetricsSummary::from_snapshot(&m.snapshot().diff(&metrics_before));
+            return ParallelRun {
+                ranks,
+                elapsed: start.elapsed(),
+                cfg: cfg.clone(),
+                nsteps,
+                recovery: Some(report),
+                metrics,
+            };
         }
         // the generation died: roll the universe back
         report.rollbacks += 1;
@@ -265,6 +292,7 @@ fn run_generation(
                     {
                         let mut halo = ThreadHalo::new(&mut ep, left, right, nxl, nr, version);
                         halo.set_lenient();
+                        halo.set_generation(u64::from(generation));
                         while solver.nstep < nsteps {
                             if solver.nstep.is_multiple_of(opts.checkpoint_every) {
                                 // coordinated: agree the universe is intact,
@@ -280,7 +308,16 @@ fn run_generation(
                             }
                             if plan.crash.is_some_and(|c| c.rank == rank && c.step == solver.nstep) {
                                 // die silently, like a hung workstation: the
-                                // peers find out through their timeouts
+                                // peers find out through their timeouts. The
+                                // crash is the last thing the black box sees.
+                                halo.endpoint_mut().flight.record(
+                                    "crash",
+                                    format!("rank {rank} dead at step {}", solver.nstep),
+                                    None,
+                                    None,
+                                    Some(ns_metrics::span_id(u64::from(generation), solver.nstep)),
+                                    0,
+                                );
                                 crashed = true;
                                 break;
                             }
@@ -297,6 +334,15 @@ fn run_generation(
                     }
                     let wall = t0.elapsed();
                     let wait = ep.wait_time;
+                    // a failing generation freezes its ring: the crashed
+                    // rank's dump reconstructs the steps leading to the
+                    // crash, the rolled-back peers' dumps show the healing
+                    // attempts that preceded the rollback
+                    let flight = if crashed {
+                        Some(ep.flight.dump(rank, "rank-crash"))
+                    } else {
+                        failure.as_ref().map(|_| ep.flight.dump(rank, "rollback"))
+                    };
                     GenOutcome {
                         rank,
                         reached: solver.nstep,
@@ -309,6 +355,7 @@ fn run_generation(
                         field: solver.field,
                         ledger: solver.ledger,
                         cps,
+                        flight,
                     }
                 })
             })
@@ -365,7 +412,7 @@ mod tests {
             0.0,
             "healed run must be bitwise identical"
         );
-        let rep = chaos.recovery.unwrap();
+        let rep = chaos.recovery.clone().unwrap();
         assert!(rep.faults.total() > 0, "5%/3%/3% over hundreds of frames must fire");
         let stats = chaos.total_stats();
         assert!(stats.retries > 0 || stats.dup_frames > 0 || stats.corrupt_frames > 0, "healing left traces");
@@ -389,7 +436,7 @@ mod tests {
             0.0,
             "crash + rollback must reproduce the fault-free field bitwise"
         );
-        let rep = chaos.recovery.unwrap();
+        let rep = chaos.recovery.clone().unwrap();
         assert_eq!(rep.crashes, 1, "the crash fired exactly once");
         assert!(rep.rollbacks >= 1);
         assert!(rep.generations >= 2);
@@ -416,6 +463,44 @@ mod tests {
             let chaos = run_parallel_chaos(&c, p, nsteps, CommVersion::V5, &fast_opts(plan));
             assert_eq!(reference.gather_field().max_diff(&chaos.gather_field()), 0.0, "p={p}");
         }
+    }
+
+    #[test]
+    fn crash_dump_reconstructs_the_failing_generation() {
+        let c = cfg(Regime::Euler);
+        let plan = FaultPlan { seed: 5, crash: Some(CrashSpec { rank: 1, step: 5 }), ..FaultPlan::default() };
+        let chaos = run_parallel_chaos(&c, 3, 8, CommVersion::V5, &fast_opts(plan));
+        let rep = chaos.recovery.clone().expect("chaos runs report recovery");
+        let dump = rep.flight_dumps.iter().find(|d| d.reason == "rank-crash").expect("crashed rank froze its ring");
+        assert_eq!(dump.rank, 1);
+        // the final event is the crash itself, stamped with the span of the
+        // step the rank died on, in generation 0
+        let crash = dump.events.last().expect("ring is not empty");
+        assert_eq!(crash.kind, "crash");
+        let span = crash.span.expect("crash event carries the step span");
+        assert_eq!(ns_metrics::span_generation(span), 0);
+        assert_eq!(ns_metrics::span_step(span), 5);
+        // the retained step-begin events walk the failing generation in
+        // order, ending at the last step completed before the crash
+        let steps: Vec<u64> = dump
+            .events
+            .iter()
+            .filter(|e| e.kind == "step")
+            .map(|e| ns_metrics::span_step(e.span.expect("step events are spanned")))
+            .collect();
+        assert!(!steps.is_empty(), "the ring holds the steps before the crash");
+        assert!(steps.windows(2).all(|w| w[1] == w[0] + 1), "steps reconstruct in order: {steps:?}");
+        assert_eq!(*steps.last().unwrap(), 4, "last step begun before the step-5 crash");
+        // the dead rank's halo traffic for its last step is in the ring,
+        // spanned so it stitches with the peers' recorders
+        assert!(dump.events.iter().any(|e| e.kind == "send" && e.span == Some(ns_metrics::span_id(0, 4))));
+        // the surviving peers of the dead generation froze rollback dumps,
+        // and the run-level accessor surfaces all of them
+        assert!(rep.flight_dumps.iter().any(|d| d.reason == "rollback"));
+        assert!(chaos.flight_dumps().iter().any(|d| d.reason == "rank-crash"));
+        // recovery counters landed in the run's metrics window
+        assert!(chaos.metrics.counters.get("ns_recover_crashes_total").copied().unwrap_or(0) >= 1);
+        assert!(chaos.metrics.counters.get("ns_recover_rollbacks_total").copied().unwrap_or(0) >= 1);
     }
 
     #[test]

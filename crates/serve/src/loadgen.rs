@@ -17,9 +17,13 @@ use ns_core::Solver;
 use ns_numerics::Grid;
 use ns_runtime::CommVersion;
 use ns_verify::snapshot::{self, GoldenFile};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Schema version stamped into `SERVE_loadgen.json` (the `schema` field)
+/// and required verbatim by [`LoadgenReport::from_json`].
+pub const LOADGEN_SCHEMA: u32 = 1;
 
 /// Loadgen tuning.
 #[derive(Clone, Copy, Debug)]
@@ -41,7 +45,7 @@ impl Default for LoadgenOptions {
 }
 
 /// Latency percentiles over completed jobs (admission to outcome).
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Median, milliseconds.
     pub p50_ms: f64,
@@ -70,16 +74,16 @@ impl LatencyStats {
 }
 
 /// One completed job, as reported.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JobRow {
     /// Submission label.
     pub label: String,
     /// Canonical case name.
     pub case: String,
     /// Admission priority name.
-    pub priority: &'static str,
+    pub priority: String,
     /// `"cold"` or `"hit"`.
-    pub cache: &'static str,
+    pub cache: String,
     /// Queue wait, milliseconds.
     pub queue_ms: f64,
     /// Backend wall, milliseconds (zero for hits).
@@ -90,7 +94,7 @@ pub struct JobRow {
 
 /// The overload burst: a tiny queue deliberately overfilled with distinct
 /// cells.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct BurstReport {
     /// Burst submissions attempted.
     pub submitted: u64,
@@ -107,7 +111,7 @@ pub struct BurstReport {
 }
 
 /// Everything `jetns loadgen` writes to its JSON artifact.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LoadgenReport {
     /// Artifact schema version.
     pub schema: u32,
@@ -166,6 +170,16 @@ impl LoadgenReport {
     /// Pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("loadgen report serializes")
+    }
+
+    /// Parse a committed `SERVE_loadgen.json`, refusing any artifact whose
+    /// schema version is not exactly [`LOADGEN_SCHEMA`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let report: Self = serde_json::from_str(text).map_err(|e| format!("loadgen report parse: {e}"))?;
+        if report.schema != LOADGEN_SCHEMA {
+            return Err(format!("loadgen report schema {} != supported {LOADGEN_SCHEMA}", report.schema));
+        }
+        Ok(report)
     }
 }
 
@@ -280,8 +294,8 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> LoadgenReport {
                 rows.push(JobRow {
                     label: r.label,
                     case: r.case,
-                    priority: r.priority.name(),
-                    cache: if r.cache_hit { "hit" } else { "cold" },
+                    priority: r.priority.name().to_string(),
+                    cache: if r.cache_hit { "hit" } else { "cold" }.to_string(),
                     queue_ms: r.queue_wait.as_secs_f64() * 1e3,
                     run_ms: r.run_wall.as_secs_f64() * 1e3,
                     total_ms: total.as_secs_f64() * 1e3,
@@ -292,8 +306,8 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> LoadgenReport {
                 rows.push(JobRow {
                     label: format!("{label} FAILED: {error}"),
                     case: String::new(),
-                    priority: "?",
-                    cache: "cold",
+                    priority: "?".to_string(),
+                    cache: "cold".to_string(),
                     queue_ms: 0.0,
                     run_ms: 0.0,
                     total_ms: 0.0,
@@ -309,7 +323,7 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> LoadgenReport {
 
     let completed = stats.completed;
     LoadgenReport {
-        schema: 1,
+        schema: LOADGEN_SCHEMA,
         quick: opts.quick,
         workers: opts.workers,
         queue_depth: opts.queue_depth,
@@ -402,6 +416,45 @@ mod tests {
         }
         assert!(by_key.values().all(|&n| n == 2), "every cell appears exactly twice");
         assert!(jobs.iter().all(|j| j.validate().is_ok()), "every sweep job passes admission validation");
+    }
+
+    #[test]
+    fn loadgen_report_round_trips_and_rejects_wrong_schema() {
+        let report = LoadgenReport {
+            schema: LOADGEN_SCHEMA,
+            quick: true,
+            workers: 2,
+            queue_depth: 64,
+            jobs_submitted: 4,
+            jobs_completed: 4,
+            jobs_failed: 0,
+            cache_hits: 2,
+            cache_misses: 2,
+            cache_coalesced: 0,
+            cache_hit_rate: 0.5,
+            duplicates_byte_identical: true,
+            golden_checked: 1,
+            golden_mismatches: 0,
+            latency: LatencyStats::default(),
+            throughput_jobs_per_sec: 8.0,
+            burst: BurstReport::default(),
+            rows: vec![JobRow {
+                label: "sweep/V5/p2#0".into(),
+                case: "case".into(),
+                priority: "normal".into(),
+                cache: "cold".into(),
+                queue_ms: 0.1,
+                run_ms: 5.0,
+                total_ms: 5.1,
+            }],
+        };
+        let back = LoadgenReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back.jobs_completed, 4);
+        assert_eq!(back.rows[0].priority, "normal");
+        let mut wrong = report;
+        wrong.schema = LOADGEN_SCHEMA + 1;
+        let err = LoadgenReport::from_json(&wrong.to_json()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
     }
 
     #[test]

@@ -20,10 +20,11 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use ns_core::config::Regime;
 use ns_core::shared::SharedSolver;
 use ns_core::Solver;
+use ns_metrics::{Counter, Gauge, Histogram, Registry};
 use ns_runtime::{
     run_parallel_chaos, run_parallel_instrumented, CancelToken, ChaosOptions, FaultPlan, TelemetryOptions,
 };
-use ns_telemetry::{RunSummary, ServeJobSummary};
+use ns_telemetry::{RunSummary, ServeJobSummary, RUN_SUMMARY_SCHEMA};
 use ns_verify::snapshot::{field_hash, GoldenFile};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -140,8 +141,49 @@ pub struct ServeStats {
     pub golden_mismatches: u64,
 }
 
+/// Handles into the process-global metrics registry, resolved once at
+/// server start; every update on the serving path is one relaxed atomic
+/// next to the existing `ServeStats` counter it mirrors.
+struct ServeMetrics {
+    queue_depth: Arc<Gauge>,
+    admitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    shed: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    job_run_us: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let r = Registry::global();
+        Self {
+            queue_depth: r.gauge("ns_serve_queue_depth"),
+            admitted: r.counter("ns_serve_admitted_total"),
+            rejected: r.counter("ns_serve_rejected_total"),
+            shed: r.counter("ns_serve_shed_total"),
+            completed: r.counter("ns_serve_completed_total"),
+            failed: r.counter("ns_serve_failed_total"),
+            cache_hits: r.counter("ns_serve_cache_hits_total"),
+            cache_misses: r.counter("ns_serve_cache_misses_total"),
+            job_run_us: r.histogram("ns_serve_job_run_us"),
+        }
+    }
+
+    /// Worker-busy microseconds, folded per backend in the Prometheus
+    /// label style (`{backend="serial"}`): backend utilization is the
+    /// rate of this counter over wall time. Resolved per cold run, which
+    /// is far off the hot path.
+    fn backend_busy(backend: Backend) -> Arc<Counter> {
+        Registry::global().counter(&format!("ns_serve_backend_busy_us_total{{backend=\"{}\"}}", backend.name()))
+    }
+}
+
 struct Inner {
     outcomes: Sender<Outcome>,
+    metrics: ServeMetrics,
     cancel: CancelToken,
     golden: Option<GoldenFile>,
     workers: usize,
@@ -184,6 +226,7 @@ impl Server {
         let cache = Arc::new(ResultCache::new());
         let inner = Arc::new(Inner {
             outcomes: tx,
+            metrics: ServeMetrics::new(),
             cancel: CancelToken::new(),
             golden: cfg.golden,
             workers: cfg.workers,
@@ -216,6 +259,7 @@ impl Server {
             Ok(Pushed::Admitted) => {}
             Ok(Pushed::Shed(victim)) => {
                 self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.shed.inc();
                 let _ = self.inner.outcomes.send(Outcome::Shed {
                     id: victim.id,
                     label: label_of(&victim.spec),
@@ -224,11 +268,14 @@ impl Server {
             }
             Err(PushError::Full) => {
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.rejected.inc();
                 return Err(SubmitError::Busy { retry_after: self.retry_after() });
             }
             Err(PushError::Closed) => return Err(SubmitError::Closed),
         }
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.admitted.inc();
+        self.inner.metrics.queue_depth.set(self.queue.len() as i64);
         Ok(id)
     }
 
@@ -280,12 +327,14 @@ impl Server {
     pub fn shutdown_now(mut self) -> ServeStats {
         for victim in self.queue.drain() {
             self.inner.shed.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.shed.inc();
             let _ = self.inner.outcomes.send(Outcome::Shed {
                 id: victim.id,
                 label: label_of(&victim.spec),
                 priority: victim.spec.priority,
             });
         }
+        self.inner.metrics.queue_depth.set(0);
         self.inner.cancel.cancel();
         for w in std::mem::take(&mut self.workers) {
             let _ = w.join();
@@ -304,6 +353,7 @@ fn label_of(spec: &JobSpec) -> String {
 
 fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
     while let Some(job) = queue.pop() {
+        inner.metrics.queue_depth.set(queue.len() as i64);
         let queue_wait = job.submitted.elapsed();
         let key = job.spec.canonical_key();
         let case = job.spec.case();
@@ -311,6 +361,8 @@ fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
         match cache.claim(key) {
             Claim::Hit(run) => {
                 inner.completed.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.completed.inc();
+                inner.metrics.cache_hits.inc();
                 let _ = inner.outcomes.send(Outcome::Done(JobResult {
                     id: job.id,
                     label,
@@ -323,9 +375,14 @@ fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
                 }));
             }
             Claim::Owner => {
+                inner.metrics.cache_misses.inc();
+                let busy = ServeMetrics::backend_busy(job.spec.backend);
                 let t0 = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| execute(&job.spec, &inner.cancel)));
                 let run_wall = t0.elapsed();
+                let run_us = run_wall.as_micros().min(u128::from(u64::MAX)) as u64;
+                inner.metrics.job_run_us.record(run_us);
+                busy.add(run_us);
                 let result = match outcome {
                     Ok(r) => r,
                     Err(panic) => Err(panic_message(&panic)),
@@ -354,6 +411,7 @@ fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
                             CachedRun { case: case.clone(), payload: summary.to_json(), field_hash: hash, golden },
                         );
                         inner.completed.fetch_add(1, Ordering::Relaxed);
+                        inner.metrics.completed.inc();
                         let _ = inner.outcomes.send(Outcome::Done(JobResult {
                             id: job.id,
                             label,
@@ -370,6 +428,7 @@ fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
                         // slot so a waiter or retry can own the key
                         cache.abandon(key);
                         inner.failed.fetch_add(1, Ordering::Relaxed);
+                        inner.metrics.failed.inc();
                         let _ = inner.outcomes.send(Outcome::Failed { id: job.id, label, error });
                     }
                 }
@@ -392,6 +451,7 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
 /// the parallel driver's.
 fn process_summary(spec: &JobSpec, ranks: usize, steps: u64, wall: Duration) -> RunSummary {
     RunSummary {
+        schema_version: RUN_SUMMARY_SCHEMA,
         case: spec.case(),
         regime: match spec.cfg.regime {
             Regime::Euler => "euler".to_string(),
@@ -409,6 +469,7 @@ fn process_summary(spec: &JobSpec, ranks: usize, steps: u64, wall: Duration) -> 
         recovery: None,
         conservation: None,
         serve: None,
+        metrics: None,
         health: Vec::new(),
     }
 }
@@ -565,6 +626,35 @@ mod tests {
         let mut tweaked = cfg;
         tweaked.adaptive_dt = !tweaked.adaptive_dt;
         assert!(golden_expectation(&golden, &JobSpec::new(tweaked, 4, 2)).is_none());
+    }
+
+    #[test]
+    fn serving_updates_the_global_metrics_registry() {
+        let before = Registry::global().snapshot();
+        let grid = Grid::new(32, 12, 50.0, 5.0);
+        let cfg = SolverConfig::paper(grid, Regime::Euler);
+        let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: None });
+        let spec = JobSpec::new(cfg, 2, 1);
+        server.submit(spec.clone()).unwrap();
+        server.submit(spec).unwrap(); // duplicate cell: a hit once the cold run fills
+        let mut done = 0;
+        while done < 2 {
+            if let Outcome::Done(_) = rx.recv().unwrap() {
+                done += 1;
+            }
+        }
+        server.finish();
+        let delta = Registry::global().snapshot().diff(&before);
+        assert!(delta.counters.get("ns_serve_admitted_total").copied().unwrap_or(0) >= 2);
+        assert!(delta.counters.get("ns_serve_completed_total").copied().unwrap_or(0) >= 2);
+        assert!(delta.counters.get("ns_serve_cache_misses_total").copied().unwrap_or(0) >= 1);
+        let h = delta.histograms.get("ns_serve_job_run_us").expect("job run histogram");
+        assert!(h.count >= 1);
+        // utilization folded under the backend label (the registry is
+        // process-global and other tests run serial jobs too, so assert on
+        // this test's own backend only)
+        let busy = delta.counters.keys().any(|k| k.starts_with("ns_serve_backend_busy_us_total{backend="));
+        assert!(busy, "per-backend busy counter present: {:?}", delta.counters.keys().collect::<Vec<_>>());
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! described by [`RunSummary`], which the `jetns` CLI writes as JSON.
 
 use crate::phase::PhaseLedger;
+use ns_metrics::MetricsSummary;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Schema version stamped into serialized [`RunSummary`] artifacts.
+pub const RUN_SUMMARY_SCHEMA: u32 = 1;
 
 /// One sample of the solver's watchdog diagnostics.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -228,7 +232,7 @@ pub struct ConservationSummary {
 /// executed on behalf of a queued job: where the job's latency went and
 /// whether the payload was produced cold or replayed from the result
 /// cache.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ServeJobSummary {
     /// Server-assigned job id (admission order).
     pub job_id: u64,
@@ -247,8 +251,10 @@ pub struct ServeJobSummary {
 
 /// Machine-readable description of a finished (or aborted) run: what was
 /// asked for, what happened, where the time went, and the watchdog series.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunSummary {
+    /// Artifact format version (see [`RUN_SUMMARY_SCHEMA`]).
+    pub schema_version: u32,
     /// Case name (CLI-provided).
     pub case: String,
     /// Flow regime (`"euler"` / `"navier-stokes"`).
@@ -278,6 +284,9 @@ pub struct RunSummary {
     /// Job-level serving telemetry (`null` unless the run was executed by
     /// `ns-serve` on behalf of a queued job).
     pub serve: Option<ServeJobSummary>,
+    /// Live-registry deltas over the run (`null` when the run recorded no
+    /// metrics window).
+    pub metrics: Option<MetricsSummary>,
     /// The watchdog series.
     pub health: Vec<HealthSample>,
 }
@@ -291,6 +300,18 @@ impl RunSummary {
     /// Pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("run summary serializes")
+    }
+
+    /// Parse a summary artifact, rejecting unknown schema versions loudly.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let summary: RunSummary = serde_json::from_str(text).map_err(|e| format!("parse run summary: {e}"))?;
+        if summary.schema_version != RUN_SUMMARY_SCHEMA {
+            return Err(format!(
+                "run summary schema_version {} unsupported (expected {RUN_SUMMARY_SCHEMA})",
+                summary.schema_version
+            ));
+        }
+        Ok(summary)
     }
 }
 
@@ -379,6 +400,7 @@ mod tests {
     #[test]
     fn summary_serializes_with_samples() {
         let mut summary = RunSummary {
+            schema_version: RUN_SUMMARY_SCHEMA,
             case: "jet".into(),
             regime: "euler".into(),
             nx: 125,
@@ -393,6 +415,7 @@ mod tests {
             recovery: None,
             conservation: Some(ConservationSummary { steps: 100, ..Default::default() }),
             serve: None,
+            metrics: Some(MetricsSummary::default()),
             health: vec![good_sample(0), good_sample(10)],
         };
         let mut ledger = PhaseLedger::default();
@@ -402,8 +425,18 @@ mod tests {
         assert!(json.contains("\"case\""));
         assert!(json.contains("x:flux"));
         assert!(json.contains("\"max_mach\""));
+        assert!(json.contains("\"schema_version\""));
         // the samples round-trip through the derived Deserialize
         let back: Vec<HealthSample> = serde_json::from_str(&serde_json::to_string(&summary.health).unwrap()).unwrap();
         assert_eq!(back, summary.health);
+        // the whole artifact round-trips through the validating loader
+        let loaded = RunSummary::from_json(&json).unwrap();
+        assert_eq!(loaded.case, "jet");
+        assert_eq!(loaded.phase_seconds["x:flux"], 0.5);
+        // a foreign schema version is rejected loudly
+        let mut foreign = summary.clone();
+        foreign.schema_version = 99;
+        let err = RunSummary::from_json(&foreign.to_json()).unwrap_err();
+        assert!(err.contains("schema_version 99"), "{err}");
     }
 }

@@ -33,7 +33,8 @@ pub mod trace;
 
 pub use health::{
     CommTotals, ConservationSummary, HealthConfig, HealthLimits, HealthMonitor, HealthSample, RecoverySummary,
-    RunSummary, ServeJobSummary,
+    RunSummary, ServeJobSummary, RUN_SUMMARY_SCHEMA,
 };
+pub use ns_metrics::MetricsSummary;
 pub use phase::{PhaseEvent, PhaseLedger, PhaseStat, PhaseTimer};
 pub use trace::{to_chrome_trace, to_jsonl, trace_from_jsonl, EventKind, TraceEvent, Tracer};

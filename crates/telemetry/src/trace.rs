@@ -56,6 +56,11 @@ pub struct TraceEvent {
     pub peer: Option<usize>,
     /// Payload bytes moved (sends and receives); 0 for phases.
     pub bytes: u64,
+    /// Causal span the event belongs to (minted per `(generation, step)`;
+    /// carried inside the reliability layer's frame trailer, so the send,
+    /// the NACK and the resend of one logical message share it across
+    /// ranks).
+    pub span: Option<u64>,
 }
 
 impl TraceEvent {
@@ -69,6 +74,7 @@ impl TraceEvent {
             label: e.label.to_string(),
             peer: None,
             bytes: 0,
+            span: None,
         }
     }
 }
@@ -116,6 +122,23 @@ impl Tracer {
         start: Instant,
         dur: Duration,
     ) {
+        self.record_spanned(kind, rank, label, peer, bytes, start, dur, None);
+    }
+
+    /// [`Self::record`] with a causal span attached (`None` for events that
+    /// happened outside any step).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_spanned(
+        &mut self,
+        kind: EventKind,
+        rank: usize,
+        label: impl Into<String>,
+        peer: Option<usize>,
+        bytes: u64,
+        start: Instant,
+        dur: Duration,
+        span: Option<u64>,
+    ) {
         if !self.on {
             return;
         }
@@ -127,6 +150,7 @@ impl Tracer {
             label: label.into(),
             peer,
             bytes,
+            span,
         });
     }
 
@@ -187,8 +211,11 @@ pub fn to_chrome_trace<E: std::borrow::Borrow<TraceEvent>>(events: &[E]) -> Stri
     for e in events {
         let e = e.borrow();
         let peer = e.peer.map_or("null".to_string(), |p| p.to_string());
+        // span goes into args only when present, so span-less traces keep
+        // their historical shape
+        let span = e.span.map_or(String::new(), |s| format!(",\"span\":{s}"));
         parts.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"peer\":{},\"bytes\":{}}}}}",
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"peer\":{},\"bytes\":{}{}}}}}",
             json_escape(&e.label),
             e.kind.as_str(),
             e.t_us,
@@ -196,6 +223,7 @@ pub fn to_chrome_trace<E: std::borrow::Borrow<TraceEvent>>(events: &[E]) -> Stri
             e.rank,
             peer,
             e.bytes,
+            span,
         ));
     }
     format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}", parts.join(","))
@@ -215,6 +243,7 @@ mod tests {
                 label: "x:flux".into(),
                 peer: None,
                 bytes: 0,
+                span: None,
             },
             TraceEvent {
                 t_us: 120,
@@ -224,6 +253,7 @@ mod tests {
                 label: "Prims1".into(),
                 peer: Some(1),
                 bytes: 2400,
+                span: None,
             },
             TraceEvent {
                 t_us: 40,
@@ -233,6 +263,7 @@ mod tests {
                 label: "Prims1".into(),
                 peer: Some(0),
                 bytes: 0,
+                span: Some(77),
             },
         ]
     }
@@ -259,6 +290,8 @@ mod tests {
         assert!(text.contains("\"cat\":\"send\""));
         assert!(text.contains("\"args\":{\"peer\":1,\"bytes\":2400}"));
         assert!(text.contains("\"tid\":1"));
+        // a spanned event carries its span in args; span-less events don't
+        assert!(text.contains("\"args\":{\"peer\":0,\"bytes\":0,\"span\":77}"));
     }
 
     #[test]
@@ -271,6 +304,7 @@ mod tests {
             label: "odd\"label\\".into(),
             peer: None,
             bytes: 0,
+            span: None,
         }];
         let text = to_chrome_trace(&evs);
         let _: serde_json::Value = serde_json::from_str(&text).unwrap();

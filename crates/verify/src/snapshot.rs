@@ -104,10 +104,16 @@ pub struct GoldenDiff {
 }
 
 impl GoldenFile {
-    /// Load from disk.
+    /// Load from disk, refusing a file whose schema version is not exactly
+    /// [`SCHEMA`] — a version bump means the layout changed, and silently
+    /// diffing against it would produce nonsense mismatch reports.
     pub fn load(path: &str) -> Result<Self, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+        let golden: Self = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        if golden.schema != SCHEMA {
+            return Err(format!("{path}: golden schema {} != supported {SCHEMA}", golden.schema));
+        }
+        Ok(golden)
     }
 
     /// Write to disk (pretty-printed, stable key order via `BTreeMap`).
@@ -199,5 +205,21 @@ mod tests {
         let mut grown = golden.clone();
         grown.entries.insert("euler/serial/V9".to_string(), snap);
         assert!(!golden.diff(&grown).pass);
+    }
+
+    #[test]
+    fn load_rejects_a_foreign_schema_version() {
+        let mut golden = GoldenFile { schema: SCHEMA + 1, grid: [50, 20], steps: 4, entries: BTreeMap::new() };
+        let dir = std::env::temp_dir().join(format!("ns-golden-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("GOLDEN_bad.json");
+        let path = path.to_str().unwrap();
+        golden.save(path).unwrap();
+        let err = GoldenFile::load(path).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        golden.schema = SCHEMA;
+        golden.save(path).unwrap();
+        assert!(GoldenFile::load(path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
