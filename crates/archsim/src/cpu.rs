@@ -117,7 +117,11 @@ impl CpuSpec {
 /// the flux sweep: each radial line's primitives are consumed while still
 /// in cache instead of being written out and re-read a whole plane later,
 /// which trims the references-per-flop of the compute phase (the
-/// arithmetic is bit-identical to V5, so the surcharge stays zero).
+/// arithmetic is bit-identical to V5, so the surcharge stays zero). V7
+/// moves the sweep onto lane-padded SoA buffers with cache-blocked radial
+/// tiles: the station's whole recover→flux working set stays in L1 and the
+/// branch-free lane loops retire more of the traffic from registers,
+/// trimming references-per-flop further (arithmetic still bit-identical).
 pub fn version_params(v: Version) -> (SweepOrder, f64, f64) {
     match v {
         Version::V1 => (SweepOrder::Strided, 1.20, 1.0),
@@ -126,6 +130,7 @@ pub fn version_params(v: Version) -> (SweepOrder, f64, f64) {
         Version::V4 => (SweepOrder::Unit, 0.10, 1.0),
         Version::V5 => (SweepOrder::Unit, 0.0, 1.0),
         Version::V6 => (SweepOrder::Unit, 0.0, 0.75),
+        Version::V7 => (SweepOrder::Unit, 0.0, 0.62),
     }
 }
 

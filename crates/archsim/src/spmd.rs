@@ -145,7 +145,7 @@ fn compile_rank(cal: &Calibration, cpu: &CpuSpec, lib: &MsgLib, cfg: &SimConfig,
         }
     };
     let mut w = workload::step_workload_decomposed(cfg.regime, &cfg.grid, local, cfg.decomposition, owns_top);
-    if cfg.version == Version::V6 {
+    if cfg.version >= Version::V6 {
         w.relabel_fused();
     }
     let busy_for = |flops: u64| cal.seconds_for(cpu, cfg.version, nxl, nr, flops);

@@ -96,7 +96,9 @@ fn bench_operators(c: &mut Criterion) {
 }
 
 /// One prims+ghosts+flux plane sweep — the unit the V6 fusion optimizes.
-/// V1–V5 run the two-pass sequence; V6 runs the fused single sweep.
+/// V1–V5 run the two-pass sequence; V6 runs the fused single sweep; V7
+/// runs the SoA lane-vectorized sweep over cache-blocked radial tiles
+/// (default tile size, no exports — the bench consumes only the flux).
 #[allow(clippy::too_many_arguments)]
 fn plane_sweep(
     v: Version,
@@ -106,10 +108,27 @@ fn plane_sweep(
     patch: &Patch,
     edges: EdgeFlags,
     gas: &ns_numerics::gas::GasModel,
+    soa: &mut Option<Box<ns_core::soa::SoaWs>>,
     ledger: &mut FlopLedger,
 ) {
-    if v == Version::V6 {
-        kernels::fused_sweep(FluxDir::X, field, prim, edges, gas, flux, None, 0..patch.nxl, 0..patch.nxl, None, ledger);
+    if v >= Version::V6 {
+        kernels::fused_sweep_version(
+            v,
+            ns_core::config::DEFAULT_TILE_R,
+            soa,
+            FluxDir::X,
+            field,
+            prim,
+            edges,
+            gas,
+            flux,
+            None,
+            0..patch.nxl,
+            0..patch.nxl,
+            None,
+            &[],
+            ledger,
+        );
     } else {
         kernels::compute_prims(v, field, prim, gas, ledger);
         ns_core::bc::mirror_prims_axis(prim);
@@ -146,7 +165,7 @@ fn json_ladder() {
             let mut prim = PrimField::zeros(&patch);
             let mut flux = FluxField::zeros(&patch);
             let mut model = FlopLedger::default();
-            plane_sweep(Version::V5, &field, &mut prim, &mut flux, &patch, edges, &gas, &mut model);
+            plane_sweep(Version::V5, &field, &mut prim, &mut flux, &patch, edges, &gas, &mut None, &mut model);
             model.total() as f64
         };
         let mut items: Vec<ns_bench::GroupItem> = Version::ALL
@@ -154,13 +173,14 @@ fn json_ladder() {
             .map(|&v| {
                 let mut prim = PrimField::zeros(&patch);
                 let mut flux = FluxField::zeros(&patch);
+                let mut soa = None;
                 let mut ledger = FlopLedger::default();
                 let (field, patch, gas) = (&field, &patch, &gas);
                 ns_bench::GroupItem {
                     id: format!("{v:?}"),
                     flops: Some(flops),
                     f: Box::new(move || {
-                        plane_sweep(v, field, &mut prim, &mut flux, patch, edges, gas, &mut ledger);
+                        plane_sweep(v, field, &mut prim, &mut flux, patch, edges, gas, &mut soa, &mut ledger);
                     }),
                 }
             })

@@ -49,6 +49,20 @@ impl Regime {
 ///   sequence), with the inner loops iterated in fixed-width lanes over row
 ///   slices so LLVM auto-vectorizes them. The per-point arithmetic is
 ///   bit-identical to V5.
+/// * `V7` — structure-of-arrays compute path with explicit SIMD lanes and
+///   cache-blocked sweeps (see `crate::soa`). The fused sweep reads the AoS
+///   conservative rows in place (lane loads need no padding) and recovers
+///   primitives into a lane-padded SoA arena of per-station component
+///   blocks, so every inner loop is a whole number of
+///   [`crate::soa::LANES`]-wide `LaneVec` blocks — no scalar
+///   remainders, no per-point branches (direction/viscosity/source are const
+///   generics) — and the radial axis is tiled ([`SolverConfig::tile_r`]) so
+///   the recover→ghost-fill→flux pipeline of a station stays in L1.
+///   Conversions between the AoS `Field` and the SoA arena happen only at
+///   sweep boundaries (adjacent to halo exchange / checkpoint), so comm,
+///   recovery and checkpoint layers are untouched. The per-point arithmetic
+///   is bit-identical to V6 (and hence V5): lanes are independent grid
+///   points and no reduction is ever reassociated across lanes.
 ///
 /// The *communication* variants with the same numbers (overlap,
 /// burst-splitting) are a separate axis and live in `ns-runtime`
@@ -67,12 +81,15 @@ pub enum Version {
     V5,
     /// + prims/flux single-sweep fusion with lane-chunked inner loops.
     V6,
+    /// + SoA layout, explicit `LaneVec` lanes, cache-blocked radial tiles.
+    V7,
 }
 
 impl Version {
     /// All single-processor versions in ladder order (V1–V5 are the paper's
-    /// Figure 2 rungs; V6 is this repo's fused extension).
-    pub const ALL: [Version; 6] = [Version::V1, Version::V2, Version::V3, Version::V4, Version::V5, Version::V6];
+    /// Figure 2 rungs; V6/V7 are this repo's fused and SoA extensions).
+    pub const ALL: [Version; 7] =
+        [Version::V1, Version::V2, Version::V3, Version::V4, Version::V5, Version::V6, Version::V7];
 
     /// 1-based index as used on the Figure 2 axis.
     pub fn index(self) -> usize {
@@ -83,9 +100,24 @@ impl Version {
             Version::V4 => 4,
             Version::V5 => 5,
             Version::V6 => 6,
+            Version::V7 => 7,
         }
     }
 }
+
+/// Default V7 radial tile width (grid points), chosen from measurement.
+/// Every tile multiplies the station pipeline's fixed per-station cost
+/// (row slicing, ghost fills, stencil bookkeeping) by the tile count, so
+/// blocking only pays once a tile's live rows (4 conservative + 3x5
+/// stencil primitives + 4 flux + source ≈ 24 rows of `tile_r` points)
+/// outgrow the cache: on the committed grids (nr <= 100) a single tile is
+/// fastest, and on a tall nr = 8192 probe the sweep bottoms out near
+/// `tile_r` = 2048 (≈ 380 KiB live, inside L2; 1.3x over the untiled V6
+/// sweep, vs 3.4x *slower* at `tile_r` = 64). 2048 keeps paper-scale grids
+/// single-tile while bounding the window for very tall ones. Any
+/// `tile_r >= 1` is valid and bitwise-equivalent (tiles are independent
+/// grid points; boundary columns are recomputed, not carried).
+pub const DEFAULT_TILE_R: usize = 2048;
 
 /// Spatial order of the MacCormack scheme.
 ///
@@ -169,6 +201,11 @@ pub struct SolverConfig {
     /// and the analytic forcing from [`crate::mms`] is injected into both
     /// split operators. Production runs use `None`.
     pub mms: Option<crate::mms::MmsSpec>,
+    /// Radial tile width of the V7 cache-blocked sweep (grid points). Only
+    /// consulted when `version == V7`; any value `>= 1` yields bitwise
+    /// identical results (property-tested), so this is purely a performance
+    /// knob. See [`DEFAULT_TILE_R`] for the measured default.
+    pub tile_r: usize,
 }
 
 impl SolverConfig {
@@ -189,6 +226,7 @@ impl SolverConfig {
             scheme: SchemeOrder::TwoFour,
             adaptive_dt: false,
             mms: None,
+            tile_r: DEFAULT_TILE_R,
         }
     }
 
@@ -245,10 +283,20 @@ mod tests {
     fn version_ordering_and_indexing() {
         assert!(Version::V1 < Version::V5);
         assert!(Version::V5 < Version::V6);
-        assert_eq!(Version::ALL.len(), 6);
+        assert!(Version::V6 < Version::V7);
+        assert_eq!(Version::ALL.len(), 7);
         for (k, v) in Version::ALL.iter().enumerate() {
             assert_eq!(v.index(), k + 1);
         }
+    }
+
+    #[test]
+    fn default_tile_is_sane() {
+        let cfg = SolverConfig::paper(Grid::paper(), Regime::NavierStokes);
+        assert_eq!(cfg.tile_r, DEFAULT_TILE_R);
+        // the committed grids (nr <= 100) must run as a single tile — the
+        // blocking default only kicks in on much taller grids
+        assert!(DEFAULT_TILE_R >= Grid::paper().nr);
     }
 
     #[test]

@@ -311,6 +311,9 @@ pub struct Workspace {
     /// `SolverConfig::mms` is set and `None` for production runs (the
     /// operators take the unforced code path without touching them).
     pub mms: Option<Box<crate::mms::MmsSources>>,
+    /// V7 SoA sweep workspace, armed lazily by the first V7 fused sweep and
+    /// `None` for every other version (see [`crate::soa`]).
+    pub soa: Option<Box<crate::soa::SoaWs>>,
 }
 
 impl Workspace {
@@ -325,6 +328,7 @@ impl Workspace {
             src_bar: Array2::zeros(patch.nxl + 2 * NG, patch.nr() + 2 * NG),
             timers: ns_telemetry::PhaseTimer::default(),
             mms: None,
+            soa: None,
         }
     }
 }

@@ -77,7 +77,10 @@ pub fn compute_prims(version: Version, field: &Field, prim: &mut PrimField, gas:
         Version::V3 => prims_indexed::<false, false, false>(field, prim, gas),
         Version::V4 => prims_indexed::<false, true, false>(field, prim, gas),
         Version::V5 => prims_sliced(field, prim, gas),
-        Version::V6 => prims_fused(field, prim, gas),
+        // The standalone (non-sweep) entries share the V6 body: V7's SoA
+        // arena only pays off inside the tiled fused sweep, and the V6 body
+        // is already bitwise the V7 per-point tree.
+        Version::V6 | Version::V7 => prims_fused(field, prim, gas),
     }
     ledger.prims += (field.nxl() * field.nr()) as u64 * opcount::COST_PRIMS;
 }
@@ -278,7 +281,9 @@ pub fn compute_flux_range(
         Version::V3 => flux_indexed::<false, false, false>(dir, prim, patch, edges, gas, flux, src, i_range),
         Version::V4 => flux_indexed::<false, true, false>(dir, prim, patch, edges, gas, flux, src, i_range),
         Version::V5 => flux_sliced(dir, prim, patch, edges, gas, flux, src, i_range),
-        Version::V6 => flux_chunked(dir, prim, patch, edges, gas, flux, src, i_range),
+        // V7 edge columns use the V6 chunked body (bitwise-identical): the
+        // SoA tiled path only covers the fused interior sweep.
+        Version::V6 | Version::V7 => flux_chunked(dir, prim, patch, edges, gas, flux, src, i_range),
     }
     ledger.flux += pts * if viscous { opcount::COST_FLUX_VISCOUS } else { opcount::COST_FLUX_INVISCID };
     if dir == FluxDir::R {
@@ -766,7 +771,7 @@ pub fn fused_boundary_prims(
 /// Highest station whose primitives must be available before the flux at
 /// station `e` can be evaluated.
 #[inline]
-fn flux_needs(e: usize, nxl: usize, edges: EdgeFlags, viscous: bool) -> usize {
+pub(crate) fn flux_needs(e: usize, nxl: usize, edges: EdgeFlags, viscous: bool) -> usize {
     if !viscous {
         e // inviscid fluxes are pointwise
     } else if e == 0 && edges.left {
@@ -839,6 +844,43 @@ pub fn fused_sweep(
         (flux_range.len() * nr) as u64 * if viscous { opcount::COST_FLUX_VISCOUS } else { opcount::COST_FLUX_INVISCID };
     if dir == FluxDir::R {
         ledger.source += (flux_range.len() * nr) as u64 * opcount::COST_SOURCE;
+    }
+}
+
+/// Version dispatch for the operator path's fused sweep: V7 runs the SoA
+/// tiled sweep from [`crate::soa`] (lazily arming the sweep workspace in
+/// `soa`), every earlier fused version runs [`fused_sweep`]. Both are
+/// bitwise-equal drop-ins for each other (oracle- and property-tested).
+///
+/// `exports` lists the swept stations whose primitives must land back in
+/// the AoS `prim` planes for later consumers (edge-column flux passes, the
+/// characteristic-outflow stencil); V6 writes every station to AoS anyway,
+/// so the list only drives the V7 SoA→AoS boundary.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_sweep_version(
+    version: Version,
+    tile_r: usize,
+    soa: &mut Option<Box<crate::soa::SoaWs>>,
+    dir: FluxDir,
+    field: &Field,
+    prim: &mut PrimField,
+    edges: EdgeFlags,
+    gas: &GasModel,
+    flux: &mut FluxField,
+    src: Option<&mut Array2>,
+    prim_range: std::ops::Range<usize>,
+    flux_range: std::ops::Range<usize>,
+    hi_pre: Option<usize>,
+    exports: &[usize],
+    ledger: &mut FlopLedger,
+) {
+    if version == Version::V7 {
+        let ws = soa.get_or_insert_with(|| Box::new(crate::soa::SoaWs::new(&field.patch)));
+        crate::soa::fused_sweep(
+            dir, field, prim, edges, gas, flux, src, prim_range, flux_range, hi_pre, exports, ws, tile_r, ledger,
+        );
+    } else {
+        fused_sweep(dir, field, prim, edges, gas, flux, src, prim_range, flux_range, hi_pre, ledger);
     }
 }
 

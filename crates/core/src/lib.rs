@@ -57,6 +57,7 @@ pub mod physics;
 pub mod probe;
 pub mod scheme;
 pub mod shared;
+pub mod soa;
 pub mod workload;
 
 pub use config::{Regime, SolverConfig, Version};

@@ -128,6 +128,27 @@ mod tests {
         assert_eq!(COST_CORRECTOR, 4 * 7);
     }
 
+    /// The ledger counts the work the algorithm does, not how the kernels
+    /// schedule it: the fused V6 sweep and the SoA/tiled V7 sweep must
+    /// account exactly the FLOPs of the V5 two-pass baseline, class by
+    /// class, for both regimes.
+    #[test]
+    fn fused_and_soa_rungs_account_identical_flops() {
+        use crate::config::{Regime, SolverConfig, Version};
+        for regime in [Regime::Euler, Regime::NavierStokes] {
+            let ledger_of = |v: Version| {
+                let mut cfg = SolverConfig::paper(ns_numerics::Grid::new(24, 12, 10.0, 2.0), regime);
+                cfg.version = v;
+                let mut s = crate::Solver::new(cfg);
+                s.run(4);
+                s.ledger
+            };
+            let v5 = ledger_of(Version::V5);
+            assert_eq!(ledger_of(Version::V6), v5, "{regime:?}: V6 ledger must equal V5");
+            assert_eq!(ledger_of(Version::V7), v5, "{regime:?}: V7 ledger must equal V5");
+        }
+    }
+
     #[test]
     fn ledger_total_and_merge() {
         let mut a = FlopLedger { prims: 1, flux: 2, source: 3, update: 4, boundary: 5, dissipation: 6 };

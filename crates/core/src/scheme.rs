@@ -102,10 +102,11 @@ pub fn x_operator(
     // every halo call: exchange time belongs to the runtime's communication
     // accounting, not to a compute phase.
 
-    // V6 fuses primitive recovery, ghost fill and flux evaluation into one
+    // V6+ fuses primitive recovery, ghost fill and flux evaluation into one
     // sweep per stage; its phase labels ("x:fused", "x:fused2") replace the
-    // separate prims/flux pairs in the telemetry vocabulary.
-    let fused = cfg.version == crate::config::Version::V6;
+    // separate prims/flux pairs in the telemetry vocabulary. V7 shares the
+    // fused shape, running each sweep over the SoA tiled path.
+    let fused = cfg.version >= crate::config::Version::V6;
     let (flo, fhi) = (usize::from(!edges.left), nxl - usize::from(!edges.right));
 
     // --- stage 1: fluxes of Q^n -------------------------------------------
@@ -120,7 +121,28 @@ pub fn x_operator(
         ws.timers.pause();
         halo.post_prims(&mut ws.prim);
         ws.timers.start("x:fused");
-        kernels::fused_sweep(
+        // Swept stations that later AoS consumers read back (V7 only): the
+        // post-halo edge-column flux passes stencil stations `flo`/`fhi - 1`,
+        // and the characteristic-outflow derivative reaches nxl-2 / nxl-3.
+        let mut x1_exports = [0usize; 4];
+        let mut n_exp = 0;
+        if !edges.left {
+            x1_exports[n_exp] = flo;
+            n_exp += 1;
+        }
+        if !edges.right {
+            x1_exports[n_exp] = fhi - 1;
+            n_exp += 1;
+        }
+        if edges.right && cfg.mms.is_none() {
+            x1_exports[n_exp] = nxl.saturating_sub(2);
+            x1_exports[n_exp + 1] = nxl.saturating_sub(3);
+            n_exp += 2;
+        }
+        kernels::fused_sweep_version(
+            cfg.version,
+            cfg.tile_r,
+            &mut ws.soa,
             FluxDir::X,
             field,
             &mut ws.prim,
@@ -131,6 +153,7 @@ pub fn x_operator(
             1..nxl - 1,
             flo..fhi,
             Some(nxl - 1),
+            &x1_exports[..n_exp],
             ledger,
         );
         ws.timers.pause();
@@ -247,7 +270,22 @@ pub fn x_operator(
             ws.timers.pause();
             halo.post_prims(&mut ws.prim);
             ws.timers.start("x:fused2");
-            kernels::fused_sweep(
+            // Stage 2 has no outflow update afterwards; only the edge-column
+            // flux passes read primitives back from the AoS planes.
+            let mut x2_exports = [0usize; 2];
+            let mut n_exp = 0;
+            if !edges.left {
+                x2_exports[n_exp] = flo;
+                n_exp += 1;
+            }
+            if !edges.right {
+                x2_exports[n_exp] = fhi - 1;
+                n_exp += 1;
+            }
+            kernels::fused_sweep_version(
+                cfg.version,
+                cfg.tile_r,
+                &mut ws.soa,
                 FluxDir::X,
                 &ws.qbar,
                 &mut ws.prim,
@@ -258,6 +296,7 @@ pub fn x_operator(
                 1..nxl - 1,
                 flo..fhi,
                 Some(nxl - 1),
+                &x2_exports[..n_exp],
                 ledger,
             );
             ws.timers.pause();
@@ -291,7 +330,10 @@ pub fn x_operator(
             // Euler needs no stencil neighbours: the whole stage fuses into
             // a single exchange-free sweep.
             ws.timers.start("x:fused2");
-            kernels::fused_sweep(
+            kernels::fused_sweep_version(
+                cfg.version,
+                cfg.tile_r,
+                &mut ws.soa,
                 FluxDir::X,
                 &ws.qbar,
                 &mut ws.prim,
@@ -302,6 +344,7 @@ pub fn x_operator(
                 0..nxl,
                 0..nxl,
                 None,
+                &[],
                 ledger,
             );
         }
@@ -414,14 +457,17 @@ pub fn r_operator(
     let (nxl, nr) = (patch.nxl, patch.nr());
     let lam = dt / (6.0 * patch.grid.dr);
 
-    let fused = cfg.version == crate::config::Version::V6;
+    let fused = cfg.version >= crate::config::Version::V6;
 
     // --- stage 1 -------------------------------------------------------------
     if fused {
         // Comm-free sweep: fuse the whole stage (prims, radial ghosts, flux
         // and source) into one pipelined pass over the axial stations.
         ws.timers.start("r:fused");
-        kernels::fused_sweep(
+        kernels::fused_sweep_version(
+            cfg.version,
+            cfg.tile_r,
+            &mut ws.soa,
             FluxDir::R,
             field,
             &mut ws.prim,
@@ -432,6 +478,7 @@ pub fn r_operator(
             0..nxl,
             0..nxl,
             None,
+            &[],
             ledger,
         );
     } else {
@@ -467,7 +514,10 @@ pub fn r_operator(
     // --- stage 2 -------------------------------------------------------------
     if fused {
         ws.timers.start("r:fused2");
-        kernels::fused_sweep(
+        kernels::fused_sweep_version(
+            cfg.version,
+            cfg.tile_r,
+            &mut ws.soa,
             FluxDir::R,
             &ws.qbar,
             &mut ws.prim,
@@ -478,6 +528,7 @@ pub fn r_operator(
             0..nxl,
             0..nxl,
             None,
+            &[],
             ledger,
         );
     } else {

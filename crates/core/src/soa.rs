@@ -1,0 +1,1079 @@
+//! V7 structure-of-arrays compute path: lane-aligned SoA buffers, explicit
+//! fixed-width [`LaneVec`] arithmetic, and cache-blocked (radially tiled)
+//! fused sweeps.
+//!
+//! ## Layout
+//!
+//! The solver state stays in the AoS-of-planes [`Field`]; this module owns a
+//! *sweep-scoped* SoA arena ([`SoaWs`]) for the recovered primitives that the
+//! V7 operator path converts out of only at sweep boundaries (immediately
+//! adjacent to the halo exchange, which is the only other place the rows are
+//! touched), so the runtime, comm framing, checkpoint and recovery layers
+//! never see it:
+//!
+//! ```text
+//!            AoS Field (per component, rows strided nr + 2 NG)
+//!   q[0]: [..|................|..]   <- read in place by lane loads
+//!   q[1]: [..|................|..]      (loads need no padding)
+//!
+//!            SoA arena (station-blocked, stride = round_up(nr + 2 NG, LANES))
+//!   prims i:     [rho pad][u pad][v pad][p pad][t pad]
+//!   prims i+1:   [rho pad][u pad][v pad][p pad][t pad]
+//! ```
+//!
+//! The conservative inputs are deliberately *not* copied into an SoA mirror:
+//! only the primitive *stores* need lane padding, and a staged copy of `q`
+//! measured as a full extra round-trip of the field through memory per sweep
+//! (~25% of sweep time on the 250×100 grid). Everything one station's
+//! recover→ghost-fill→flux pipeline touches is a handful of *contiguous*
+//! rows, and the radial axis is tiled
+//! ([`SolverConfig::tile_r`](crate::config::SolverConfig::tile_r)) so those
+//! rows stay cache-resident even on tall grids.
+//!
+//! ## Lanes and bitwise policy
+//!
+//! [`LaneVec<N>`] is an explicit `[f64; N]` short-vector type (no nightly,
+//! no intrinsics) whose operators are fully unrolled elementwise loops with
+//! constant trip counts — the shape LLVM reliably turns into packed IEEE
+//! ops. Each lane is an independent grid point: V7 performs *exactly* the
+//! per-point expression trees of the V6 kernels (same operations, same
+//! association), never reassociates across lanes, and has no cross-lane
+//! reductions, so V7 results are bitwise equal to V6 (and hence V5) — the
+//! oracle and the property tests assert this exactly. Ranges that are not a
+//! whole number of lanes are finished by a *shifted* final lane block
+//! (recomputing up to `LANES - 1` points bit-identically) instead of a
+//! scalar remainder loop; ranges narrower than one lane fall back to
+//! single-lane (`N = 1`) blocks of the same generic body.
+//!
+//! Direction, viscosity and source-plane presence are const generics of the
+//! flux body, so the hot loops carry no per-point branches.
+
+use crate::field::{Field, FluxField, Patch, PrimField, NG};
+use crate::kernels::{flux_needs, EdgeFlags, FluxDir, LANES};
+use crate::opcount::{self, FlopLedger};
+use ns_numerics::{Array2, GasModel};
+
+/// Round `n` up to the next multiple of [`LANES`].
+#[inline(always)]
+fn pad(n: usize) -> usize {
+    n.div_ceil(LANES) * LANES
+}
+
+// ---------------------------------------------------------------------------
+// LaneVec
+// ---------------------------------------------------------------------------
+
+/// Fixed-width vector of `N` lanes, each an independent grid point.
+///
+/// All arithmetic is elementwise with constant trip counts (fully unrolled
+/// by the optimizer); there are intentionally **no** horizontal operations,
+/// so using `LaneVec` can never reassociate a reduction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaneVec<const N: usize>(pub [f64; N]);
+
+impl<const N: usize> LaneVec<N> {
+    /// Broadcast a scalar into every lane.
+    #[inline(always)]
+    pub fn splat(x: f64) -> Self {
+        Self([x; N])
+    }
+
+    /// Load `N` contiguous lanes of `s` starting at `at`.
+    #[inline(always)]
+    pub fn load(s: &[f64], at: usize) -> Self {
+        Self(s[at..at + N].try_into().unwrap())
+    }
+
+    /// Store the lanes into `s` starting at `at`.
+    #[inline(always)]
+    pub fn store(self, s: &mut [f64], at: usize) {
+        s[at..at + N].copy_from_slice(&self.0);
+    }
+
+    /// Elementwise reciprocal `1.0 / x` (a true IEEE divide per lane).
+    #[inline(always)]
+    pub fn recip(self) -> Self {
+        let mut o = [0.0; N];
+        for l in 0..N {
+            o[l] = 1.0 / self.0[l];
+        }
+        Self(o)
+    }
+}
+
+macro_rules! lane_binop {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl<const N: usize> std::ops::$trait for LaneVec<N> {
+            type Output = Self;
+            #[inline(always)]
+            fn $fn(self, rhs: Self) -> Self {
+                let mut o = [0.0; N];
+                for l in 0..N {
+                    o[l] = self.0[l] $op rhs.0[l];
+                }
+                Self(o)
+            }
+        }
+    };
+}
+lane_binop!(Add, add, +);
+lane_binop!(Sub, sub, -);
+lane_binop!(Mul, mul, *);
+lane_binop!(Div, div, /);
+
+impl<const N: usize> std::ops::Neg for LaneVec<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        let mut o = [0.0; N];
+        for l in 0..N {
+            o[l] = -self.0[l];
+        }
+        Self(o)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SoA containers
+// ---------------------------------------------------------------------------
+
+/// The four conservative components in a lane-aligned, station-blocked SoA
+/// arena: for each axial station (ghosts included) the four component rows
+/// sit contiguously, each padded to a whole number of lanes. Conversions to
+/// and from the AoS [`Field`] are bitwise copies (property-tested, NaN
+/// payloads included).
+#[derive(Clone, Debug)]
+pub struct SoaField {
+    data: Vec<f64>,
+    ni: usize,
+    nj: usize,
+    stride: usize,
+}
+
+impl SoaField {
+    /// Zeroed arena shaped for `patch` (ghosts included).
+    pub fn zeros(patch: &Patch) -> Self {
+        let ni = patch.nxl + 2 * NG;
+        let nj = patch.nr() + 2 * NG;
+        let stride = pad(nj);
+        Self { data: vec![0.0; ni * 4 * stride], ni, nj, stride }
+    }
+
+    /// Lane-padded row stride.
+    #[inline(always)]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// `(stations, radial points)`, ghosts included.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.ni, self.nj)
+    }
+
+    #[inline(always)]
+    fn base(&self, ii: usize, c: usize) -> usize {
+        debug_assert!(ii < self.ni && c < 4);
+        (ii * 4 + c) * self.stride
+    }
+
+    /// Row of component `c` at raw station `ii` (length [`Self::stride`]).
+    #[inline(always)]
+    pub fn row(&self, ii: usize, c: usize) -> &[f64] {
+        let b = self.base(ii, c);
+        &self.data[b..b + self.stride]
+    }
+
+    /// Mutable counterpart of [`Self::row`].
+    #[inline(always)]
+    pub fn row_mut(&mut self, ii: usize, c: usize) -> &mut [f64] {
+        let b = self.base(ii, c);
+        &mut self.data[b..b + self.stride]
+    }
+
+    /// Convert a whole AoS field (ghosts included) into a fresh SoA arena.
+    pub fn from_field(field: &Field) -> Self {
+        let mut s = Self::zeros(&field.patch);
+        s.stage(field, 0..s.ni);
+        s
+    }
+
+    /// Bitwise-copy the raw station rows `raw_range` of `field` into the
+    /// arena (the AoS→SoA boundary of the V7 sweep).
+    pub fn stage(&mut self, field: &Field, raw_range: std::ops::Range<usize>) {
+        debug_assert!(raw_range.end <= self.ni);
+        for ii in raw_range {
+            for c in 0..4 {
+                let src = field.q[c].row(ii);
+                self.row_mut(ii, c)[..src.len()].copy_from_slice(src);
+            }
+        }
+    }
+
+    /// Bitwise-copy the arena back into an AoS field (the SoA→AoS boundary).
+    pub fn to_field(&self, field: &mut Field) {
+        assert_eq!((field.nxl() + 2 * NG, field.nr() + 2 * NG), (self.ni, self.nj));
+        for ii in 0..self.ni {
+            for c in 0..4 {
+                let nj = self.nj;
+                let src = &self.row(ii, c)[..nj];
+                field.q[c].row_mut(ii).copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// Primitive planes (`rho, u, v, p, t`) in the same station-blocked SoA
+/// layout as [`SoaField`]; the V7 sweep recovers into these and the flux
+/// stencils read them back while the station block is still in L1.
+#[derive(Clone, Debug)]
+pub struct SoaPrims {
+    data: Vec<f64>,
+    ni: usize,
+    nj: usize,
+    stride: usize,
+}
+
+/// Component order inside a [`SoaPrims`] station block.
+const P_RHO: usize = 0;
+const P_U: usize = 1;
+const P_V: usize = 2;
+const P_P: usize = 3;
+const P_T: usize = 4;
+
+impl SoaPrims {
+    /// Zeroed arena shaped for `patch` (ghosts included).
+    pub fn zeros(patch: &Patch) -> Self {
+        let ni = patch.nxl + 2 * NG;
+        let nj = patch.nr() + 2 * NG;
+        let stride = pad(nj);
+        Self { data: vec![0.0; ni * 5 * stride], ni, nj, stride }
+    }
+
+    #[inline(always)]
+    fn base(&self, ii: usize, comp: usize) -> usize {
+        debug_assert!(ii < self.ni && comp < 5);
+        (ii * 5 + comp) * self.stride
+    }
+
+    /// Row of primitive component `comp` at raw station `ii`.
+    #[inline(always)]
+    fn row(&self, ii: usize, comp: usize) -> &[f64] {
+        let b = self.base(ii, comp);
+        &self.data[b..b + self.stride]
+    }
+
+    /// The five rows of one station, split for simultaneous mutation.
+    #[inline(always)]
+    fn station_rows_mut(&mut self, ii: usize) -> [&mut [f64]; 5] {
+        let b = self.base(ii, 0);
+        let s = self.stride;
+        let block = &mut self.data[b..b + 5 * s];
+        let (rho, rest) = block.split_at_mut(s);
+        let (u, rest) = rest.split_at_mut(s);
+        let (v, rest) = rest.split_at_mut(s);
+        let (p, t) = rest.split_at_mut(s);
+        [rho, u, v, p, t]
+    }
+
+    /// Import one precomputed AoS primitive station (ghost rows included) —
+    /// used for the boundary stations that [`crate::kernels::fused_boundary_prims`]
+    /// computed ahead of the halo post.
+    fn import_station(&mut self, prim: &PrimField, ii: usize) {
+        let nj = self.nj;
+        let [rho, u, v, p, t] = self.station_rows_mut(ii);
+        rho[..nj].copy_from_slice(prim.rho.row(ii));
+        u[..nj].copy_from_slice(prim.u.row(ii));
+        v[..nj].copy_from_slice(prim.v.row(ii));
+        p[..nj].copy_from_slice(prim.p.row(ii));
+        t[..nj].copy_from_slice(prim.t.row(ii));
+    }
+
+    /// Export one swept station back to the AoS planes (ghost rows included)
+    /// — the stations the post-halo edge-column flux pass will read.
+    fn export_station(&self, prim: &mut PrimField, ii: usize) {
+        let nj = self.nj;
+        prim.rho.row_mut(ii).copy_from_slice(&self.row(ii, P_RHO)[..nj]);
+        prim.u.row_mut(ii).copy_from_slice(&self.row(ii, P_U)[..nj]);
+        prim.v.row_mut(ii).copy_from_slice(&self.row(ii, P_V)[..nj]);
+        prim.p.row_mut(ii).copy_from_slice(&self.row(ii, P_P)[..nj]);
+        prim.t.row_mut(ii).copy_from_slice(&self.row(ii, P_T)[..nj]);
+    }
+}
+
+/// Reusable V7 sweep workspace: the conservative SoA arena, the primitive
+/// SoA arena and the padded radius tables. Created lazily by the first V7
+/// sweep and kept in the solver [`Workspace`](crate::field::Workspace).
+#[derive(Clone, Debug)]
+pub struct SoaWs {
+    /// Recovered primitives (station-blocked). The conservative inputs are
+    /// read straight out of the AoS field's contiguous component rows —
+    /// lane loads need no padding, so a staged copy would only add a full
+    /// extra round-trip of the field through memory per sweep.
+    pub prims: SoaPrims,
+    r_of: Vec<f64>,
+    inv_r: Vec<f64>,
+    shape: (usize, usize),
+}
+
+impl SoaWs {
+    /// Build a workspace shaped for `patch`.
+    pub fn new(patch: &Patch) -> Self {
+        let prims = SoaPrims::zeros(patch);
+        let (nr, stride) = (patch.nr(), prims.stride);
+        // Identical expressions to the V5/V6 radius tables; padded entries
+        // are never read (every lane block stays inside [0, nr)).
+        let mut r_of = vec![1.0; stride];
+        let mut inv_r = vec![1.0; stride];
+        for (j, (r, w)) in r_of.iter_mut().zip(inv_r.iter_mut()).enumerate().take(nr) {
+            *r = patch.r(j);
+            *w = 1.0 / *r;
+        }
+        let shape = (patch.nxl + 2 * NG, patch.nr() + 2 * NG);
+        Self { prims, shape, r_of, inv_r }
+    }
+
+    /// Rebuild if the patch shape changed (cheap no-op otherwise).
+    pub fn ensure(&mut self, patch: &Patch) {
+        if self.shape != (patch.nxl + 2 * NG, patch.nr() + 2 * NG) {
+            *self = Self::new(patch);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lane kernels (bit-identical per point to the V6 bodies)
+// ---------------------------------------------------------------------------
+
+/// One lane block of primitive recovery at interior radial index `j`
+/// (per-point expression tree identical to `prims_row_fused`).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn prims_lane<const N: usize>(
+    q: [&[f64]; 4],
+    out: &mut [&mut [f64]; 5],
+    inv_r: &[f64],
+    j: usize,
+    gm1: f64,
+    inv_rgas: f64,
+) {
+    let at = j + NG;
+    let q0 = LaneVec::<N>::load(q[0], at);
+    let q1 = LaneVec::<N>::load(q[1], at);
+    let q2 = LaneVec::<N>::load(q[2], at);
+    let q3 = LaneVec::<N>::load(q[3], at);
+    let w = LaneVec::<N>::load(inv_r, j);
+    let rho = q0 * w;
+    let inv_rho = rho.recip();
+    let u = (q1 * w) * inv_rho;
+    let v = (q2 * w) * inv_rho;
+    let e = q3 * w;
+    let ke = (LaneVec::splat(0.5) * rho) * (u * u + v * v);
+    let p = LaneVec::splat(gm1) * (e - ke);
+    let t = (p * inv_rho) * LaneVec::splat(inv_rgas);
+    rho.store(out[P_RHO], at);
+    u.store(out[P_U], at);
+    v.store(out[P_V], at);
+    p.store(out[P_P], at);
+    t.store(out[P_T], at);
+}
+
+/// Recover primitives of one station over interior radial points
+/// `[jlo, jhi)`: full lane blocks, then a shifted final block (or
+/// single-lane blocks when the range is narrower than a lane).
+#[allow(clippy::too_many_arguments)]
+fn prims_station_tile(
+    qrows: [&[f64]; 4],
+    prims: &mut SoaPrims,
+    ii: usize,
+    jlo: usize,
+    jhi: usize,
+    gm1: f64,
+    inv_rgas: f64,
+    inv_r: &[f64],
+) {
+    let mut out = prims.station_rows_mut(ii);
+    let mut j = jlo;
+    while j + LANES <= jhi {
+        prims_lane::<LANES>(qrows, &mut out, inv_r, j, gm1, inv_rgas);
+        j += LANES;
+    }
+    if j < jhi {
+        if jhi - jlo >= LANES {
+            prims_lane::<LANES>(qrows, &mut out, inv_r, jhi - LANES, gm1, inv_rgas);
+        } else {
+            while j < jhi {
+                prims_lane::<1>(qrows, &mut out, inv_r, j, gm1, inv_rgas);
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Axis-symmetry ghost fill of one SoA station (bitwise the arithmetic of
+/// [`crate::bc::mirror_prims_axis_row`]).
+fn mirror_axis_station(prims: &mut SoaPrims, ii: usize) {
+    let [rho, u, v, p, t] = prims.station_rows_mut(ii);
+    for g in 0..NG {
+        let (dst, src) = (NG - 1 - g, NG + g);
+        rho[dst] = rho[src];
+        u[dst] = u[src];
+        v[dst] = -v[src];
+        p[dst] = p[src];
+        t[dst] = t[src];
+    }
+}
+
+/// Far-field ghost fill of one SoA station (bitwise the arithmetic of
+/// [`crate::bc::extrap_prims_top_row`]).
+fn extrap_top_station(prims: &mut SoaPrims, ii: usize, nr: usize) {
+    let rows = prims.station_rows_mut(ii);
+    let a = NG + nr - 1;
+    let b = NG + nr - 2;
+    for row in rows {
+        for g in 0..NG {
+            let dst = NG + nr + g;
+            let w = (g + 1) as f64;
+            row[dst] = row[a] + w * (row[a] - row[b]);
+        }
+    }
+}
+
+/// Loop-invariant scalar constants of a flux station (hoisted subtrees of
+/// the V6 per-point expressions — hoisting a subtree does not change the
+/// per-point association).
+#[derive(Clone, Copy)]
+struct FluxConsts {
+    inv_2dr: f64,
+    inv_gm1: f64,
+    two_mu: f64,
+    c_lam: f64,
+    mu: f64,
+    neg_kappa: f64,
+}
+
+/// The primitive rows a flux station reads: the center station block plus
+/// the `u`/`v`/`t` rows of the three x-stencil stations.
+#[derive(Clone, Copy)]
+struct StencilRows<'a> {
+    rho0: &'a [f64],
+    u0: &'a [f64],
+    v0: &'a [f64],
+    p0: &'a [f64],
+    t0: &'a [f64],
+    u_l: &'a [f64],
+    u_m: &'a [f64],
+    u_r: &'a [f64],
+    v_l: &'a [f64],
+    v_m: &'a [f64],
+    v_r: &'a [f64],
+    t_l: &'a [f64],
+    t_m: &'a [f64],
+    t_r: &'a [f64],
+}
+
+/// One lane block of the flux body at interior radial index `j` — the V6
+/// `flux_row_chunked` per-point arithmetic with direction and viscosity as
+/// const generics (no per-point branches).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn flux_lane<const DIRX: bool, const VISC: bool, const N: usize>(
+    rows: &StencilRows<'_>,
+    c: &FluxConsts,
+    wl: f64,
+    wm: f64,
+    wr: f64,
+    r_of: &[f64],
+    inv_r: &[f64],
+    f_rows: &mut [&mut [f64]; 4],
+    src_row: &mut Option<&mut [f64]>,
+    j: usize,
+) {
+    let at = j + NG;
+    let rho = LaneVec::<N>::load(rows.rho0, at);
+    let u = LaneVec::<N>::load(rows.u0, at);
+    let v = LaneVec::<N>::load(rows.v0, at);
+    let p = LaneVec::<N>::load(rows.p0, at);
+    let r = LaneVec::<N>::load(r_of, j);
+    let (txx, trr, ttt, txr, qx, qr);
+    if VISC {
+        let ux = LaneVec::splat(wl) * LaneVec::<N>::load(rows.u_l, at)
+            + LaneVec::splat(wm) * LaneVec::<N>::load(rows.u_m, at)
+            + LaneVec::splat(wr) * LaneVec::<N>::load(rows.u_r, at);
+        let vx = LaneVec::splat(wl) * LaneVec::<N>::load(rows.v_l, at)
+            + LaneVec::splat(wm) * LaneVec::<N>::load(rows.v_m, at)
+            + LaneVec::splat(wr) * LaneVec::<N>::load(rows.v_r, at);
+        let tx = LaneVec::splat(wl) * LaneVec::<N>::load(rows.t_l, at)
+            + LaneVec::splat(wm) * LaneVec::<N>::load(rows.t_m, at)
+            + LaneVec::splat(wr) * LaneVec::<N>::load(rows.t_r, at);
+        let ur =
+            (LaneVec::<N>::load(rows.u0, at + 1) - LaneVec::<N>::load(rows.u0, at - 1)) * LaneVec::splat(c.inv_2dr);
+        let vr =
+            (LaneVec::<N>::load(rows.v0, at + 1) - LaneVec::<N>::load(rows.v0, at - 1)) * LaneVec::splat(c.inv_2dr);
+        let tr =
+            (LaneVec::<N>::load(rows.t0, at + 1) - LaneVec::<N>::load(rows.t0, at - 1)) * LaneVec::splat(c.inv_2dr);
+        let v_over_r = v * LaneVec::<N>::load(inv_r, j);
+        let div = ux + vr + v_over_r;
+        let lam_div = LaneVec::splat(c.c_lam) * div;
+        txx = LaneVec::splat(c.two_mu) * ux + lam_div;
+        trr = LaneVec::splat(c.two_mu) * vr + lam_div;
+        ttt = LaneVec::splat(c.two_mu) * v_over_r + lam_div;
+        txr = LaneVec::splat(c.mu) * (ur + vx);
+        qx = LaneVec::splat(c.neg_kappa) * tx;
+        qr = LaneVec::splat(c.neg_kappa) * tr;
+    } else {
+        // Inviscid: the V6 body still evaluates the flux expressions with
+        // the default (zero) stresses, so V7 does the same for bit parity.
+        txx = LaneVec::splat(0.0);
+        trr = LaneVec::splat(0.0);
+        ttt = LaneVec::splat(0.0);
+        txr = LaneVec::splat(0.0);
+        qx = LaneVec::splat(0.0);
+        qr = LaneVec::splat(0.0);
+    }
+    let e = p * LaneVec::splat(c.inv_gm1) + (LaneVec::splat(0.5) * rho) * (u * u + v * v);
+    let (f0, f1, f2, f3);
+    if DIRX {
+        let m = rho * u;
+        f0 = m;
+        f1 = m * u + p - txx;
+        f2 = m * v - txr;
+        f3 = (e + p) * u - u * txx - v * txr + qx;
+    } else {
+        let n = rho * v;
+        f0 = n;
+        f1 = n * u - txr;
+        f2 = n * v + p - trr;
+        f3 = (e + p) * v - u * txr - v * trr + qr;
+    }
+    (r * f0).store(f_rows[0], at);
+    (r * f1).store(f_rows[1], at);
+    (r * f2).store(f_rows[2], at);
+    (r * f3).store(f_rows[3], at);
+    if !DIRX {
+        if let Some(sr) = src_row.as_deref_mut() {
+            (p - ttt).store(sr, at);
+        }
+    }
+}
+
+/// Evaluate one station's flux (and source, for radial sweeps) over the
+/// interior radial points `[jlo, jhi)` from the SoA primitive arena.
+#[allow(clippy::too_many_arguments)]
+fn flux_station_tile<const DIRX: bool, const VISC: bool>(
+    prims: &SoaPrims,
+    patch: &Patch,
+    edges: EdgeFlags,
+    c: &FluxConsts,
+    inv_2dx: f64,
+    flux: &mut FluxField,
+    src: Option<&mut Array2>,
+    e: usize,
+    jlo: usize,
+    jhi: usize,
+    r_of: &[f64],
+    inv_r: &[f64],
+) {
+    let nxl = patch.nxl;
+    let ii = e + NG;
+    // x-stencil stations and weights, exactly as in the V6 kernel.
+    let (cl, cm, cr, wl, wm, wr);
+    if e == 0 && edges.left {
+        (cl, cm, cr) = (ii, ii + 1, ii + 2);
+        (wl, wm, wr) = (-3.0 * inv_2dx, 4.0 * inv_2dx, -inv_2dx);
+    } else if e == nxl - 1 && edges.right {
+        (cl, cm, cr) = (ii - 2, ii - 1, ii);
+        (wl, wm, wr) = (inv_2dx, -4.0 * inv_2dx, 3.0 * inv_2dx);
+    } else {
+        (cl, cm, cr) = (ii - 1, ii, ii + 1);
+        (wl, wm, wr) = (-inv_2dx, 0.0, inv_2dx);
+    }
+    let rows = StencilRows {
+        rho0: prims.row(ii, P_RHO),
+        u0: prims.row(ii, P_U),
+        v0: prims.row(ii, P_V),
+        p0: prims.row(ii, P_P),
+        t0: prims.row(ii, P_T),
+        u_l: prims.row(cl, P_U),
+        u_m: prims.row(cm, P_U),
+        u_r: prims.row(cr, P_U),
+        v_l: prims.row(cl, P_V),
+        v_m: prims.row(cm, P_V),
+        v_r: prims.row(cr, P_V),
+        t_l: prims.row(cl, P_T),
+        t_m: prims.row(cm, P_T),
+        t_r: prims.row(cr, P_T),
+    };
+    let [fa, fb, fc, fd] = &mut flux.c;
+    let mut f_rows: [&mut [f64]; 4] = [fa.row_mut(ii), fb.row_mut(ii), fc.row_mut(ii), fd.row_mut(ii)];
+    let mut src_row = src.map(|s| s.row_mut(ii));
+
+    let mut j = jlo;
+    while j + LANES <= jhi {
+        flux_lane::<DIRX, VISC, LANES>(&rows, c, wl, wm, wr, r_of, inv_r, &mut f_rows, &mut src_row, j);
+        j += LANES;
+    }
+    if j < jhi {
+        if jhi - jlo >= LANES {
+            flux_lane::<DIRX, VISC, LANES>(&rows, c, wl, wm, wr, r_of, inv_r, &mut f_rows, &mut src_row, jhi - LANES);
+        } else {
+            while j < jhi {
+                flux_lane::<DIRX, VISC, 1>(&rows, c, wl, wm, wr, r_of, inv_r, &mut f_rows, &mut src_row, j);
+                j += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the V7 fused sweep
+// ---------------------------------------------------------------------------
+
+/// The V7 rung: the fused recover→ghost-fill→flux pipeline of
+/// [`crate::kernels::fused_sweep`], run over the lane-aligned SoA arena with
+/// cache-blocked radial tiles.
+///
+/// The call contract is identical to the V6 sweep (same `prim_range` /
+/// `flux_range` / `hi_pre` semantics, same ledger accounting); additionally:
+///
+/// * the conservative rows of `prim_range` are staged AoS→SoA on entry,
+/// * precomputed boundary stations (below `prim_range` and `hi_pre`) are
+///   imported from the AoS `prim` planes,
+/// * the swept stations named in `exports` are copied back to the AoS
+///   `prim` planes on exit — the caller lists exactly the stations a later
+///   AoS consumer (edge-column flux pass, characteristic outflow stencil)
+///   will read; stations outside `prim_range` are ignored (they are still
+///   AoS-resident),
+///
+/// so from the outside the sweep is a drop-in replacement: bitwise-equal
+/// primitives where exported, bitwise-equal fluxes everywhere. Tile
+/// boundary columns are recomputed rather than carried between tiles, which
+/// is why any `tile_r >= 1` yields bit-identical results.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_sweep(
+    dir: FluxDir,
+    field: &Field,
+    prim: &mut PrimField,
+    edges: EdgeFlags,
+    gas: &GasModel,
+    flux: &mut FluxField,
+    src: Option<&mut Array2>,
+    prim_range: std::ops::Range<usize>,
+    flux_range: std::ops::Range<usize>,
+    hi_pre: Option<usize>,
+    exports: &[usize],
+    ws: &mut SoaWs,
+    tile_r: usize,
+    ledger: &mut FlopLedger,
+) {
+    let viscous = !gas.is_inviscid();
+    match (dir, viscous) {
+        (FluxDir::X, true) => run::<true, true>(
+            field, prim, edges, gas, flux, src, prim_range, flux_range, hi_pre, exports, ws, tile_r, ledger,
+        ),
+        (FluxDir::X, false) => run::<true, false>(
+            field, prim, edges, gas, flux, src, prim_range, flux_range, hi_pre, exports, ws, tile_r, ledger,
+        ),
+        (FluxDir::R, true) => run::<false, true>(
+            field, prim, edges, gas, flux, src, prim_range, flux_range, hi_pre, exports, ws, tile_r, ledger,
+        ),
+        (FluxDir::R, false) => run::<false, false>(
+            field, prim, edges, gas, flux, src, prim_range, flux_range, hi_pre, exports, ws, tile_r, ledger,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run<const DIRX: bool, const VISC: bool>(
+    field: &Field,
+    prim: &mut PrimField,
+    edges: EdgeFlags,
+    gas: &GasModel,
+    flux: &mut FluxField,
+    mut src: Option<&mut Array2>,
+    prim_range: std::ops::Range<usize>,
+    flux_range: std::ops::Range<usize>,
+    hi_pre: Option<usize>,
+    exports: &[usize],
+    ws: &mut SoaWs,
+    tile_r: usize,
+    ledger: &mut FlopLedger,
+) {
+    let patch = &field.patch;
+    let (nxl, nr) = (patch.nxl, patch.nr());
+    debug_assert!(prim_range.end <= nxl && flux_range.end <= nxl);
+    ws.ensure(patch);
+    let tile_r = tile_r.max(1);
+
+    let gm1 = gas.gamma - 1.0;
+    let inv_rgas = 1.0 / gas.r_gas;
+    let inv_2dx = 1.0 / (2.0 * patch.grid.dx);
+    let consts = FluxConsts {
+        inv_2dr: 1.0 / (2.0 * patch.grid.dr),
+        inv_gm1: 1.0 / (gas.gamma - 1.0),
+        two_mu: 2.0 * gas.mu,
+        c_lam: -(2.0 / 3.0) * gas.mu,
+        mu: gas.mu,
+        neg_kappa: -gas.kappa,
+    };
+
+    // AoS→SoA boundary: import the precomputed boundary primitive stations.
+    // The conservative rows are NOT staged — lane loads read the AoS field's
+    // contiguous component rows in place (loads need no padding; only the
+    // primitive stores use the padded arena), so the sweep adds no extra
+    // round-trip of the field through memory.
+    for s in 0..prim_range.start {
+        ws.prims.import_station(prim, s + NG);
+    }
+    if let Some(h) = hi_pre {
+        if !prim_range.contains(&h) {
+            ws.prims.import_station(prim, h + NG);
+        }
+    }
+
+    let n_tiles = nr.div_ceil(tile_r);
+    for t in 0..n_tiles {
+        let jlo = t * tile_r;
+        let jhi = (jlo + tile_r).min(nr);
+        // Prims extend one point past the flux tile so the radial stencil at
+        // the tile's top edge is satisfied; the overlap column is recomputed
+        // bit-identically by the next tile.
+        let pjhi = (jhi + 1).min(nr);
+        let (first, last) = (jlo == 0, jhi == nr);
+
+        let mut next_flux = flux_range.start;
+        for i in prim_range.clone() {
+            let qrows =
+                [field.q[0].row(i + NG), field.q[1].row(i + NG), field.q[2].row(i + NG), field.q[3].row(i + NG)];
+            prims_station_tile(qrows, &mut ws.prims, i + NG, jlo, pjhi, gm1, inv_rgas, &ws.inv_r);
+            if first {
+                mirror_axis_station(&mut ws.prims, i + NG);
+            }
+            if last {
+                extrap_top_station(&mut ws.prims, i + NG, nr);
+            }
+            while next_flux < flux_range.end {
+                let need = flux_needs(next_flux, nxl, edges, VISC);
+                if need > i && hi_pre != Some(need) {
+                    break;
+                }
+                flux_station_tile::<DIRX, VISC>(
+                    &ws.prims,
+                    patch,
+                    edges,
+                    &consts,
+                    inv_2dx,
+                    flux,
+                    src.as_deref_mut(),
+                    next_flux,
+                    jlo,
+                    jhi,
+                    &ws.r_of,
+                    &ws.inv_r,
+                );
+                next_flux += 1;
+            }
+        }
+        while next_flux < flux_range.end {
+            flux_station_tile::<DIRX, VISC>(
+                &ws.prims,
+                patch,
+                edges,
+                &consts,
+                inv_2dx,
+                flux,
+                src.as_deref_mut(),
+                next_flux,
+                jlo,
+                jhi,
+                &ws.r_of,
+                &ws.inv_r,
+            );
+            next_flux += 1;
+        }
+    }
+
+    // SoA→AoS boundary: export the swept stations whose primitives a later
+    // AoS consumer will read (edge-column flux pass after `finish_prims`,
+    // the characteristic-outflow stencil). Stations outside `prim_range`
+    // were never moved out of the AoS planes.
+    for &s in exports {
+        if prim_range.contains(&s) {
+            ws.prims.export_station(prim, s + NG);
+        }
+    }
+
+    // Ledger accounting identical to the V5/V6 paths (tile-overlap columns
+    // are recomputation, not model work).
+    ledger.prims += (prim_range.len() * nr) as u64 * opcount::COST_PRIMS;
+    ledger.flux +=
+        (flux_range.len() * nr) as u64 * if VISC { opcount::COST_FLUX_VISCOUS } else { opcount::COST_FLUX_INVISCID };
+    if !DIRX {
+        ledger.source += (flux_range.len() * nr) as u64 * opcount::COST_SOURCE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Regime, SolverConfig, Version, DEFAULT_TILE_R};
+    use crate::driver::Solver;
+    use crate::kernels;
+    use ns_numerics::gas::Primitive;
+    use ns_numerics::Grid;
+
+    fn setup(regime: Regime) -> (Field, GasModel, Patch) {
+        let cfg = SolverConfig::paper(Grid::small(), regime);
+        let gas = cfg.effective_gas();
+        let patch = Patch::whole(cfg.grid.clone());
+        let field = Field::from_primitives(patch.clone(), &gas, |x, r| Primitive {
+            rho: 1.0 + 0.1 * (0.3 * x).sin() * (0.9 * r).cos(),
+            u: 0.8 + 0.05 * (0.2 * x + r).cos(),
+            v: 0.02 * (0.5 * x).sin() * r.min(1.5),
+            p: 0.714 + 0.03 * (0.4 * x - 0.7 * r).sin(),
+        });
+        (field, gas, patch)
+    }
+
+    #[test]
+    fn lanevec_ops_are_elementwise_ieee() {
+        let a = LaneVec::<4>([1.0, -2.5, 0.0, f64::INFINITY]);
+        let b = LaneVec::<4>([2.0, 0.5, -0.0, 1.0]);
+        assert_eq!((a + b).0, [3.0, -2.0, 0.0, f64::INFINITY]);
+        assert_eq!((a - b).0, [-1.0, -3.0, 0.0, f64::INFINITY]);
+        assert_eq!((a * b).0, [2.0, -1.25, -0.0, f64::INFINITY]);
+        assert_eq!((a / b).0[0], 0.5);
+        assert_eq!((-b).0, [-2.0, -0.5, 0.0, -1.0]);
+        assert_eq!(b.recip().0[1], 2.0);
+        let mut out = [0.0; 6];
+        LaneVec::<4>::load(&[9.0, 1.0, 2.0, 3.0, 4.0, 9.0], 1).store(&mut out, 1);
+        assert_eq!(out, [0.0, 1.0, 2.0, 3.0, 4.0, 0.0]);
+        assert_eq!(LaneVec::<3>::splat(7.0).0, [7.0; 3]);
+    }
+
+    #[test]
+    fn aos_soa_roundtrip_is_bitwise_including_ghosts_and_nan_payloads() {
+        let (mut field, _, patch) = setup(Regime::NavierStokes);
+        // Poison assorted cells -- ghosts included -- with signed zeros,
+        // subnormals and NaNs carrying distinctive payload bits.
+        let (ni, nj) = (patch.nxl + 2 * NG, patch.nr() + 2 * NG);
+        let specials = [f64::from_bits(0x7ff8_dead_beef_cafe), -0.0, f64::MIN_POSITIVE / 8.0, f64::NEG_INFINITY];
+        for (k, &s) in specials.iter().enumerate() {
+            field.q[k].set(k, k, s);
+            field.q[k].set(ni - 1 - k, nj - 1 - k, s);
+        }
+        let soa = SoaField::from_field(&field);
+        let mut back = Field::zeros(patch.clone());
+        soa.to_field(&mut back);
+        for c in 0..4 {
+            for ii in 0..ni {
+                for jj in 0..nj {
+                    assert_eq!(
+                        field.q[c].at(ii, jj).to_bits(),
+                        back.q[c].at(ii, jj).to_bits(),
+                        "component {c} at raw ({ii},{jj})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The SoA tiled sweep must be bitwise the V6 fused sweep for every
+    /// direction, regime, sweep shape and tile size (tile boundaries are
+    /// recomputation, not approximation).
+    #[test]
+    fn soa_sweep_is_bitwise_v6_for_any_tile_size() {
+        for regime in [Regime::NavierStokes, Regime::Euler] {
+            let (field, gas, patch) = setup(regime);
+            let edges = EdgeFlags::of(&patch);
+            let (nxl, nr) = (patch.nxl, patch.nr());
+            for dir in [FluxDir::X, FluxDir::R] {
+                let mut ref_ledger = FlopLedger::default();
+                let mut ref_prim = PrimField::zeros(&patch);
+                let mut ref_flux = FluxField::zeros(&patch);
+                let mut ref_src = Array2::zeros(nxl + 2 * NG, nr + 2 * NG);
+                kernels::fused_sweep(
+                    dir,
+                    &field,
+                    &mut ref_prim,
+                    edges,
+                    &gas,
+                    &mut ref_flux,
+                    Some(&mut ref_src),
+                    0..nxl,
+                    0..nxl,
+                    None,
+                    &mut ref_ledger,
+                );
+                for tile_r in [1, 3, LANES, DEFAULT_TILE_R, 10_000] {
+                    let mut ledger = FlopLedger::default();
+                    let mut prim = PrimField::zeros(&patch);
+                    let mut flux = FluxField::zeros(&patch);
+                    let mut src = Array2::zeros(nxl + 2 * NG, nr + 2 * NG);
+                    let mut ws = SoaWs::new(&patch);
+                    fused_sweep(
+                        dir,
+                        &field,
+                        &mut prim,
+                        edges,
+                        &gas,
+                        &mut flux,
+                        Some(&mut src),
+                        0..nxl,
+                        0..nxl,
+                        None,
+                        &[],
+                        &mut ws,
+                        tile_r,
+                        &mut ledger,
+                    );
+                    for c in 0..4 {
+                        for i in 0..nxl {
+                            for j in 0..nr {
+                                assert_eq!(
+                                    flux.at(c, i as isize, j as isize).to_bits(),
+                                    ref_flux.at(c, i as isize, j as isize).to_bits(),
+                                    "{regime:?} {dir:?} tile {tile_r} comp {c} at ({i},{j})"
+                                );
+                            }
+                        }
+                    }
+                    if dir == FluxDir::R {
+                        for i in 0..nxl {
+                            for j in 0..nr {
+                                assert_eq!(
+                                    src.at(i + NG, j + NG).to_bits(),
+                                    ref_src.at(i + NG, j + NG).to_bits(),
+                                    "{regime:?} tile {tile_r} source at ({i},{j})"
+                                );
+                            }
+                        }
+                    }
+                    assert_eq!(ledger, ref_ledger, "{regime:?} {dir:?} tile {tile_r} ledger");
+                }
+            }
+        }
+    }
+
+    /// The x-operator's split shape on an internal patch: precomputed
+    /// boundary stations are imported, and the stations the post-halo
+    /// edge-column pass will stencil are exported back bitwise.
+    #[test]
+    fn split_shape_imports_and_exports_boundary_stations_bitwise() {
+        let grid = Grid::small();
+        let regime = Regime::NavierStokes;
+        let cfg = SolverConfig::paper(grid.clone(), regime);
+        let gas = cfg.effective_gas();
+        let patch = Patch::block(grid, 1, 3); // internal: no global edges
+        let field = Field::from_primitives(patch.clone(), &gas, |x, r| Primitive {
+            rho: 1.0 + 0.07 * (0.31 * x).cos() * (0.8 * r).sin(),
+            u: 0.9 + 0.04 * (0.22 * x - r).sin(),
+            v: 0.015 * (0.45 * x).cos() * r.min(1.4),
+            p: 0.7 + 0.02 * (0.38 * x + 0.6 * r).cos(),
+        });
+        let edges = EdgeFlags::of(&patch);
+        assert!(!edges.left && !edges.right);
+        let (nxl, nr) = (patch.nxl, patch.nr());
+        let (flo, fhi) = (1, nxl - 1);
+
+        let run = |tile: Option<usize>| {
+            let mut ledger = FlopLedger::default();
+            let mut prim = PrimField::zeros(&patch);
+            let mut flux = FluxField::zeros(&patch);
+            kernels::fused_boundary_prims(&field, &mut prim, &gas, &[0, nxl - 1], &mut ledger);
+            match tile {
+                None => kernels::fused_sweep(
+                    FluxDir::X,
+                    &field,
+                    &mut prim,
+                    edges,
+                    &gas,
+                    &mut flux,
+                    None,
+                    1..nxl - 1,
+                    flo..fhi,
+                    Some(nxl - 1),
+                    &mut ledger,
+                ),
+                Some(t) => {
+                    let mut ws = SoaWs::new(&patch);
+                    fused_sweep(
+                        FluxDir::X,
+                        &field,
+                        &mut prim,
+                        edges,
+                        &gas,
+                        &mut flux,
+                        None,
+                        1..nxl - 1,
+                        flo..fhi,
+                        Some(nxl - 1),
+                        &[flo, fhi - 1],
+                        &mut ws,
+                        t,
+                        &mut ledger,
+                    )
+                }
+            }
+            (prim, flux, ledger)
+        };
+
+        let (p6, f6, l6) = run(None);
+        for tile in [1, 7, DEFAULT_TILE_R] {
+            let (p7, f7, l7) = run(Some(tile));
+            assert_eq!(l6, l7, "tile {tile} ledger");
+            for c in 0..4 {
+                for i in flo..fhi {
+                    for j in 0..nr {
+                        assert_eq!(
+                            f6.at(c, i as isize, j as isize).to_bits(),
+                            f7.at(c, i as isize, j as isize).to_bits(),
+                            "tile {tile} comp {c} at ({i},{j})"
+                        );
+                    }
+                }
+            }
+            // The stations the AoS edge-column pass stencils (flo and fhi-1)
+            // must have been exported bitwise, radial ghosts included.
+            for s in [flo, fhi - 1] {
+                let ii = s + NG;
+                for jj in 0..nr + 2 * NG {
+                    for (a, b) in [(&p6.rho, &p7.rho), (&p6.u, &p7.u), (&p6.v, &p7.v), (&p6.p, &p7.p), (&p6.t, &p7.t)] {
+                        assert_eq!(a.at(ii, jj).to_bits(), b.at(ii, jj).to_bits(), "tile {tile} station {s} jj {jj}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-to-end: a serial V7 solver is bitwise a serial V6 solver, for both
+    /// regimes and a non-default tile size.
+    #[test]
+    fn v7_solver_is_bitwise_v6() {
+        for regime in [Regime::NavierStokes, Regime::Euler] {
+            for tile_r in [5, DEFAULT_TILE_R] {
+                let mut c6 = SolverConfig::paper(Grid::small(), regime);
+                c6.version = Version::V6;
+                let mut c7 = c6.clone();
+                c7.version = Version::V7;
+                c7.tile_r = tile_r;
+                let mut s6 = Solver::new(c6);
+                let mut s7 = Solver::new(c7);
+                s6.run(4);
+                s7.run(4);
+                for c in 0..4 {
+                    for i in 0..s6.field.nxl() {
+                        for j in 0..s6.field.nr() {
+                            assert_eq!(
+                                s6.field.q[c].at(i + NG, j + NG).to_bits(),
+                                s7.field.q[c].at(i + NG, j + NG).to_bits(),
+                                "{regime:?} tile {tile_r} comp {c} at ({i},{j})"
+                            );
+                        }
+                    }
+                }
+                assert_eq!(s6.ledger, s7.ledger, "{regime:?} tile {tile_r} FLOP ledger");
+            }
+        }
+    }
+}

@@ -189,7 +189,7 @@ pub fn step_workload_versioned(
     version: crate::config::Version,
 ) -> StepWorkload {
     let mut w = step_workload(regime, grid, nxl);
-    if version == crate::config::Version::V6 {
+    if version >= crate::config::Version::V6 {
         w.relabel_fused();
     }
     w

@@ -79,7 +79,7 @@ proptest! {
         let mut reference = FluxField::zeros(&patch);
         let mut ledger = FlopLedger::default();
         kernels::compute_flux(Version::V5, FluxDir::X, &prim, &patch, edges, &gas, &mut reference, None, &mut ledger);
-        for v in [Version::V1, Version::V3, Version::V6] {
+        for v in [Version::V1, Version::V3, Version::V6, Version::V7] {
             let mut flux = FluxField::zeros(&patch);
             kernels::compute_flux(v, FluxDir::X, &prim, &patch, edges, &gas, &mut flux, None, &mut ledger);
             for c in 0..4 {
@@ -320,6 +320,112 @@ proptest! {
             for j in 0..patch.nr() {
                 let p = prim.p.at(i + NG, j + NG);
                 prop_assert!((src.at(i + NG, j + NG) - p).abs() < 1e-13);
+            }
+        }
+    }
+
+    /// AoS -> SoA -> AoS is a bitwise round trip for arbitrary bit
+    /// patterns — ghost cells and non-canonical NaN payloads included.
+    /// The V7 staging boundary must never canonicalize, flush, or
+    /// renormalize anything it copies.
+    #[test]
+    fn aos_soa_roundtrip_is_bitwise(words in prop::collection::vec(prop::num::f64::ANY, 64)) {
+        use ns_core::soa::SoaField;
+        let patch = small_patch();
+        let mut field = Field::zeros(patch.clone());
+        let (ni, nj) = (field.nxl() + 2 * NG, field.nr() + 2 * NG);
+        let mut k = 0usize;
+        for c in 0..4 {
+            for ii in 0..ni {
+                for jj in 0..nj {
+                    let bits = words[k % words.len()].to_bits().rotate_left((k % 63) as u32);
+                    field.q[c].row_mut(ii)[jj] = f64::from_bits(bits);
+                    k += 1;
+                }
+            }
+        }
+        let soa = SoaField::from_field(&field);
+        let mut back = Field::zeros(patch.clone());
+        soa.to_field(&mut back);
+        for c in 0..4 {
+            for ii in 0..ni {
+                for jj in 0..nj {
+                    prop_assert_eq!(
+                        back.q[c].row(ii)[jj].to_bits(),
+                        field.q[c].row(ii)[jj].to_bits(),
+                        "c={} ii={} jj={}", c, ii, jj
+                    );
+                }
+            }
+        }
+    }
+
+    /// Any valid radial tile size yields a bitwise-identical V7 sweep
+    /// (fluxes, source plane, and FLOP ledger): the cache-blocking knob is
+    /// pure scheduling, never arithmetic.
+    #[test]
+    fn v7_tile_size_is_bitwise_invariant(
+        s0 in 0.1f64..2.0, s1 in 0.1f64..2.0, s2 in 0.1f64..2.0, s3 in 0.1f64..2.0,
+        tile in 1usize..24, viscous in prop::bool::ANY, xdir in prop::bool::ANY,
+    ) {
+        use ns_core::soa::SoaWs;
+        let cfg = SolverConfig::paper(
+            Grid::new(16, 10, 8.0, 2.0),
+            if viscous { Regime::NavierStokes } else { Regime::Euler },
+        );
+        let gas = cfg.effective_gas();
+        let patch = small_patch();
+        let field = random_field(&patch, &gas, [s0, s1, s2, s3]);
+        let edges = EdgeFlags::of(&patch);
+        let dir = if xdir { FluxDir::X } else { FluxDir::R };
+        let sweep = |tile_r: usize| {
+            let mut prim = PrimField::zeros(&patch);
+            let mut flux = FluxField::zeros(&patch);
+            let mut src = Array2::zeros(patch.nxl + 2 * NG, patch.nr() + 2 * NG);
+            let mut ws = SoaWs::new(&patch);
+            let mut ledger = FlopLedger::default();
+            ns_core::soa::fused_sweep(
+                dir,
+                &field,
+                &mut prim,
+                edges,
+                &gas,
+                &mut flux,
+                if xdir { None } else { Some(&mut src) },
+                0..patch.nxl,
+                0..patch.nxl,
+                None,
+                &[],
+                &mut ws,
+                tile_r,
+                &mut ledger,
+            );
+            (flux, src, ledger)
+        };
+        let (f_ref, src_ref, l_ref) = sweep(ns_core::config::DEFAULT_TILE_R);
+        let (f, src, l) = sweep(tile);
+        prop_assert_eq!(l, l_ref, "ledger must not depend on tile size");
+        let (lo, hi) = (-(NG as isize), (patch.nr() + NG) as isize);
+        for c in 0..4 {
+            for i in 0..patch.nxl as isize {
+                for j in lo..hi {
+                    prop_assert_eq!(
+                        f.at(c, i, j).to_bits(),
+                        f_ref.at(c, i, j).to_bits(),
+                        "flux c={} ({},{}) tile={}", c, i, j, tile
+                    );
+                }
+            }
+        }
+        if !xdir {
+            for ii in 0..patch.nxl + 2 * NG {
+                for jj in 0..patch.nr() + 2 * NG {
+                    prop_assert_eq!(
+                        src.at(ii, jj).to_bits(),
+                        src_ref.at(ii, jj).to_bits(),
+                        "src ({},{}) tile={}", ii, jj, tile
+                    );
+                }
             }
         }
     }

@@ -1,4 +1,4 @@
-//! Figure 2 analogue from *measured* data: render the V1→V6 kernel ladder
+//! Figure 2 analogue from *measured* data: render the V1→V7 kernel ladder
 //! recorded in `BENCH_kernels.json` (written by the ns-bench binaries) as an
 //! ASCII MFLOPS bar chart, plus a table of the runtime-primitive medians.
 //!
@@ -65,14 +65,16 @@ pub fn render(data: &BenchData) -> String {
         out.push_str(&format!("Figure 2 (measured host): prims+flux sweep, grid {grid}\n"));
         let vmax = pts.iter().filter_map(|p| p.mflops).fold(0.0f64, f64::max).max(1e-9);
         let v5 = pts.iter().find(|p| p.id == "V5").and_then(|p| p.mflops);
+        let v6 = pts.iter().find(|p| p.id == "V6").and_then(|p| p.mflops);
         for p in &pts {
             let m = p.mflops.unwrap_or(0.0);
             let bar = "#".repeat(((m / vmax) * 40.0).round() as usize);
-            let vs5 = match (p.id.as_str(), v5) {
-                ("V6", Some(base)) if base > 0.0 => format!("  ({:.2}x over V5)", m / base),
+            let vs_prev = match (p.id.as_str(), v5, v6) {
+                ("V6", Some(base), _) if base > 0.0 => format!("  ({:.2}x over V5)", m / base),
+                ("V7", _, Some(base)) if base > 0.0 => format!("  ({:.2}x over V6)", m / base),
                 _ => String::new(),
             };
-            out.push_str(&format!("  {:<4} {:>9.1} MFLOPS |{bar}{vs5}\n", p.id, m));
+            out.push_str(&format!("  {:<4} {:>9.1} MFLOPS |{bar}{vs_prev}\n", p.id, m));
         }
         out.push('\n');
     }
@@ -216,23 +218,25 @@ mod tests {
     {"group": "prims_flux_sweep/125x50", "id": "V1", "median_ns": 120000.0, "iters": 8, "samples": 15, "flops": 425000.0, "mflops": 3540.0},
     {"group": "prims_flux_sweep/125x50", "id": "V5", "median_ns": 70000.0, "iters": 8, "samples": 15, "flops": 425000.0, "mflops": 6071.0},
     {"group": "prims_flux_sweep/125x50", "id": "V6", "median_ns": 65000.0, "iters": 8, "samples": 15, "flops": 425000.0, "mflops": 6538.0},
+    {"group": "prims_flux_sweep/125x50", "id": "V7", "median_ns": 52000.0, "iters": 8, "samples": 15, "flops": 425000.0, "mflops": 8173.0},
     {"group": "pack_f64", "id": "800", "median_ns": 350.5, "iters": 64, "samples": 15, "flops": null, "mflops": null}
   ]
 }"#
     }
 
     #[test]
-    fn parses_and_renders_ladder_with_v6_speedup() {
+    fn parses_and_renders_ladder_with_rung_speedups() {
         let data = parse(sample()).unwrap();
-        assert_eq!(data.records.len(), 4);
+        assert_eq!(data.records.len(), 5);
         let text = render(&data);
         assert!(text.contains("grid 125x50"), "{text}");
         assert!(text.contains("V6"), "{text}");
-        // V6 speedup over V5 is annotated
+        // each new rung is annotated against its predecessor
         assert!(text.contains("x over V5"), "{text}");
+        assert!(text.contains("x over V6"), "{text}");
         // the longest bar belongs to the fastest version
-        let v6_line = text.lines().find(|l| l.trim_start().starts_with("V6")).unwrap();
-        assert!(v6_line.matches('#').count() == 40, "{v6_line}");
+        let v7_line = text.lines().find(|l| l.trim_start().starts_with("V7")).unwrap();
+        assert!(v7_line.matches('#').count() == 40, "{v7_line}");
         // runtime primitives table included
         assert!(text.contains("pack_f64/800"), "{text}");
     }

@@ -11,7 +11,7 @@
 //! jetns speedup    [--steps N]                                         host wall-clock scaling
 //! jetns checkpoint --out FILE [--steps N]                              run and write a restart file
 //! jetns resume     --from FILE [--steps N]                             continue from a restart file
-//! jetns bench-report [--file PATH]                                     render the measured V1→V6
+//! jetns bench-report [--file PATH]                                     render the measured V1→V7
 //!                                                                      MFLOPS ladder (Figure 2
 //!                                                                      analogue) from BENCH_kernels.json
 //! jetns bench-compare --candidate FILE [--baseline FILE]               bench regression gate:

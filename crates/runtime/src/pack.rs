@@ -258,14 +258,33 @@ pub fn peek_span(payload: &[u8]) -> Option<u64> {
 /// [`acquire_f64`](BufPool::acquire_f64) hands out a cleared [`PackBuf`],
 /// reusing pooled storage when any is available;
 /// [`recycle`](BufPool::recycle) returns a consumed payload's storage to the
-/// pool when the caller holds the last reference. Once buffer capacities
-/// have warmed up (one step), acquire/recycle cycles neither allocate nor
-/// copy.
-#[derive(Debug, Default)]
+/// pool when the caller holds the last reference. A pool
+/// [warmed](BufPool::warm) to its caller's working set never allocates at
+/// all; a cold pool allocates only during its first cycle.
+///
+/// Every acquire also bumps the process-wide `ns_pool_acquired_total` /
+/// `ns_pool_reused_total` registry counters, so the pool hit rate is
+/// visible in the live metrics window alongside the comm counters.
+#[derive(Debug)]
 pub struct BufPool {
     free: Vec<BytesMut>,
     acquired: u64,
     reused: u64,
+    m_acquired: std::sync::Arc<ns_metrics::Counter>,
+    m_reused: std::sync::Arc<ns_metrics::Counter>,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        let r = ns_metrics::Registry::global();
+        Self {
+            free: Vec::new(),
+            acquired: 0,
+            reused: 0,
+            m_acquired: r.counter("ns_pool_acquired_total"),
+            m_reused: r.counter("ns_pool_reused_total"),
+        }
+    }
 }
 
 impl BufPool {
@@ -274,14 +293,27 @@ impl BufPool {
         Self::default()
     }
 
+    /// Pre-fill the pool with `slots` buffers of `f64_capacity` doubles
+    /// each. A caller that knows its per-cycle working set up front (e.g.
+    /// a rank's halo sends per step) warms the pool once at setup, after
+    /// which every acquire — including the very first — is a pool hit.
+    pub fn warm(&mut self, slots: usize, f64_capacity: usize) {
+        self.free.reserve(slots);
+        for _ in 0..slots {
+            self.free.push(BytesMut::with_capacity(f64_capacity * 8));
+        }
+    }
+
     /// Take a cleared buffer with room for `n` doubles, reusing pooled
     /// storage when available (the `reserve` is a no-op once the recycled
     /// buffer's capacity has grown to the message size).
     pub fn acquire_f64(&mut self, n: usize) -> PackBuf {
         self.acquired += 1;
+        self.m_acquired.inc();
         match self.free.pop() {
             Some(mut buf) => {
                 self.reused += 1;
+                self.m_reused.inc();
                 buf.clear();
                 buf.reserve(n * 8);
                 PackBuf { buf }
@@ -469,6 +501,27 @@ mod tests {
             // every round after the first runs on recycled storage
             assert_eq!(reused, round);
         }
+    }
+
+    #[test]
+    fn warmed_pool_hits_from_the_first_acquire() {
+        let before = ns_metrics::Registry::global().snapshot();
+        let mut pool = BufPool::new();
+        pool.warm(2, 50);
+        for round in 1..=4u64 {
+            let mut p = pool.acquire_f64(50);
+            p.pack_f64_slice(&[1.5; 50]);
+            let mut u = UnpackBuf::new(p.freeze());
+            let mut out = [0.0; 50];
+            u.unpack_f64_slice(&mut out).unwrap();
+            pool.recycle(u.finish().unwrap());
+            assert_eq!(pool.stats(), (round, round), "warmed pool must never allocate");
+        }
+        // the hit-rate counters land in the global registry (other tests
+        // may bump them concurrently, so only lower-bound the delta)
+        let delta = ns_metrics::Registry::global().snapshot().diff(&before);
+        assert!(delta.counter("ns_pool_acquired_total") >= 4);
+        assert!(delta.counter("ns_pool_reused_total") >= 4);
     }
 
     #[test]

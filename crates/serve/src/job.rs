@@ -257,7 +257,7 @@ pub struct JobDesc {
     pub nr: usize,
     /// Steps to run.
     pub steps: u64,
-    /// Kernel version `"V1"`..`"V6"` (default `"V5"`).
+    /// Kernel version `"V1"`..`"V7"` (default `"V5"`).
     pub version: String,
     /// Processor count (default 1).
     pub procs: usize,
@@ -316,7 +316,7 @@ impl JobDesc {
             .iter()
             .copied()
             .find(|v| format!("{v:?}") == self.version)
-            .ok_or_else(|| format!("unknown kernel version {:?} (expected V1..V6)", self.version))?;
+            .ok_or_else(|| format!("unknown kernel version {:?} (expected V1..V7)", self.version))?;
         let comm = match self.comm.as_str() {
             "V5" => CommVersion::V5,
             "V6" => CommVersion::V6,

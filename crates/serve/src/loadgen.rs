@@ -211,7 +211,7 @@ pub fn sweep_jobs(quick: bool) -> Vec<JobSpec> {
         }
     }
     // backend cells: serial reference, shared-memory, chaos (fault-free
-    // plan, recovery machinery armed), fused-V6 kernel
+    // plan, recovery machinery armed), fused-V6 and SoA-V7 kernels
     let mut serial = JobSpec::new(base.clone(), steps, 1);
     serial.backend = Backend::Serial;
     serial.label = "backend/serial".into();
@@ -228,6 +228,10 @@ pub fn sweep_jobs(quick: bool) -> Vec<JobSpec> {
     fused.cfg.version = Version::V6;
     fused.label = "kernel/V6-p2".into();
     push2(fused);
+    let mut soa = JobSpec::new(base.clone(), steps, 2);
+    soa.cfg.version = Version::V7;
+    soa.label = "kernel/V7-p2".into();
+    push2(soa);
     if !quick {
         let ns = SolverConfig::paper(grid, Regime::NavierStokes);
         let mut ns_serial = JobSpec::new(ns.clone(), steps, 1);

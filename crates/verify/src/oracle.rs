@@ -4,7 +4,7 @@
 //! runs end on a completed `L1`/`L2` alternation) is executed across the
 //! whole equivalence matrix:
 //!
-//! * every kernel `Version` rung V1-V6, serially;
+//! * every kernel `Version` rung V1-V7, serially;
 //! * `run_parallel` over processor counts P (each rank running the same
 //!   versioned kernels);
 //! * `run_parallel_chaos` with a fault-free plan (the recovery machinery
@@ -12,7 +12,8 @@
 //! * the comm-protocol versions V5/V6/V7 (physics-neutral by design).
 //!
 //! Each cell asserts the *strongest* property the design guarantees:
-//! bitwise identity for V5<->V6 (plus identical FLOP ledgers), for Euler
+//! bitwise identity for V5<->V6<->V7 (plus identical FLOP ledgers — the
+//! fused and SoA rungs re-order memory, never arithmetic), for Euler
 //! serial<->parallel, for chaos<->parallel and for comm protocols;
 //! truncation-level agreement (documented tolerance) for V1-V4 (different
 //! operation orderings round differently) and for Navier-Stokes
@@ -81,8 +82,8 @@ pub struct OracleConfig {
 
 impl OracleConfig {
     /// The standard matrix. `quick` trims to the corners that catch nearly
-    /// everything (V5/V6, P in {1,4}, comm V6) for the CI gate; the full
-    /// matrix is the issue's exhaustive V1-V6 x {1,2,4,8,16} x all drivers.
+    /// everything (V5/V6/V7, P in {1,4}, comm V6) for the CI gate; the full
+    /// matrix is the issue's exhaustive V1-V7 x {1,2,4,8,16} x all drivers.
     pub fn standard(quick: bool) -> Self {
         let grid = Grid::new(66, 24, 50.0, 5.0);
         let regimes = vec![Regime::Euler, Regime::NavierStokes];
@@ -90,7 +91,7 @@ impl OracleConfig {
             Self {
                 grid,
                 steps: 6,
-                versions: vec![Version::V5, Version::V6],
+                versions: vec![Version::V5, Version::V6, Version::V7],
                 procs: vec![1, 4],
                 regimes,
                 comm_versions: vec![CommVersion::V6],
@@ -238,10 +239,11 @@ pub fn run_matrix(oc: &OracleConfig) -> OracleReport {
                 continue;
             }
             let key = format!("{rk}/{v:?}/serial");
-            let expect = if *v == Version::V6 { Expect::Bitwise } else { Expect::Rel(TOL_VERSION) };
+            let bitwise_rung = matches!(*v, Version::V6 | Version::V7);
+            let expect = if bitwise_rung { Expect::Bitwise } else { Expect::Rel(TOL_VERSION) };
             let mut cell = compare(&key, &v5_key, field, &v5_field, expect);
-            if *v == Version::V6 && *ledger != v5_ledger {
-                // the fused path must also account identical FLOPs
+            if bitwise_rung && *ledger != v5_ledger {
+                // the fused/SoA paths must also account identical FLOPs
                 cell.pass = false;
                 cell.expected = "bitwise+ledger".to_string();
             }

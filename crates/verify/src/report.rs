@@ -12,7 +12,7 @@ use crate::snapshot::GoldenDiff;
 #[derive(Clone, Copy, Debug)]
 pub struct VerifyConfig {
     /// Quick mode: the CI-gate subset (one MMS ladder, two conservation
-    /// cases, the V5/V6 x {1,4} oracle corner). Full mode is the issue's
+    /// cases, the V5/V6/V7 x {1,4} oracle corner). Full mode is the issue's
     /// exhaustive matrix.
     pub quick: bool,
 }
