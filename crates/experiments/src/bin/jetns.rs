@@ -27,8 +27,13 @@
 //! jetns serve      --jobs FILE [--workers N] [--depth N]               run a JSON job list through
 //!                  [--golden FILE] [--out FILE]                        the sharded batch service
 //! jetns loadgen    [--quick] [--workers N] [--depth N] [--out FILE]   replay the sweep through the
-//!                                                                      service; report p50/p99,
+//!                  [--socket-mode]                                     service; report p50/p99,
 //!                                                                      throughput, cache hit rate
+//! jetns served     --state DIR [--socket PATH] [--workers N]           crash-durable daemon: WAL-
+//!                  [--depth N] [--no-sync] [--golden FILE]             journaled jobs, spill-backed
+//!                                                                      cache, SIGTERM graceful drain
+//! jetns submit     --socket PATH (--jobs FILE [--wait] [--out FILE]    submit a JSON job list to a
+//!                  | --status | --drain)                               running daemon over its socket
 //! jetns metrics    [--ranks P] [--steps N] [--nx N] [--nr N]           short instrumented run, then
 //!                  [--prom FILE] [--json FILE]                         the live registry window in
 //!                                                                      Prometheus text / JSON
@@ -484,6 +489,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
         workers: args.num("workers", 2usize).max(1),
         queue_depth: args.num("depth", 32usize).max(1),
         golden: serve_golden(args),
+        ..Default::default()
     };
     println!("serving {} jobs on {} workers (queue depth {})…", descs.len(), cfg.workers, cfg.queue_depth);
     let (server, rx) = Server::new(cfg);
@@ -502,7 +508,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
                     expected += 1;
                     break;
                 }
-                Err(SubmitError::Busy { retry_after }) => {
+                Err(SubmitError::Busy { retry_after, .. }) => {
                     // a CLI batch has nowhere to go: honour our own hint
                     std::thread::sleep(retry_after);
                 }
@@ -585,13 +591,25 @@ fn cmd_loadgen(args: &Args) -> ExitCode {
         workers: args.num("workers", 2usize).max(1),
         queue_depth: args.num("depth", 64usize).max(16),
     };
+    let socket_mode = args.has("socket-mode");
     println!(
-        "loadgen: {} sweep on {} workers (queue depth {})…",
+        "loadgen: {} sweep on {} workers (queue depth {}, {})…",
         if opts.quick { "quick" } else { "full" },
         opts.workers,
-        opts.queue_depth
+        opts.queue_depth,
+        if socket_mode { "socket mode" } else { "in-process" },
     );
-    let report = ns_serve::run_loadgen(&opts);
+    let report = if socket_mode {
+        match ns_serve::run_loadgen_socket(&opts, &std::env::temp_dir()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("jetns loadgen: socket mode failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        ns_serve::run_loadgen(&opts)
+    };
     print!("{}", ns_experiments::serve_report::render(&report));
     let path = args.get("out").unwrap_or("SERVE_loadgen.json");
     if let Err(e) = write_file(path, report.to_json()) {
@@ -600,6 +618,205 @@ fn cmd_loadgen(args: &Args) -> ExitCode {
     }
     println!("wrote {path}");
     if report.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_served(args: &Args) -> ExitCode {
+    use ns_serve::daemon::term;
+    use ns_serve::{Daemon, DaemonConfig};
+    let Some(state_dir) = args.get("state") else {
+        eprintln!("jetns served requires --state DIR (journal, spill and socket live there)");
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = DaemonConfig::new(state_dir);
+    cfg.workers = args.num("workers", 2usize).max(1);
+    cfg.queue_depth = args.num("depth", 32usize).max(1);
+    cfg.sync = !args.has("no-sync");
+    cfg.golden = serve_golden(args);
+    if let Some(socket) = args.get("socket") {
+        cfg.socket = Some(socket.into());
+    }
+    term::install_term_handler();
+    let daemon = match Daemon::start(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("jetns served: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let replay = daemon.replay();
+    println!(
+        "served: listening on {} ({} journal records replayed, {} jobs re-enqueued)",
+        daemon.socket_path().display(),
+        replay.records,
+        replay.pending.len(),
+    );
+    // run until SIGTERM/SIGINT or a client Drain request, then drain
+    while !term::term_requested() && !daemon.drain_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("served: drain requested, finishing {} in-flight job(s)…", daemon.inflight());
+    match daemon.drain() {
+        Ok(report) => {
+            println!(
+                "served: drained clean — {} completed ({} cache hits), {} failed, {} journal records, {} spilled results",
+                report.stats.completed,
+                report.stats.cache_hits,
+                report.stats.failed,
+                report.wal_records,
+                report.spilled,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jetns served: drain failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_submit(args: &Args) -> ExitCode {
+    use ns_serve::{Client, JobDesc, Response};
+    let Some(socket) = args.get("socket") else {
+        eprintln!("jetns submit requires --socket PATH (a running `jetns served`)");
+        return ExitCode::FAILURE;
+    };
+    let mut client = match Client::connect(socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("jetns submit: cannot connect to {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.has("status") {
+        return match client.status() {
+            Ok(s) => {
+                println!(
+                    "daemon: {} queued, {} in flight, {} journal records{}{}\n\
+                     stats: {} completed, {} cache hits, {} cold, {} failed, {} expired, {} shed",
+                    s.queue_len,
+                    s.inflight,
+                    s.wal_records,
+                    if s.draining { ", DRAINING" } else { "" },
+                    if s.brownout { ", BROWNOUT" } else { "" },
+                    s.stats.completed,
+                    s.stats.cache_hits,
+                    s.stats.cache_misses,
+                    s.stats.failed,
+                    s.stats.expired,
+                    s.stats.shed,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("jetns submit: status failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.has("drain") {
+        return match client.drain() {
+            Ok(_) => {
+                println!("drain requested");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("jetns submit: drain failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Some(jobs_path) = args.get("jobs") else {
+        eprintln!("jetns submit requires --jobs FILE (or --status / --drain)");
+        return ExitCode::FAILURE;
+    };
+    let descs: Vec<JobDesc> = match std::fs::read_to_string(jobs_path)
+        .map_err(|e| format!("cannot read {jobs_path}: {e}"))
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| format!("bad job list {jobs_path}: {e}")))
+    {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("jetns submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let budget = std::time::Duration::from_secs(args.num("retry-budget-secs", 600u64));
+    let mut keys = Vec::new();
+    let mut payloads = Vec::new();
+    let mut failed = 0u64;
+    for (i, desc) in descs.iter().enumerate() {
+        match client.submit_with_retry(desc, budget) {
+            Ok(Response::Admitted { key, .. }) => {
+                println!("admitted job {i} as {key}");
+                keys.push(key);
+            }
+            Ok(Response::Done { key, payload, cache, .. }) => {
+                println!("done     job {i} as {key} [{cache}]");
+                payloads.push(payload);
+            }
+            Ok(Response::Busy { retry_after_ms, brownout }) => {
+                eprintln!(
+                    "jetns submit: job {i} still rejected after the retry budget \
+                     (retry-after {retry_after_ms} ms{})",
+                    if brownout { ", brownout" } else { "" }
+                );
+                failed += 1;
+            }
+            Ok(other) => {
+                eprintln!("jetns submit: job {i} rejected: {other:?}");
+                failed += 1;
+            }
+            Err(e) => {
+                eprintln!("jetns submit: job {i}: connection failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.has("wait") {
+        let timeout = std::time::Duration::from_secs(args.num("timeout-secs", 600u64));
+        for key in &keys {
+            match client.wait(key, timeout) {
+                Ok(Response::Done { key, cache, queue_ms, run_ms, payload, .. }) => {
+                    println!("done     {key} [{cache}] queue {queue_ms:.1} ms, run {run_ms:.1} ms");
+                    payloads.push(payload);
+                }
+                Ok(Response::Failed { key, error }) => {
+                    eprintln!("FAILED {key}: {error}");
+                    failed += 1;
+                }
+                Ok(other) => {
+                    eprintln!("jetns submit: wait on {key}: {other:?}");
+                    failed += 1;
+                }
+                Err(e) => {
+                    eprintln!("jetns submit: wait on {key}: connection failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = args.get("out") {
+            // same artifact shape as `jetns serve --out`: a JSON array of
+            // the jobs' RunSummary payloads, spliced verbatim
+            let mut body = String::from("[\n");
+            for (i, p) in payloads.iter().enumerate() {
+                body.push_str(p);
+                if i + 1 < payloads.len() {
+                    body.push(',');
+                }
+                body.push('\n');
+            }
+            body.push_str("]\n");
+            if let Err(e) = write_file(path, body) {
+                eprintln!("jetns submit: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+    }
+    if failed == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -677,7 +894,7 @@ fn cmd_bench_compare(args: &Args) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report|bench-compare|chaos|verify|serve|loadgen|metrics> [flags]\n\
+        "usage: jetns <run|telemetry|figures|platforms|extensions|speedup|checkpoint|resume|bench-report|bench-compare|chaos|verify|serve|served|submit|loadgen|metrics> [flags]\n\
          see the module docs in crates/experiments/src/bin/jetns.rs"
     );
     ExitCode::FAILURE
@@ -702,6 +919,8 @@ fn main() -> ExitCode {
         "chaos" => cmd_chaos(&args),
         "verify" => cmd_verify(&args),
         "serve" => cmd_serve(&args),
+        "served" => cmd_served(&args),
+        "submit" => cmd_submit(&args),
         "loadgen" => cmd_loadgen(&args),
         "metrics" => cmd_metrics(&args),
         "bench-compare" => cmd_bench_compare(&args),

@@ -8,8 +8,12 @@ use std::fmt::Write;
 /// Render the loadgen report as the table `jetns loadgen` prints.
 pub fn render(r: &LoadgenReport) -> String {
     let mut out = String::new();
-    let mode = if r.quick { "quick" } else { "full" };
-    let _ = writeln!(out, "## Serve loadgen ({mode} sweep, {} workers, queue depth {})", r.workers, r.queue_depth);
+    let sweep = if r.quick { "quick" } else { "full" };
+    let _ = writeln!(
+        out,
+        "## Serve loadgen ({sweep} sweep, {} workers, queue depth {}, {})",
+        r.workers, r.queue_depth, r.mode
+    );
     let _ = writeln!(out);
     let _ = writeln!(
         out,

@@ -1,0 +1,82 @@
+//! Blocking client for the serve daemon's socket protocol.
+
+use crate::job::JobDesc;
+use crate::proto::{read_response, write_request, DaemonStatus, Request, Response};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Parse a `{:016x}` canonical key back to its integer form.
+pub fn parse_key_hex(s: &str) -> Result<u64, String> {
+    u64::from_str_radix(s, 16).map_err(|e| format!("malformed key {s:?}: {e}"))
+}
+
+/// One connection to a daemon. Requests are strictly sequential (the
+/// protocol's per-connection sequence numbers enforce it); open one
+/// client per concurrent caller.
+pub struct Client {
+    stream: UnixStream,
+    seq: u64,
+}
+
+impl Client {
+    /// Connect to a daemon's socket.
+    pub fn connect(socket: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self { stream: UnixStream::connect(socket)?, seq: 0 })
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
+        write_request(&mut self.stream, self.seq, request)?;
+        let response = read_response(&mut self.stream, self.seq)?;
+        self.seq += 1;
+        Ok(response)
+    }
+
+    /// Submit a job once; any [`Response`] variant can come back.
+    pub fn submit(&mut self, desc: &JobDesc) -> std::io::Result<Response> {
+        self.call(&Request::Submit { desc: desc.clone() })
+    }
+
+    /// Submit a job, riding out `Busy` responses by honouring each
+    /// retry-after hint (bounded by `budget` of wall time; hints are
+    /// clamped to keep a long hint from eating the whole budget in one
+    /// sleep). Returns the first non-`Busy` response, or the final `Busy`
+    /// when the budget runs out.
+    pub fn submit_with_retry(&mut self, desc: &JobDesc, budget: Duration) -> std::io::Result<Response> {
+        let deadline = Instant::now() + budget;
+        loop {
+            let response = self.submit(desc)?;
+            let Response::Busy { retry_after_ms, .. } = response else {
+                return Ok(response);
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(response);
+            }
+            let hint = Duration::from_millis(retry_after_ms.max(1));
+            std::thread::sleep(hint.min(deadline - now).min(Duration::from_millis(500)));
+        }
+    }
+
+    /// Block until the keyed job settles or `timeout` passes on the
+    /// daemon side.
+    pub fn wait(&mut self, key: &str, timeout: Duration) -> std::io::Result<Response> {
+        self.call(&Request::Wait { key: key.to_string(), timeout_ms: timeout.as_millis() as u64 })
+    }
+
+    /// Fetch a status snapshot.
+    pub fn status(&mut self) -> std::io::Result<DaemonStatus> {
+        match self.call(&Request::Status)? {
+            Response::Status { status } => Ok(status),
+            other => {
+                Err(std::io::Error::new(std::io::ErrorKind::InvalidData, format!("expected Status, got {other:?}")))
+            }
+        }
+    }
+
+    /// Ask the daemon to drain gracefully.
+    pub fn drain(&mut self) -> std::io::Result<Response> {
+        self.call(&Request::Drain)
+    }
+}

@@ -121,6 +121,10 @@ pub struct JobSpec {
     pub backend: Backend,
     /// Admission priority (never part of the cache key).
     pub priority: Priority,
+    /// Queue-side deadline measured from admission (never part of the
+    /// cache key — urgency does not change the answer). A job still queued
+    /// when its deadline passes is settled as failed instead of run.
+    pub deadline: Option<std::time::Duration>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -147,6 +151,7 @@ impl JobSpec {
             comm: CommVersion::V5,
             backend: Backend::Parallel,
             priority: Priority::Normal,
+            deadline: None,
         }
     }
 
@@ -157,6 +162,7 @@ impl JobSpec {
     pub fn canonical(&self) -> JobSpec {
         let mut c = self.clone();
         c.label = String::new();
+        c.deadline = None;
         match c.backend {
             Backend::Serial => {
                 c.procs = 1;
@@ -203,6 +209,15 @@ impl JobSpec {
         h
     }
 
+    /// A dimensionless work estimate for the job, used to scale the
+    /// retry-after hint: cells × steps. The absolute value is meaningless;
+    /// only the ratio between two jobs matters, and cells × steps tracks
+    /// the split scheme's O(nx·nr) per-step cost across every backend.
+    pub fn cost_units(&self) -> u64 {
+        let cells = (self.cfg.grid.nx as u64).saturating_mul(self.cfg.grid.nr as u64);
+        cells.saturating_mul(self.steps).max(1)
+    }
+
     /// Admission-time validation: reject jobs the backends would panic on,
     /// so a bad request costs an error payload, not a worker.
     pub fn validate(&self) -> Result<(), String> {
@@ -245,7 +260,7 @@ impl JobSpec {
 /// JSON-facing job description, the `jetns serve --jobs` wire format. Grid
 /// extents use the paper's domain (50 x 5 jet radii); everything beyond the
 /// physics shape has serve-appropriate defaults.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct JobDesc {
     /// Optional reporting label.
     pub label: Option<String>,
@@ -268,6 +283,8 @@ pub struct JobDesc {
     pub backend: String,
     /// Priority `"low"|"normal"|"high"` (default `"normal"`).
     pub priority: String,
+    /// Optional queue-side deadline in milliseconds from admission.
+    pub deadline_ms: Option<u64>,
 }
 
 // Hand-written: the offline serde shim's derive has no `#[serde(default)]`,
@@ -289,6 +306,10 @@ impl serde::Deserialize for JobDesc {
             None | Some(serde::Value::Null) => 1,
             Some(val) => serde::Deserialize::deserialize(val)?,
         };
+        let deadline_ms = match v.get("deadline_ms") {
+            None | Some(serde::Value::Null) => None,
+            Some(val) => Some(serde::Deserialize::deserialize(val)?),
+        };
         Ok(Self {
             label,
             regime: serde::Deserialize::deserialize(req("regime")?)?,
@@ -300,6 +321,7 @@ impl serde::Deserialize for JobDesc {
             comm: opt_str("comm", "V5")?,
             backend: opt_str("backend", "parallel")?,
             priority: opt_str("priority", "normal")?,
+            deadline_ms,
         })
     }
 }
@@ -333,9 +355,39 @@ impl JobDesc {
             comm,
             backend: Backend::parse(&self.backend)?,
             priority: Priority::parse(&self.priority)?,
+            deadline: self.deadline_ms.map(std::time::Duration::from_millis),
         };
         spec.validate()?;
         Ok(spec)
+    }
+
+    /// Describe a spec back as a wire description. The daemon journals
+    /// descriptions, not specs, so a replayed job re-enters through the
+    /// same validation as a fresh submit. Only paper-domain grids (the
+    /// shape every serve entry point constructs) survive the round trip —
+    /// a spec with a hand-built exotic `SolverConfig` does not, which is
+    /// fine: the socket wire format itself can only express paper grids.
+    pub fn from_spec(spec: &JobSpec) -> Self {
+        Self {
+            label: if spec.label.is_empty() { None } else { Some(spec.label.clone()) },
+            regime: match spec.cfg.regime {
+                Regime::Euler => "euler".into(),
+                Regime::NavierStokes => "navier-stokes".into(),
+            },
+            nx: spec.cfg.grid.nx,
+            nr: spec.cfg.grid.nr,
+            steps: spec.steps,
+            version: format!("{:?}", spec.cfg.version),
+            procs: spec.procs,
+            comm: match spec.comm {
+                CommVersion::V5 => "V5".into(),
+                CommVersion::V6 => "V6".into(),
+                CommVersion::V7 => "V7".into(),
+            },
+            backend: spec.backend.name().into(),
+            priority: spec.priority.name().into(),
+            deadline_ms: spec.deadline.map(|d| d.as_millis() as u64),
+        }
     }
 }
 

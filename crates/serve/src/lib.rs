@@ -28,19 +28,49 @@
 //!   are folded into the ns-telemetry [`ns_telemetry::RunSummary`] as its
 //!   `serve` block.
 //!
-//! [`loadgen`] replays the sweep through the server and writes the
-//! latency/throughput/cache artifact that `jetns loadgen` and CI gate on.
+//! The crate also hosts the crash-durable daemon (`ns-served`, surfaced
+//! as `jetns served`):
+//!
+//! * **Durability** — every admitted job is journaled in a checksummed
+//!   write-ahead log ([`wal::Wal`], PR 3 frame machinery on disk) before
+//!   the client's admit is acknowledged, and completed results are
+//!   written through to a per-key spill store ([`spill::Spill`]) before
+//!   their `Completed` record lands, so `kill -9` mid-campaign restarts
+//!   into the same queue state and re-serves finished cells from bytes.
+//! * **Transport** — a length-prefixed, checksum-framed request/response
+//!   protocol over a Unix socket ([`proto`]), with a blocking client
+//!   ([`client::Client`]) that honours per-priority retry-after hints.
+//! * **Degradation** — per-job deadlines, brownout shedding of
+//!   low-priority work under queue/memory pressure, and a SIGTERM
+//!   graceful drain that finishes every admitted job, journals a
+//!   `CleanShutdown`, and dumps the flight recorder.
+//!
+//! [`loadgen`] replays the sweep through the server — in-process or over
+//! the socket — and writes the latency/throughput/cache artifact that
+//! `jetns loadgen` and CI gate on.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
+pub mod daemon;
 pub mod job;
 pub mod loadgen;
+pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod spill;
+pub mod wal;
 
 pub use cache::{CacheStats, CachedRun, Claim, ResultCache};
+pub use client::Client;
+pub use daemon::{Daemon, DaemonConfig};
 pub use job::{Backend, JobDesc, JobSpec, Priority};
-pub use loadgen::{run_loadgen, sweep_jobs, BurstReport, JobRow, LatencyStats, LoadgenOptions, LoadgenReport};
+pub use loadgen::{
+    run_loadgen, run_loadgen_socket, sweep_jobs, BurstReport, JobRow, LatencyStats, LoadgenOptions, LoadgenReport,
+};
+pub use proto::{DaemonStatus, Request, Response};
 pub use queue::{JobQueue, PushError, Pushed, QueuedJob};
 pub use server::{golden_expectation, JobResult, Outcome, ServeStats, Server, ServerConfig, SubmitError};
+pub use spill::Spill;
+pub use wal::{Wal, WalRecord, WalReplay};

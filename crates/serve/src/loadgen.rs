@@ -10,7 +10,10 @@
 //! workload (a parameter sweep re-visiting cells), and a handful of
 //! backend cells (serial, shared-memory, chaos, fused-V6 kernel) mixed in.
 
-use crate::job::{Backend, JobSpec, Priority};
+use crate::client::Client;
+use crate::daemon::{Daemon, DaemonConfig};
+use crate::job::{Backend, JobDesc, JobSpec, Priority};
+use crate::proto::Response;
 use crate::server::{golden_expectation, Outcome, Server, ServerConfig, SubmitError};
 use ns_core::config::{Regime, SolverConfig, Version};
 use ns_core::Solver;
@@ -21,9 +24,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-/// Schema version stamped into `SERVE_loadgen.json` (the `schema` field)
-/// and required verbatim by [`LoadgenReport::from_json`].
-pub const LOADGEN_SCHEMA: u32 = 1;
+/// Schema version stamped into `SERVE_loadgen.json` (the `schema_version`
+/// field) and required verbatim by [`LoadgenReport::from_json`]. v2 renamed
+/// `schema` → `schema_version` and added the `mode` field (in-process vs
+/// socket-mode runs of the same sweep).
+pub const LOADGEN_SCHEMA: u32 = 2;
 
 /// Loadgen tuning.
 #[derive(Clone, Copy, Debug)]
@@ -114,7 +119,10 @@ pub struct BurstReport {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LoadgenReport {
     /// Artifact schema version.
-    pub schema: u32,
+    pub schema_version: u32,
+    /// `"in-process"` (direct [`Server`] calls) or `"socket"` (through a
+    /// [`Daemon`] over its Unix socket, WAL and spill engaged).
+    pub mode: String,
     /// Quick (CI-sized) sweep?
     pub quick: bool,
     /// Sweep-phase worker pool size.
@@ -176,8 +184,8 @@ impl LoadgenReport {
     /// schema version is not exactly [`LOADGEN_SCHEMA`].
     pub fn from_json(text: &str) -> Result<Self, String> {
         let report: Self = serde_json::from_str(text).map_err(|e| format!("loadgen report parse: {e}"))?;
-        if report.schema != LOADGEN_SCHEMA {
-            return Err(format!("loadgen report schema {} != supported {LOADGEN_SCHEMA}", report.schema));
+        if report.schema_version != LOADGEN_SCHEMA {
+            return Err(format!("loadgen report schema {} != supported {LOADGEN_SCHEMA}", report.schema_version));
         }
         Ok(report)
     }
@@ -269,8 +277,12 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> LoadgenReport {
     let jobs = sweep_jobs(opts.quick);
     debug_assert!(jobs.iter().any(|j| golden_expectation(&golden, j).is_some()), "sweep must exercise the golden path");
 
-    let (server, rx) =
-        Server::new(ServerConfig { workers: opts.workers, queue_depth: opts.queue_depth, golden: Some(golden) });
+    let (server, rx) = Server::new(ServerConfig {
+        workers: opts.workers,
+        queue_depth: opts.queue_depth,
+        golden: Some(golden),
+        ..Default::default()
+    });
     let t0 = Instant::now();
     let mut submitted = 0u64;
     for spec in &jobs {
@@ -327,7 +339,8 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> LoadgenReport {
 
     let completed = stats.completed;
     LoadgenReport {
-        schema: LOADGEN_SCHEMA,
+        schema_version: LOADGEN_SCHEMA,
+        mode: "in-process".to_string(),
         quick: opts.quick,
         workers: opts.workers,
         queue_depth: opts.queue_depth,
@@ -354,7 +367,7 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> LoadgenReport {
 /// a high-priority straggler shed a queued normal job; and `finish()`
 /// must drain everything admitted without deadlock.
 fn run_burst() -> BurstReport {
-    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 2, golden: None });
+    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 2, golden: None, ..Default::default() });
     let base = SolverConfig::paper(Grid::new(48, 16, 50.0, 5.0), Regime::Euler);
     let mut report = BurstReport { min_retry_after_ms: f64::INFINITY, ..Default::default() };
     // distinct cells (steps vary) so the cache cannot absorb the burst;
@@ -366,7 +379,7 @@ fn run_burst() -> BurstReport {
         report.submitted += 1;
         match server.submit(spec) {
             Ok(_) => report.admitted += 1,
-            Err(SubmitError::Busy { retry_after }) => {
+            Err(SubmitError::Busy { retry_after, .. }) => {
                 report.rejected += 1;
                 report.min_retry_after_ms = report.min_retry_after_ms.min(retry_after.as_secs_f64() * 1e3);
             }
@@ -382,7 +395,7 @@ fn run_burst() -> BurstReport {
     report.submitted += 1;
     match server.submit(vip) {
         Ok(_) => report.admitted += 1,
-        Err(SubmitError::Busy { retry_after }) => {
+        Err(SubmitError::Busy { retry_after, .. }) => {
             report.rejected += 1;
             report.min_retry_after_ms = report.min_retry_after_ms.min(retry_after.as_secs_f64() * 1e3);
         }
@@ -400,6 +413,199 @@ fn run_burst() -> BurstReport {
         report.min_retry_after_ms = 0.0;
     }
     report
+}
+
+/// Run the same sweep + burst through a real [`Daemon`] over its Unix
+/// socket — WAL journaling, spill write-through, framed transport and
+/// retry-after hints all engaged — and report the identical artifact
+/// shape with `mode: "socket"`. State lives in (and is removed from) a
+/// scratch directory under `scratch_root`.
+pub fn run_loadgen_socket(opts: &LoadgenOptions, scratch_root: &std::path::Path) -> std::io::Result<LoadgenReport> {
+    let golden = reference_golden(opts.quick);
+    let jobs = sweep_jobs(opts.quick);
+
+    let state_dir = scratch_root.join(format!("loadgen-socket-{}", std::process::id()));
+    let mut cfg = DaemonConfig::new(&state_dir);
+    cfg.workers = opts.workers;
+    cfg.queue_depth = opts.queue_depth;
+    cfg.golden = Some(golden);
+    cfg.sync = false; // loadgen measures serving, not fsync latency
+    let daemon = Daemon::start(cfg)?;
+    let mut client = Client::connect(daemon.socket_path())?;
+
+    let t0 = Instant::now();
+    let mut submitted = 0u64;
+    let mut failed = 0u64;
+    let mut rows = Vec::new();
+    let mut latencies = Vec::new();
+    let mut payload_by_case: BTreeMap<String, String> = BTreeMap::new();
+    let mut duplicates_byte_identical = true;
+    let mut waiting: Vec<(JobSpec, String)> = Vec::new();
+    let row_of = |spec: &JobSpec,
+                  resp: &Response,
+                  payloads: &mut BTreeMap<String, String>,
+                  identical: &mut bool,
+                  lat: &mut Vec<f64>|
+     -> Option<JobRow> {
+        match resp {
+            Response::Done { case, cache, payload, queue_ms, run_ms, .. } => {
+                match payloads.get(case) {
+                    Some(first) => *identical &= first == payload,
+                    None => {
+                        payloads.insert(case.clone(), payload.clone());
+                    }
+                }
+                let total = queue_ms + run_ms;
+                lat.push(total);
+                Some(JobRow {
+                    label: spec.label.clone(),
+                    case: case.clone(),
+                    priority: spec.priority.name().to_string(),
+                    cache: cache.clone(),
+                    queue_ms: *queue_ms,
+                    run_ms: *run_ms,
+                    total_ms: total,
+                })
+            }
+            _ => None,
+        }
+    };
+    for spec in &jobs {
+        let desc = JobDesc::from_spec(spec);
+        match client.submit_with_retry(&desc, std::time::Duration::from_secs(60))? {
+            Response::Admitted { key, .. } => {
+                submitted += 1;
+                waiting.push((spec.clone(), key));
+            }
+            // a duplicate whose first copy already settled durably is
+            // answered Done at submit time, without re-queueing
+            resp @ Response::Done { .. } => {
+                submitted += 1;
+                match row_of(spec, &resp, &mut payload_by_case, &mut duplicates_byte_identical, &mut latencies) {
+                    Some(row) => rows.push(row),
+                    None => unreachable!(),
+                }
+            }
+            other => panic!("sweep submission must be admitted (queue sized for the sweep): {other:?}"),
+        }
+    }
+    let mut settled_done = 0u64;
+    for (spec, key) in &waiting {
+        match client.wait(key, std::time::Duration::from_secs(120))? {
+            resp @ Response::Done { .. } => {
+                settled_done += 1;
+                if let Some(row) =
+                    row_of(spec, &resp, &mut payload_by_case, &mut duplicates_byte_identical, &mut latencies)
+                {
+                    rows.push(row);
+                }
+            }
+            Response::Failed { error, .. } => {
+                failed += 1;
+                rows.push(JobRow {
+                    label: format!("{} FAILED: {error}", spec.label),
+                    case: String::new(),
+                    priority: "?".to_string(),
+                    cache: "cold".to_string(),
+                    queue_ms: 0.0,
+                    run_ms: 0.0,
+                    total_ms: 0.0,
+                });
+            }
+            other => panic!("sweep wait must settle within the timeout: {other:?}"),
+        }
+    }
+    let sweep_wall = t0.elapsed();
+    let status = client.status()?;
+    let stats = status.stats;
+    drop(client);
+    daemon.drain()?;
+
+    let burst = run_burst_socket(scratch_root)?;
+
+    // every admitted job settled Done, plus any durable short-circuits
+    let completed = settled_done + (submitted - waiting.len() as u64);
+    let report = LoadgenReport {
+        schema_version: LOADGEN_SCHEMA,
+        mode: "socket".to_string(),
+        quick: opts.quick,
+        workers: opts.workers,
+        queue_depth: opts.queue_depth,
+        jobs_submitted: submitted,
+        jobs_completed: completed,
+        jobs_failed: failed,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_coalesced: stats.cache_coalesced,
+        cache_hit_rate: if completed == 0 { 0.0 } else { stats.cache_hits as f64 / completed as f64 },
+        duplicates_byte_identical,
+        golden_checked: stats.golden_checked,
+        golden_mismatches: stats.golden_mismatches,
+        latency: LatencyStats::of(&mut latencies),
+        throughput_jobs_per_sec: if sweep_wall.is_zero() { 0.0 } else { completed as f64 / sweep_wall.as_secs_f64() },
+        burst,
+        rows,
+    };
+    let _ = std::fs::remove_dir_all(&state_dir);
+    Ok(report)
+}
+
+/// The overload burst over the socket: a one-worker, depth-2 daemon
+/// flooded with distinct cells via plain submits (no retry), so `Busy`
+/// responses with positive hints come back over the wire; shed jobs
+/// settle as `Failed` waits.
+fn run_burst_socket(scratch_root: &std::path::Path) -> std::io::Result<BurstReport> {
+    let state_dir = scratch_root.join(format!("loadgen-burst-{}", std::process::id()));
+    let mut cfg = DaemonConfig::new(&state_dir);
+    cfg.workers = 1;
+    cfg.queue_depth = 2;
+    cfg.sync = false;
+    let daemon = Daemon::start(cfg)?;
+    let mut client = Client::connect(daemon.socket_path())?;
+    let base = SolverConfig::paper(Grid::new(48, 16, 50.0, 5.0), Regime::Euler);
+    let mut report = BurstReport { min_retry_after_ms: f64::INFINITY, ..Default::default() };
+    let mut admitted_keys = Vec::new();
+    let submit = |client: &mut Client, spec: JobSpec, report: &mut BurstReport, keys: &mut Vec<String>| {
+        report.submitted += 1;
+        match client.submit(&JobDesc::from_spec(&spec))? {
+            Response::Admitted { key, .. } => {
+                report.admitted += 1;
+                keys.push(key);
+            }
+            Response::Busy { retry_after_ms, .. } => {
+                report.rejected += 1;
+                report.min_retry_after_ms = report.min_retry_after_ms.min(retry_after_ms as f64);
+            }
+            other => panic!("burst submissions are valid; got {other:?}"),
+        }
+        std::io::Result::Ok(())
+    };
+    for steps in 1..=10u64 {
+        let mut spec = JobSpec::new(base.clone(), steps + 20, 1);
+        spec.backend = Backend::Serial;
+        spec.label = format!("burst/{steps}");
+        submit(&mut client, spec, &mut report, &mut admitted_keys)?;
+    }
+    let mut vip = JobSpec::new(base, 40, 1);
+    vip.backend = Backend::Serial;
+    vip.priority = Priority::High;
+    vip.label = "burst/vip".into();
+    submit(&mut client, vip, &mut report, &mut admitted_keys)?;
+    for key in &admitted_keys {
+        if let Response::Done { .. } = client.wait(key, std::time::Duration::from_secs(120))? {
+            report.completed += 1;
+        }
+    }
+    let stats = client.status()?.stats;
+    report.shed = stats.shed;
+    report.admitted -= stats.shed; // a shed job was admitted, then evicted
+    drop(client);
+    daemon.drain()?;
+    let _ = std::fs::remove_dir_all(&state_dir);
+    if report.min_retry_after_ms.is_infinite() {
+        report.min_retry_after_ms = 0.0;
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -425,7 +631,8 @@ mod tests {
     #[test]
     fn loadgen_report_round_trips_and_rejects_wrong_schema() {
         let report = LoadgenReport {
-            schema: LOADGEN_SCHEMA,
+            schema_version: LOADGEN_SCHEMA,
+            mode: "in-process".into(),
             quick: true,
             workers: 2,
             queue_depth: 64,
@@ -456,7 +663,7 @@ mod tests {
         assert_eq!(back.jobs_completed, 4);
         assert_eq!(back.rows[0].priority, "normal");
         let mut wrong = report;
-        wrong.schema = LOADGEN_SCHEMA + 1;
+        wrong.schema_version = LOADGEN_SCHEMA + 1;
         let err = LoadgenReport::from_json(&wrong.to_json()).unwrap_err();
         assert!(err.contains("schema"), "{err}");
     }

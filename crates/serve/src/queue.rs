@@ -24,11 +24,12 @@ pub struct QueuedJob {
 }
 
 /// Why a push failed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub enum PushError {
     /// Queue at capacity and nothing queued is lower-priority than the
-    /// newcomer.
-    Full,
+    /// newcomer. The rejected job rides back so the server can derive a
+    /// retry-after hint from *its* shape, not from some global average.
+    Full(Box<QueuedJob>),
     /// The queue has been closed for new work.
     Closed,
 }
@@ -99,7 +100,7 @@ impl JobQueue {
                 Some((i, level)) if level < job.spec.priority.level() => {
                     outcome = Pushed::Shed(Box::new(st.jobs.swap_remove(i)));
                 }
-                _ => return Err(PushError::Full),
+                _ => return Err(PushError::Full(Box::new(job))),
             }
         }
         st.jobs.push(job);
@@ -176,8 +177,11 @@ mod tests {
             Pushed::Shed(victim) => assert_eq!(victim.id, 3),
             other => panic!("expected shed, got {other:?}"),
         }
-        // an arrival that outranks nothing queued is rejected
-        assert_eq!(q.push(job(5, Priority::Low)).unwrap_err(), PushError::Full);
+        // an arrival that outranks nothing queued is rejected, riding back
+        match q.push(job(5, Priority::Low)).unwrap_err() {
+            PushError::Full(rejected) => assert_eq!(rejected.id, 5),
+            other => panic!("expected Full, got {other:?}"),
+        }
         // a normal arrival still outranks the remaining low job
         match q.push(job(6, Priority::Normal)).unwrap() {
             Pushed::Shed(victim) => assert_eq!(victim.id, 1),
@@ -192,9 +196,8 @@ mod tests {
         let q = JobQueue::new(2);
         q.push(job(1, Priority::Normal)).unwrap();
         q.push(job(2, Priority::Normal)).unwrap();
-        assert_eq!(
-            q.push(job(3, Priority::Normal)).unwrap_err(),
-            PushError::Full,
+        assert!(
+            matches!(q.push(job(3, Priority::Normal)).unwrap_err(), PushError::Full(_)),
             "a full queue of equals rejects rather than shedding"
         );
     }
@@ -204,7 +207,7 @@ mod tests {
         let q = JobQueue::new(4);
         q.push(job(1, Priority::Normal)).unwrap();
         q.close();
-        assert_eq!(q.push(job(2, Priority::Normal)).unwrap_err(), PushError::Closed);
+        assert!(matches!(q.push(job(2, Priority::Normal)).unwrap_err(), PushError::Closed));
         assert_eq!(q.pop().unwrap().id, 1, "queued work is still served after close");
         assert!(q.pop().is_none(), "then pops report shutdown");
     }

@@ -16,6 +16,7 @@
 use crate::cache::{CacheStats, CachedRun, Claim, ResultCache};
 use crate::job::{Backend, JobSpec, Priority};
 use crate::queue::{JobQueue, PushError, Pushed, QueuedJob};
+use crate::spill::Spill;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use ns_core::config::Regime;
 use ns_core::shared::SharedSolver;
@@ -43,11 +44,29 @@ pub struct ServerConfig {
     /// Golden snapshots to cross-check cold results against, where a cell's
     /// shape matches the oracle's (see [`golden_expectation`]).
     pub golden: Option<GoldenFile>,
+    /// Result-cache residency budget in bytes; LRU entries past it are
+    /// evicted (to the spill, when one is attached).
+    pub cache_budget_bytes: usize,
+    /// On-disk spill for the result cache: fills write through, misses
+    /// promote back. `None` keeps the cache memory-only.
+    pub spill: Option<Spill>,
+    /// Brownout threshold as a fraction of `queue_depth`: once the queue
+    /// is this full (or cache residency crosses 90% of budget), low-
+    /// priority submissions are rejected up front instead of admitted and
+    /// shed later.
+    pub brownout_fraction: f64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 2, queue_depth: 32, golden: None }
+        Self {
+            workers: 2,
+            queue_depth: 32,
+            golden: None,
+            cache_budget_bytes: 64 << 20,
+            spill: None,
+            brownout_fraction: 0.75,
+        }
     }
 }
 
@@ -56,12 +75,17 @@ impl Default for ServerConfig {
 pub enum SubmitError {
     /// Validation failed; nothing was queued.
     Invalid(String),
-    /// Queue at capacity (and the job outranked nothing sheddable): back
-    /// off for roughly `retry_after` and try again.
+    /// Queue at capacity (and the job outranked nothing sheddable), or the
+    /// server is browning out: back off for roughly `retry_after` and try
+    /// again.
     Busy {
-        /// Suggested backoff, derived from the observed service time and
-        /// the queue depth ahead of the caller.
+        /// Suggested backoff, derived from the per-priority observed
+        /// service rate, this job's own cost estimate, and the queue depth
+        /// ahead of the caller.
         retry_after: Duration,
+        /// True when the rejection came from brownout shedding (queue or
+        /// memory pressure past threshold) rather than a hard-full queue.
+        brownout: bool,
     },
     /// The server is shutting down.
     Closed,
@@ -72,6 +96,8 @@ pub enum SubmitError {
 pub struct JobResult {
     /// Server-assigned job id.
     pub id: u64,
+    /// Canonical cache key of the cell (what the daemon journals by).
+    pub key: u64,
     /// Reporting label (the spec's, or the canonical case when unset).
     pub label: String,
     /// Canonical case name of the cell.
@@ -100,15 +126,20 @@ pub enum Outcome {
     Shed {
         /// Job id.
         id: u64,
+        /// Canonical cache key.
+        key: u64,
         /// Reporting label.
         label: String,
         /// The shed job's priority.
         priority: Priority,
     },
-    /// The backend failed (panic, abort, or cancellation).
+    /// The backend failed (panic, abort, cancellation, or a deadline that
+    /// expired while the job was still queued).
     Failed {
         /// Job id.
         id: u64,
+        /// Canonical cache key.
+        key: u64,
         /// Reporting label.
         label: String,
         /// What happened.
@@ -117,7 +148,7 @@ pub enum Outcome {
 }
 
 /// Monotonic server counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ServeStats {
     /// Jobs admitted.
     pub submitted: u64,
@@ -139,6 +170,15 @@ pub struct ServeStats {
     pub golden_checked: u64,
     /// Cross-checks that disagreed.
     pub golden_mismatches: u64,
+    /// Jobs whose deadline expired while still queued (settled as failed
+    /// without running).
+    pub expired: u64,
+    /// Low-priority submissions rejected by brownout shedding.
+    pub brownout_rejected: u64,
+    /// Cache hits promoted back from the on-disk spill.
+    pub spill_hits: u64,
+    /// Cache entries evicted to stay inside the byte budget.
+    pub cache_evictions: u64,
 }
 
 /// Handles into the process-global metrics registry, resolved once at
@@ -154,6 +194,8 @@ struct ServeMetrics {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     job_run_us: Arc<Histogram>,
+    expired: Arc<Counter>,
+    brownout: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -169,6 +211,8 @@ impl ServeMetrics {
             cache_hits: r.counter("ns_serve_cache_hits_total"),
             cache_misses: r.counter("ns_serve_cache_misses_total"),
             job_run_us: r.histogram("ns_serve_job_run_us"),
+            expired: r.counter("ns_serve_expired_total"),
+            brownout: r.counter("ns_serve_brownout_total"),
         }
     }
 
@@ -194,16 +238,37 @@ struct Inner {
     failed: AtomicU64,
     golden_checked: AtomicU64,
     golden_mismatches: AtomicU64,
-    /// EWMA of cold-run service time, microseconds (retry-after estimate).
-    avg_run_us: AtomicU64,
+    expired: AtomicU64,
+    brownout_rejected: AtomicU64,
+    /// Per-priority-level EWMA of the cold-run service *rate* in
+    /// fixed-point µs per cost unit × 1024 (index = `Priority::level()`).
+    /// Keeping a rate instead of a raw duration is the satellite fix: a
+    /// cheap job's retry-after scales by its own cost estimate instead of
+    /// inheriting whatever expensive job last finished, and tracking it
+    /// per level keeps a lane of fat Low sweeps from inflating the hints
+    /// handed to High clients.
+    rate_x1024: [AtomicU64; 3],
 }
 
 impl Inner {
-    fn record_service_time(&self, wall: Duration) {
-        let cur = wall.as_micros().min(u128::from(u64::MAX)) as u64;
-        let old = self.avg_run_us.load(Ordering::Relaxed);
+    fn record_service_time(&self, priority: Priority, cost_units: u64, wall: Duration) {
+        let us = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        let cur = us.saturating_mul(1024) / cost_units.max(1);
+        let slot = &self.rate_x1024[priority.level() as usize];
+        let old = slot.load(Ordering::Relaxed);
         let new = if old == 0 { cur } else { (old * 7 + cur * 3) / 10 };
-        self.avg_run_us.store(new, Ordering::Relaxed);
+        slot.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// The best available service-rate estimate for a priority level:
+    /// its own lane, else any observed lane (highest first — the
+    /// conservative guess), else zero (caller falls back to a fixed hint).
+    fn rate_for(&self, priority: Priority) -> u64 {
+        let own = self.rate_x1024[priority.level() as usize].load(Ordering::Relaxed);
+        if own != 0 {
+            return own;
+        }
+        self.rate_x1024.iter().rev().map(|r| r.load(Ordering::Relaxed)).find(|&r| r != 0).unwrap_or(0)
     }
 }
 
@@ -215,6 +280,8 @@ pub struct Server {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
+    queue_depth: usize,
+    brownout_fraction: f64,
 }
 
 impl Server {
@@ -223,7 +290,10 @@ impl Server {
         assert!(cfg.workers >= 1);
         let (tx, rx) = unbounded();
         let queue = Arc::new(JobQueue::new(cfg.queue_depth));
-        let cache = Arc::new(ResultCache::new());
+        let cache = Arc::new(match cfg.spill {
+            Some(spill) => ResultCache::with_spill(cfg.cache_budget_bytes, spill),
+            None => ResultCache::with_budget(cfg.cache_budget_bytes),
+        });
         let inner = Arc::new(Inner {
             outcomes: tx,
             metrics: ServeMetrics::new(),
@@ -237,7 +307,9 @@ impl Server {
             failed: AtomicU64::new(0),
             golden_checked: AtomicU64::new(0),
             golden_mismatches: AtomicU64::new(0),
-            avg_run_us: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            brownout_rejected: AtomicU64::new(0),
+            rate_x1024: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -247,12 +319,49 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&queue, &cache, &inner))
             })
             .collect();
-        (Self { queue, cache, inner, workers, next_id: AtomicU64::new(1) }, rx)
+        (
+            Self {
+                queue,
+                cache,
+                inner,
+                workers,
+                next_id: AtomicU64::new(1),
+                queue_depth: cfg.queue_depth,
+                brownout_fraction: cfg.brownout_fraction,
+            },
+            rx,
+        )
+    }
+
+    /// A handle on the result cache (the daemon uses it to short-circuit
+    /// submits and settle waits without going through the queue).
+    pub fn cache_handle(&self) -> Arc<ResultCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// True when admission is under brownout: queue depth past the
+    /// configured fraction of capacity, or cache residency past 90% of its
+    /// byte budget. Low-priority submissions are rejected while this
+    /// holds.
+    pub fn brownout_active(&self) -> bool {
+        // fraction 0 means a zero threshold: every Low submission is
+        // rejected (useful for drain-like modes and deterministic tests)
+        let threshold = (self.brownout_fraction * self.queue_depth as f64).ceil() as usize;
+        if self.queue.len() >= threshold {
+            return true;
+        }
+        let budget = self.cache.budget_bytes();
+        budget != usize::MAX && self.cache.resident_bytes() >= budget / 10 * 9
     }
 
     /// Validate and enqueue a job; returns its id.
     pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
         spec.validate().map_err(SubmitError::Invalid)?;
+        if spec.priority == Priority::Low && self.brownout_active() {
+            self.inner.brownout_rejected.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.brownout.inc();
+            return Err(SubmitError::Busy { retry_after: self.retry_after(&spec), brownout: true });
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let job = QueuedJob { id, spec, submitted: Instant::now() };
         match self.queue.push(job) {
@@ -262,14 +371,15 @@ impl Server {
                 self.inner.metrics.shed.inc();
                 let _ = self.inner.outcomes.send(Outcome::Shed {
                     id: victim.id,
+                    key: victim.spec.canonical_key(),
                     label: label_of(&victim.spec),
                     priority: victim.spec.priority,
                 });
             }
-            Err(PushError::Full) => {
+            Err(PushError::Full(rejected)) => {
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
                 self.inner.metrics.rejected.inc();
-                return Err(SubmitError::Busy { retry_after: self.retry_after() });
+                return Err(SubmitError::Busy { retry_after: self.retry_after(&rejected.spec), brownout: false });
             }
             Err(PushError::Closed) => return Err(SubmitError::Closed),
         }
@@ -279,12 +389,18 @@ impl Server {
         Ok(id)
     }
 
-    /// Suggested backoff when the queue is full: the observed service time
-    /// times the queue depth ahead of a retrying caller, spread over the
-    /// worker pool.
-    pub fn retry_after(&self) -> Duration {
-        let avg = self.inner.avg_run_us.load(Ordering::Relaxed);
-        let per_job = Duration::from_micros(if avg == 0 { 50_000 } else { avg });
+    /// Suggested backoff when a submission is rejected: the rejected job's
+    /// *own* estimated service time (its cost units times the per-priority
+    /// observed rate) times the queue depth ahead of a retrying caller,
+    /// spread over the worker pool. A cheap cell retrying behind a queue
+    /// of expensive ones backs off for its own expected slot, not theirs.
+    pub fn retry_after(&self, spec: &JobSpec) -> Duration {
+        let rate = self.inner.rate_for(spec.priority);
+        let per_job = if rate == 0 {
+            Duration::from_millis(50)
+        } else {
+            Duration::from_micros(rate.saturating_mul(spec.cost_units()) / 1024)
+        };
         let waves = (self.queue.len() / self.inner.workers).max(1) as u32;
         per_job * waves
     }
@@ -296,7 +412,7 @@ impl Server {
 
     /// Counter snapshot (cache counters folded in).
     pub fn stats(&self) -> ServeStats {
-        let CacheStats { hits, misses, coalesced } = self.cache.stats();
+        let CacheStats { hits, misses, coalesced, spill_hits, evictions } = self.cache.stats();
         ServeStats {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
@@ -308,6 +424,10 @@ impl Server {
             cache_coalesced: coalesced,
             golden_checked: self.inner.golden_checked.load(Ordering::Relaxed),
             golden_mismatches: self.inner.golden_mismatches.load(Ordering::Relaxed),
+            expired: self.inner.expired.load(Ordering::Relaxed),
+            brownout_rejected: self.inner.brownout_rejected.load(Ordering::Relaxed),
+            spill_hits,
+            cache_evictions: evictions,
         }
     }
 
@@ -330,6 +450,7 @@ impl Server {
             self.inner.metrics.shed.inc();
             let _ = self.inner.outcomes.send(Outcome::Shed {
                 id: victim.id,
+                key: victim.spec.canonical_key(),
                 label: label_of(&victim.spec),
                 priority: victim.spec.priority,
             });
@@ -358,6 +479,28 @@ fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
         let key = job.spec.canonical_key();
         let case = job.spec.case();
         let label = label_of(&job.spec);
+        // deadline gate: a job that waited out its deadline in the queue is
+        // settled without running (and without touching the cache — the
+        // slot stays free for a live claimant)
+        if let Some(deadline) = job.spec.deadline {
+            if queue_wait > deadline {
+                inner.expired.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.expired.inc();
+                inner.failed.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.failed.inc();
+                let _ = inner.outcomes.send(Outcome::Failed {
+                    id: job.id,
+                    key,
+                    label,
+                    error: format!(
+                        "deadline exceeded: waited {:.1}ms of a {:.1}ms budget",
+                        queue_wait.as_secs_f64() * 1e3,
+                        deadline.as_secs_f64() * 1e3
+                    ),
+                });
+                continue;
+            }
+        }
         match cache.claim(key) {
             Claim::Hit(run) => {
                 inner.completed.fetch_add(1, Ordering::Relaxed);
@@ -365,6 +508,7 @@ fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
                 inner.metrics.cache_hits.inc();
                 let _ = inner.outcomes.send(Outcome::Done(JobResult {
                     id: job.id,
+                    key,
                     label,
                     case,
                     priority: job.spec.priority,
@@ -389,7 +533,7 @@ fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
                 };
                 match result {
                     Ok((mut summary, hash)) => {
-                        inner.record_service_time(run_wall);
+                        inner.record_service_time(job.spec.priority, job.spec.cost_units(), run_wall);
                         let golden =
                             inner.golden.as_ref().and_then(|g| golden_expectation(g, &job.spec)).map(|expected| {
                                 inner.golden_checked.fetch_add(1, Ordering::Relaxed);
@@ -414,6 +558,7 @@ fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
                         inner.metrics.completed.inc();
                         let _ = inner.outcomes.send(Outcome::Done(JobResult {
                             id: job.id,
+                            key,
                             label,
                             case,
                             priority: job.spec.priority,
@@ -429,7 +574,7 @@ fn worker_loop(queue: &JobQueue, cache: &ResultCache, inner: &Inner) {
                         cache.abandon(key);
                         inner.failed.fetch_add(1, Ordering::Relaxed);
                         inner.metrics.failed.inc();
-                        let _ = inner.outcomes.send(Outcome::Failed { id: job.id, label, error });
+                        let _ = inner.outcomes.send(Outcome::Failed { id: job.id, key, label, error });
                     }
                 }
             }
@@ -591,7 +736,12 @@ mod tests {
         let (golden, cfg) = oracle_shaped_golden();
         let spec = JobSpec::new(cfg.clone(), 4, 2); // parallel Euler: bitwise
         assert!(golden_expectation(&golden, &spec).is_some(), "oracle-shaped Euler parallel cell is covered");
-        let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: Some(golden.clone()) });
+        let (server, rx) = Server::new(ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            golden: Some(golden.clone()),
+            ..Default::default()
+        });
         server.submit(spec.clone()).unwrap();
         let done = match rx.recv().unwrap() {
             Outcome::Done(r) => r,
@@ -604,7 +754,8 @@ mod tests {
         // corrupt the golden entry: the same cell must now be flagged
         let mut bad = golden;
         bad.entries.get_mut("euler/serial/V5").unwrap().hash = snapshot::hash_hex(0xdead_beef);
-        let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: Some(bad) });
+        let (server, rx) =
+            Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: Some(bad), ..Default::default() });
         server.submit(spec).unwrap();
         match rx.recv().unwrap() {
             Outcome::Done(r) => assert_eq!(r.run.golden, Some(false)),
@@ -637,7 +788,7 @@ mod tests {
         let before = Registry::global().snapshot();
         let grid = Grid::new(32, 12, 50.0, 5.0);
         let cfg = SolverConfig::paper(grid, Regime::Euler);
-        let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: None });
+        let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: None, ..Default::default() });
         let spec = JobSpec::new(cfg, 2, 1);
         server.submit(spec.clone()).unwrap();
         server.submit(spec).unwrap(); // duplicate cell: a hit once the cold run fills
@@ -662,8 +813,81 @@ mod tests {
     }
 
     #[test]
+    fn retry_after_scales_with_the_rejected_jobs_own_cost() {
+        // regression (ISSUE 8 satellite): the old hint was one global EWMA
+        // of service *time*, so a cheap job rejected behind expensive ones
+        // inherited their backoff wholesale. The rate-based hint scales by
+        // the rejected job's own cost estimate instead.
+        let (server, _rx) = Server::new(ServerConfig { workers: 1, queue_depth: 2, ..Default::default() });
+        // seed the Normal lane's rate as if a fat cell took 1 s
+        let fat = JobSpec::new(SolverConfig::paper(Grid::new(64, 24, 50.0, 5.0), Regime::Euler), 100, 1);
+        server.inner.record_service_time(Priority::Normal, fat.cost_units(), Duration::from_secs(1));
+        let mut cheap = JobSpec::new(SolverConfig::paper(Grid::new(32, 12, 50.0, 5.0), Regime::Euler), 2, 1);
+        cheap.backend = Backend::Serial;
+        let cheap_hint = server.retry_after(&cheap);
+        let fat_hint = server.retry_after(&fat);
+        assert!(
+            cheap_hint < fat_hint / 20,
+            "cheap hint {cheap_hint:?} must be far below the fat job's {fat_hint:?} (ratio of cost units is ~{})",
+            fat.cost_units() / cheap.cost_units()
+        );
+        // and the lanes are independent: an expensive Low lane must not
+        // poison a High client's hint when High has its own observations
+        server.inner.record_service_time(Priority::Low, 1, Duration::from_secs(10));
+        let mut vip = cheap.clone();
+        vip.priority = Priority::High;
+        server.inner.record_service_time(Priority::High, vip.cost_units(), Duration::from_millis(2));
+        assert!(
+            server.retry_after(&vip) < Duration::from_millis(50),
+            "High lane hint {:?} must come from High observations, not the 10s/unit Low lane",
+            server.retry_after(&vip)
+        );
+        server.finish();
+    }
+
+    #[test]
+    fn brownout_rejects_low_priority_up_front() {
+        // brownout_fraction 0 = zero queue threshold, so brownout holds
+        // from the first submission on — deterministic without having to
+        // race a worker into keeping the queue deep
+        let (server, _rx) =
+            Server::new(ServerConfig { workers: 1, queue_depth: 8, brownout_fraction: 0.0, ..Default::default() });
+        let mut low = JobSpec::new(SolverConfig::paper(Grid::new(32, 12, 50.0, 5.0), Regime::Euler), 2, 1);
+        low.backend = Backend::Serial;
+        low.priority = Priority::Low;
+        match server.submit(low.clone()) {
+            Err(SubmitError::Busy { brownout, .. }) => assert!(brownout, "rejection must be flagged as brownout"),
+            other => panic!("expected brownout Busy, got {other:?}"),
+        }
+        // normal priority rides through the same pressure
+        let mut normal = low;
+        normal.priority = Priority::Normal;
+        server.submit(normal).unwrap();
+        let stats = server.finish();
+        assert_eq!(stats.brownout_rejected, 1);
+        assert_eq!(stats.submitted, 1);
+    }
+
+    #[test]
+    fn queued_deadline_expiry_settles_without_running() {
+        let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, ..Default::default() });
+        let mut spec = JobSpec::new(SolverConfig::paper(Grid::new(32, 12, 50.0, 5.0), Regime::Euler), 2, 1);
+        spec.backend = Backend::Serial;
+        spec.deadline = Some(Duration::ZERO); // expired the moment it queues
+        server.submit(spec).unwrap();
+        match rx.recv().unwrap() {
+            Outcome::Failed { error, .. } => assert!(error.contains("deadline exceeded"), "got {error:?}"),
+            other => panic!("expected deadline failure, got {other:?}"),
+        }
+        let stats = server.finish();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.cache_misses, 0, "an expired job must never touch a backend or the cache");
+    }
+
+    #[test]
     fn invalid_jobs_are_rejected_at_admission_not_in_a_worker() {
-        let (server, _rx) = Server::new(ServerConfig { workers: 1, queue_depth: 2, golden: None });
+        let (server, _rx) =
+            Server::new(ServerConfig { workers: 1, queue_depth: 2, golden: None, ..Default::default() });
         let mut spec = JobSpec::new(SolverConfig::paper(Grid::small(), Regime::Euler), 2, 20);
         assert!(matches!(server.submit(spec.clone()), Err(SubmitError::Invalid(_))));
         spec.procs = 2;

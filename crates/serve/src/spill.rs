@@ -1,0 +1,152 @@
+//! On-disk result spill: one checksummed file per completed cell.
+//!
+//! The spill store is the durable half of the result cache. Every cold run
+//! is written through here *before* its `Completed` record is journaled,
+//! so a `Completed` in the WAL always points at durable bytes; evicting an
+//! entry from the in-memory LRU or restarting the daemon then costs a file
+//! read, never a recompute.
+//!
+//! Layout: `{dir}/{key:016x}.res`, each file a single PR 3 sealed frame
+//! (`[body = CachedRun JSON][seq = key][span = 0][checksum]`). Loads
+//! validate the checksum and that the embedded sequence number matches the
+//! file name's key — a bit flip, a torn write or a renamed file all read
+//! back as a miss, not a wrong result. Writes go to a temp file that is
+//! atomically renamed into place, so a crash mid-write leaves either the
+//! old bytes or nothing.
+
+use crate::cache::CachedRun;
+use bytes::Bytes;
+use ns_runtime::pack::{frame_checksum, open_frame, FRAME_TRAILER};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Handle on a spill directory. Cheap to clone; all methods are
+/// whole-file operations with no shared state beyond the filesystem.
+#[derive(Clone, Debug)]
+pub struct Spill {
+    dir: PathBuf,
+    sync: bool,
+}
+
+impl Spill {
+    /// Open (creating if needed) a spill directory. `sync` fsyncs each
+    /// stored file before the atomic rename — required for the WAL's
+    /// "`Completed` points at durable bytes" invariant; tests that only
+    /// exercise eviction can turn it off.
+    pub fn open(dir: impl AsRef<Path>, sync: bool) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, sync })
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.res"))
+    }
+
+    /// Persist a completed run under its cache key (atomic replace).
+    pub fn store(&self, key: u64, run: &CachedRun) -> std::io::Result<()> {
+        let body = serde_json::to_string(run).expect("cached run serializes");
+        let sum = frame_checksum(key, 0, body.as_bytes());
+        let mut framed = Vec::with_capacity(body.len() + FRAME_TRAILER);
+        framed.extend_from_slice(body.as_bytes());
+        framed.extend_from_slice(&key.to_le_bytes());
+        framed.extend_from_slice(&0u64.to_le_bytes());
+        framed.extend_from_slice(&sum.to_le_bytes());
+        let tmp = self.dir.join(format!("{key:016x}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&framed)?;
+            if self.sync {
+                f.sync_data()?;
+            }
+        }
+        fs::rename(&tmp, self.path_for(key))
+    }
+
+    /// Load a spilled run. Any corruption (checksum failure, key mismatch,
+    /// unparseable body) reads back as `None`.
+    pub fn load(&self, key: u64) -> Option<Arc<CachedRun>> {
+        let bytes = fs::read(self.path_for(key)).ok()?;
+        let frame = open_frame(Bytes::from(bytes)).ok()?;
+        if frame.seq != key {
+            return None;
+        }
+        serde_json::from_slice::<CachedRun>(&frame.body).ok().map(Arc::new)
+    }
+
+    /// Whether a (possibly corrupt) spill file exists for the key.
+    pub fn contains(&self, key: u64) -> bool {
+        self.path_for(key).exists()
+    }
+
+    /// Number of `.res` files currently spilled.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok()).filter(|e| e.path().extension().map(|x| x == "res").unwrap_or(false)).count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True when no results are spilled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tag: &str) -> CachedRun {
+        CachedRun {
+            case: format!("euler/V5/serial/p1/commV5/nx48x16/s2/{tag}"),
+            payload: format!("{{\"tag\":\"{tag}\"}}"),
+            field_hash: 0xfeed_beef,
+            golden: Some(true),
+        }
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ns-spill-{:x}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let spill = Spill::open(scratch("roundtrip"), true).unwrap();
+        spill.store(42, &run("a")).unwrap();
+        let got = spill.load(42).unwrap();
+        assert_eq!(got.payload, run("a").payload);
+        assert_eq!(got.field_hash, 0xfeed_beef);
+        assert!(spill.contains(42));
+        assert!(!spill.contains(43));
+        assert_eq!(spill.len(), 1);
+        fs::remove_dir_all(spill.dir()).unwrap();
+    }
+
+    #[test]
+    fn corruption_reads_as_miss() {
+        let spill = Spill::open(scratch("corrupt"), false).unwrap();
+        spill.store(7, &run("b")).unwrap();
+        let path = spill.dir().join(format!("{:016x}.res", 7u64));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        assert!(spill.load(7).is_none(), "bit flip must not deserialize");
+        // a file renamed under the wrong key is also a miss (seq mismatch)
+        spill.store(8, &run("c")).unwrap();
+        fs::rename(spill.dir().join(format!("{:016x}.res", 8u64)), spill.dir().join(format!("{:016x}.res", 9u64)))
+            .unwrap();
+        assert!(spill.load(9).is_none(), "key/seq mismatch must not load");
+        fs::remove_dir_all(spill.dir()).unwrap();
+    }
+}

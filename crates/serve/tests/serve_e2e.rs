@@ -24,14 +24,14 @@ fn serial_job(steps: u64, label: &str) -> JobSpec {
 /// completes and `finish` returns.
 #[test]
 fn full_queue_rejects_with_retry_after_and_no_deadlock() {
-    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 2, golden: None });
+    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 2, golden: None, ..Default::default() });
     let mut admitted = 0u64;
     let mut rejected = 0u64;
     for i in 0..12u64 {
         // distinct cells (steps differ) so the cache cannot absorb the burst
         match server.submit(serial_job(20 + i, &format!("burst/{i}"))) {
             Ok(_) => admitted += 1,
-            Err(SubmitError::Busy { retry_after }) => {
+            Err(SubmitError::Busy { retry_after, .. }) => {
                 rejected += 1;
                 assert!(retry_after > Duration::ZERO, "retry-after hint must be positive");
             }
@@ -58,7 +58,7 @@ fn full_queue_rejects_with_retry_after_and_no_deadlock() {
 /// must not split the cache key.
 #[test]
 fn duplicate_cells_hit_the_cache_byte_identically() {
-    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 8, golden: None });
+    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 8, golden: None, ..Default::default() });
     let cold = JobSpec::new(euler(48, 16), 3, 2);
     let mut dup = cold.clone();
     dup.priority = Priority::High;
@@ -87,7 +87,7 @@ fn duplicate_cells_hit_the_cache_byte_identically() {
 /// work — and the shed job is reported, not silently dropped.
 #[test]
 fn overload_sheds_lowest_priority_and_reports_it() {
-    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 2, golden: None });
+    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 2, golden: None, ..Default::default() });
     // occupy the worker long enough that the queue stays full
     server.submit(serial_job(60, "occupant")).unwrap();
     // wait for the worker to claim it, so the queue below is exactly ours
@@ -122,7 +122,7 @@ fn overload_sheds_lowest_priority_and_reports_it() {
 /// as failed with a cancellation reason, and nothing hangs.
 #[test]
 fn shutdown_now_cancels_in_flight_rank_teams_cleanly() {
-    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: None });
+    let (server, rx) = Server::new(ServerConfig { workers: 1, queue_depth: 4, golden: None, ..Default::default() });
     // a parallel job big enough that shutdown lands mid-run
     let long = JobSpec::new(euler(64, 24), 100_000, 4);
     server.submit(long).unwrap();
