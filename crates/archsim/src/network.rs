@@ -49,6 +49,9 @@ pub enum NetKind {
     SpSwitch,
     /// Cray T3D 3-D torus, 150 MB/s per link.
     Torus3d,
+    /// Radix-4 fat tree, 1.25 GB/s per link (a 10 Gbps cluster fabric),
+    /// full bisection above the leaves.
+    FatTree,
 }
 
 impl NetKind {
@@ -62,6 +65,7 @@ impl NetKind {
             NetKind::Atm => Box::new(PortSwitch::new("ATM", 155e6, 40e-6, nprocs)),
             NetKind::SpSwitch => Box::new(PortSwitch::new("SP-switch", 320e6, 5e-6, nprocs)),
             NetKind::Torus3d => Box::new(Torus3d::new(nprocs)),
+            NetKind::FatTree => Box::new(FatTree::new(nprocs)),
         }
     }
 }
@@ -145,7 +149,8 @@ impl Torus3d {
             5..=8 => [4, 2, 1],
             9..=16 => [4, 2, 2],
             17..=32 => [8, 2, 2],
-            _ => [8, 4, 2],
+            33..=64 => [8, 4, 2],
+            _ => [8, 4, 4],
         };
         Self { dims, link_busy: HashMap::new(), bytes_per_sec: 150e6, hop_latency: 0.5e-6 }
     }
@@ -203,6 +208,66 @@ impl Network for Torus3d {
     }
     fn name(&self) -> &'static str {
         "T3D-torus"
+    }
+}
+
+/// A radix-4 fat tree with full bisection bandwidth above the leaf
+/// switches: nodes are packed 4 per leaf in rank order, so a Cartesian
+/// pencil numbered axial-fastest keeps its axial neighbours inside one leaf
+/// (2 hops) while radial neighbours climb towards the common ancestor. The
+/// upper tiers are "fat" — aggregate capacity matches the leaves — so only
+/// the endpoint ports serialize and distance shows up as per-hop latency,
+/// the behaviour of a non-blocking Clos/fat-tree cluster fabric.
+pub struct FatTree {
+    radix: usize,
+    bytes_per_sec: f64,
+    hop_latency: f64,
+    out_busy: Vec<f64>,
+    in_busy: Vec<f64>,
+}
+
+impl FatTree {
+    /// Fat tree for `nprocs` nodes: 1.25 GB/s links (10 Gbps), 1.5 us per
+    /// switch hop, radix 4.
+    pub fn new(nprocs: usize) -> Self {
+        Self {
+            radix: 4,
+            bytes_per_sec: 1.25e9,
+            hop_latency: 1.5e-6,
+            out_busy: vec![0.0; nprocs],
+            in_busy: vec![0.0; nprocs],
+        }
+    }
+
+    /// Switch hops of the up-then-down route: 2 within a leaf, +2 per tier
+    /// climbed to the lowest common ancestor.
+    pub fn route_len(&self, src: usize, dst: usize) -> usize {
+        if src == dst {
+            return 0;
+        }
+        let (mut a, mut b) = (src / self.radix, dst / self.radix);
+        let mut hops = 2;
+        while a != b {
+            a /= self.radix;
+            b /= self.radix;
+            hops += 2;
+        }
+        hops
+    }
+}
+
+impl Network for FatTree {
+    fn transfer(&mut self, now: f64, src: usize, dst: usize, bytes: u64) -> f64 {
+        let tx = bytes as f64 / self.bytes_per_sec;
+        let lat = self.route_len(src, dst) as f64 * self.hop_latency;
+        let start_out = now.max(self.out_busy[src]);
+        self.out_busy[src] = start_out + tx;
+        let start_in = (start_out + lat).max(self.in_busy[dst]);
+        self.in_busy[dst] = start_in + tx;
+        self.in_busy[dst]
+    }
+    fn name(&self) -> &'static str {
+        "fat-tree"
     }
 }
 
@@ -278,6 +343,27 @@ mod tests {
         let done = t.transfer(0.0, 0, 1, 6400);
         // 6400 B at 150 MB/s = 42.7 us + 0.5 us hop
         assert!(done < 60e-6, "{done}");
+    }
+
+    #[test]
+    fn fat_tree_distance_grows_by_tier() {
+        let t = FatTree::new(64);
+        assert_eq!(t.route_len(0, 0), 0);
+        assert_eq!(t.route_len(0, 3), 2, "same leaf");
+        assert_eq!(t.route_len(0, 4), 4, "adjacent leaf");
+        assert_eq!(t.route_len(0, 63), 6, "across the spine");
+    }
+
+    #[test]
+    fn fat_tree_disjoint_pairs_do_not_contend() {
+        let mut t = FatTree::new(64);
+        // both cross the spine; a blocking fabric would serialize them
+        let a = t.transfer(0.0, 0, 60, 1_250_000); // 1 ms of wire time
+        let b = t.transfer(0.0, 1, 61, 1_250_000);
+        assert!((a - b).abs() < 1e-9, "full bisection: {a} vs {b}");
+        // same source port serializes
+        let c = t.transfer(0.0, 0, 32, 1_250_000);
+        assert!(c > a + 0.9e-3, "port contention: {c}");
     }
 
     #[test]

@@ -98,6 +98,32 @@ impl Platform {
         Self { name: "Cray T3D", cpu: CpuSpec::t3d(), lib: MsgLib::cray_pvm(), net: NetKind::Torus3d, max_procs: 16 }
     }
 
+    /// A projection platform beyond the paper's catalog: LACE's fastest
+    /// nodes on a 10 Gbps radix-4 fat tree with a lean user-level message
+    /// library. This is the testbed for the 2-D pencil strong-scaling
+    /// study, where processor counts (32–128) outgrow every 1995 machine.
+    pub fn cluster_fat_tree() -> Self {
+        Self {
+            name: "Fat-tree cluster",
+            cpu: CpuSpec::rs6000_590(),
+            lib: MsgLib::lean_user_level(),
+            net: NetKind::FatTree,
+            max_procs: 128,
+        }
+    }
+
+    /// The T3D's torus scaled out to 128 nodes, same links and library —
+    /// the second fabric of the pencil scaling study.
+    pub fn torus_cluster() -> Self {
+        Self {
+            name: "Torus cluster",
+            cpu: CpuSpec::t3d(),
+            lib: MsgLib::cray_pvm(),
+            net: NetKind::Torus3d,
+            max_procs: 128,
+        }
+    }
+
     /// All message-passing platforms in the study.
     pub fn all() -> Vec<Platform> {
         vec![

@@ -76,6 +76,10 @@ pub struct SimConfig {
     /// Decomposition direction (the paper uses axial blocks; radial is the
     /// future-work ablation).
     pub decomposition: Decomposition,
+    /// 2-D pencil rank grid `(px, pr)`, axial-fastest numbering. When set
+    /// it overrides `decomposition` and must satisfy `px * pr == nprocs`;
+    /// `(nprocs, 1)` reproduces the axial layout exactly.
+    pub pencil: Option<(usize, usize)>,
 }
 
 impl SimConfig {
@@ -92,7 +96,18 @@ impl SimConfig {
             version: Version::V5,
             comm: CommMode::V5,
             decomposition: Decomposition::Axial,
+            pencil: None,
         }
+    }
+
+    /// The pencil scaling experiment: `px × pr` ranks on a platform, with
+    /// the grid chosen by the caller (strong-scaling studies outgrow the
+    /// paper's 250 × 100 domain).
+    pub fn pencil(platform: Platform, grid: Grid, px: usize, pr: usize, regime: Regime) -> Self {
+        let mut cfg = Self::paper(platform, px * pr, regime);
+        cfg.grid = grid;
+        cfg.pencil = Some((px, pr));
+        cfg
     }
 }
 
@@ -130,36 +145,56 @@ impl SimResult {
 /// Compile one rank's per-step program into low-level events.
 #[allow(clippy::too_many_arguments)]
 fn compile_rank(cal: &Calibration, cpu: &CpuSpec, lib: &MsgLib, cfg: &SimConfig, rank: usize) -> Vec<Ev> {
-    let left = (rank > 0).then(|| rank - 1);
-    let right = (rank + 1 < cfg.nprocs).then_some(rank + 1);
-    // local block length along the decomposed direction, and the local
-    // subdomain shape seen by the cache model
-    let (local, nxl, nr, owns_top) = match cfg.decomposition {
-        Decomposition::Axial => {
-            let n = workload::block_len(cfg.grid.nx, rank, cfg.nprocs);
-            (n, n, cfg.grid.nr, true)
+    // neighbours on the Cartesian rank grid (1-D layouts are the
+    // degenerate rows/columns of it), and the local subdomain shape seen by
+    // the cache model
+    let (left, right, down, up, nxl, nr, owns_top);
+    let mut w = match cfg.pencil {
+        Some((px, pr)) => {
+            assert_eq!(px * pr, cfg.nprocs, "pencil shape must cover the rank count");
+            let (cx, cr) = (rank % px, rank / px);
+            left = (cx > 0).then(|| rank - 1);
+            right = (cx + 1 < px).then(|| rank + 1);
+            down = (cr > 0).then(|| rank - px);
+            up = (cr + 1 < pr).then(|| rank + px);
+            nxl = workload::block_len(cfg.grid.nx, cx, px);
+            nr = workload::block_len(cfg.grid.nr, cr, pr);
+            owns_top = cr + 1 == pr;
+            workload::step_workload_pencil(cfg.regime, &cfg.grid, nxl, nr, owns_top)
         }
-        Decomposition::Radial => {
-            let n = workload::block_len(cfg.grid.nr, rank, cfg.nprocs);
-            (n, cfg.grid.nx, n, rank + 1 == cfg.nprocs)
+        None => {
+            left = (rank > 0).then(|| rank - 1);
+            right = (rank + 1 < cfg.nprocs).then_some(rank + 1);
+            (down, up) = (None, None);
+            let local;
+            (local, nxl, nr, owns_top) = match cfg.decomposition {
+                Decomposition::Axial => {
+                    let n = workload::block_len(cfg.grid.nx, rank, cfg.nprocs);
+                    (n, n, cfg.grid.nr, true)
+                }
+                Decomposition::Radial => {
+                    let n = workload::block_len(cfg.grid.nr, rank, cfg.nprocs);
+                    (n, cfg.grid.nx, n, rank + 1 == cfg.nprocs)
+                }
+            };
+            workload::step_workload_decomposed(cfg.regime, &cfg.grid, local, cfg.decomposition, owns_top)
         }
     };
-    let mut w = workload::step_workload_decomposed(cfg.regime, &cfg.grid, local, cfg.decomposition, owns_top);
     if cfg.version >= Version::V6 {
         w.relabel_fused();
     }
     let busy_for = |flops: u64| cal.seconds_for(cpu, cfg.version, nxl, nr, flops);
 
     let mut evs: Vec<Ev> = Vec::new();
-    let push_exchange = |evs: &mut Vec<Ev>, bytes: u64, pieces: u64| {
+    let push_exchange = |evs: &mut Vec<Ev>, pair: [Option<usize>; 2], bytes: u64, pieces: u64| {
         // all sends first (buffered), then receives — the solver's order
-        for n in [left, right].into_iter().flatten() {
+        for n in pair.into_iter().flatten() {
             for _ in 0..pieces {
                 evs.push(Ev::Busy { secs: lib.send_cost(bytes / pieces), label: "comm:send" });
                 evs.push(Ev::Send { to: n, bytes: bytes / pieces });
             }
         }
-        for n in [left, right].into_iter().flatten() {
+        for n in pair.into_iter().flatten() {
             for _ in 0..pieces {
                 evs.push(Ev::Recv { from: n });
                 evs.push(Ev::Busy { secs: lib.recv_cost(bytes / pieces), label: "comm:recv" });
@@ -200,11 +235,16 @@ fn compile_rank(cal: &Calibration, cpu: &CpuSpec, lib: &MsgLib, cfg: &SimConfig,
                     k += 2; // consumed the flux phase too
                     continue;
                 }
-                push_exchange(&mut evs, *bytes, 1);
+                push_exchange(&mut evs, [left, right], *bytes, 1);
             }
             PhaseOp::ExchangeFlux { bytes } => {
                 let pieces = if cfg.comm == CommMode::V7 { 2 } else { 1 };
-                push_exchange(&mut evs, *bytes, pieces);
+                push_exchange(&mut evs, [left, right], *bytes, pieces);
+            }
+            // the radial row exchanges of the pencil protocol, always the
+            // grouped (V5) shape — validation restricts radial splits to it
+            PhaseOp::ExchangePrimsR { bytes } | PhaseOp::ExchangeFluxR { bytes } => {
+                push_exchange(&mut evs, [down, up], *bytes, 1);
             }
         }
         k += 1;
@@ -498,6 +538,38 @@ mod tests {
         assert!(trace.iter().any(|e| e.rank == 1 && e.kind == ns_telemetry::EventKind::Recv && e.peer == Some(0)));
         // phase labels on the timeline use the shared vocabulary
         assert!(trace.iter().any(|e| e.label == "x:flux"));
+    }
+
+    #[test]
+    fn degenerate_pencil_reproduces_axial_simulation() {
+        let mut axial = SimConfig::paper(Platform::lace560_allnode_s(), 8, Regime::NavierStokes);
+        axial.sim_steps = 5;
+        let mut pencil = axial.clone();
+        pencil.pencil = Some((8, 1));
+        assert_eq!(simulate(&axial), simulate(&pencil), "(P, 1) is the axial layout, not an approximation of it");
+    }
+
+    #[test]
+    fn near_square_pencil_beats_slabs_on_comm() {
+        // strong scaling at P=64 on a square grid: the near-square pencil
+        // moves less halo data than either slab orientation
+        let grid = Grid::new(512, 512, 50.0, 5.0);
+        let run = |px: usize, pr: usize| {
+            let mut c = SimConfig::pencil(Platform::cluster_fat_tree(), grid.clone(), px, pr, Regime::NavierStokes);
+            c.sim_steps = 3;
+            c.report_steps = 3;
+            simulate(&c)
+        };
+        let radial = run(1, 64);
+        let axial = run(64, 1);
+        let square = run(8, 8);
+        let sent = |r: &SimResult| r.bytes_sent.iter().sum::<u64>();
+        assert!(sent(&square) < sent(&axial) && sent(&square) < sent(&radial), "pencil halo surface is smaller");
+        let comm = |r: &SimResult| {
+            r.wait.iter().sum::<f64>()
+                + ["comm:send", "comm:recv", "comm:stall"].iter().filter_map(|l| r.phase_seconds.get(l)).sum::<f64>()
+        };
+        assert!(comm(&square) < comm(&radial), "{} vs {}", comm(&square), comm(&radial));
     }
 
     #[test]

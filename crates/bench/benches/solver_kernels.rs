@@ -79,7 +79,7 @@ fn bench_operators(c: &mut Criterion) {
             })
         });
         g.bench_function(format!("r_operator_{}", regime.name()), |b| {
-            b.iter(|| scheme::r_operator(Variant::L1, &mut field, &mut ws, &cfg, &gas, dt, &mut ledger))
+            b.iter(|| scheme::r_operator(Variant::L1, &mut field, &mut ws, &cfg, &gas, &mut NoHalo, dt, &mut ledger))
         });
         // same operator with phase attribution armed: the difference against
         // the rows above is the telemetry-on cost; the disabled-timer cost

@@ -153,21 +153,40 @@ pub fn extrap_flux_x(flux: &mut FluxField, nxl: usize, nr: usize, left: bool, ri
 /// Fill the radial-flux ghost rows: axis side by parity mirror (exact for a
 /// symmetric solution), far-field side by cubic extrapolation.
 pub fn fill_rflux_ghosts(flux: &mut FluxField, nxl: usize, nr: usize, ledger: &mut FlopLedger) {
+    fill_rflux_ghosts_sides(flux, nxl, nr, true, true, ledger);
+}
+
+/// Per-side variant of [`fill_rflux_ghosts`] for pencil patches: a patch
+/// fills only the radial boundaries it owns; internal edges get their ghost
+/// rows from neighbour exchange instead.
+pub fn fill_rflux_ghosts_sides(
+    flux: &mut FluxField,
+    nxl: usize,
+    nr: usize,
+    bottom: bool,
+    top: bool,
+    ledger: &mut FlopLedger,
+) {
     for c in 0..4 {
         let s = G_PARITY[c];
         for i in 0..nxl {
             let ii = i as isize;
-            for g in 0..NG as isize {
-                flux.set(c, ii, -1 - g, s * flux.at(c, ii, g));
+            if bottom {
+                for g in 0..NG as isize {
+                    flux.set(c, ii, -1 - g, s * flux.at(c, ii, g));
+                }
             }
-            let n = nr as isize;
-            let (f0, f1, f2, f3) =
-                (flux.at(c, ii, n - 4), flux.at(c, ii, n - 3), flux.at(c, ii, n - 2), flux.at(c, ii, n - 1));
-            flux.set(c, ii, n, cubic_extrap_1(f0, f1, f2, f3));
-            flux.set(c, ii, n + 1, cubic_extrap_2(f0, f1, f2, f3));
+            if top {
+                let n = nr as isize;
+                let (f0, f1, f2, f3) =
+                    (flux.at(c, ii, n - 4), flux.at(c, ii, n - 3), flux.at(c, ii, n - 2), flux.at(c, ii, n - 1));
+                flux.set(c, ii, n, cubic_extrap_1(f0, f1, f2, f3));
+                flux.set(c, ii, n + 1, cubic_extrap_2(f0, f1, f2, f3));
+            }
         }
     }
-    ledger.boundary += (nxl * 4 * 14) as u64;
+    let sides = u64::from(bottom) + u64::from(top);
+    ledger.boundary += (nxl * 4 * 7) as u64 * sides;
 }
 
 /// Characteristic (Hayder–Turkel) outflow update of the global-right

@@ -130,7 +130,10 @@ impl Solver {
     /// whole grid — distributed ranks must provide their halo).
     pub fn step(&mut self) {
         assert!(
-            self.field.patch.is_global_left() && self.field.patch.is_global_right(),
+            self.field.patch.is_global_left()
+                && self.field.patch.is_global_right()
+                && self.field.patch.is_global_bottom()
+                && self.field.patch.is_global_top(),
             "serial stepping requires a whole-grid patch; use step_with_halo"
         );
         self.step_with_halo(&mut NoHalo);
@@ -152,7 +155,7 @@ impl Solver {
         let dt = self.dt;
         let t = self.t;
         if self.nstep.is_multiple_of(2) {
-            scheme::r_operator(Variant::L1, &mut self.field, &mut self.ws, &cfg, &self.gas, dt, &mut self.ledger);
+            scheme::r_operator(Variant::L1, &mut self.field, &mut self.ws, &cfg, &self.gas, halo, dt, &mut self.ledger);
             scheme::x_operator(
                 Variant::L1,
                 &mut self.field,
@@ -176,7 +179,7 @@ impl Solver {
                 dt,
                 &mut self.ledger,
             );
-            scheme::r_operator(Variant::L2, &mut self.field, &mut self.ws, &cfg, &self.gas, dt, &mut self.ledger);
+            scheme::r_operator(Variant::L2, &mut self.field, &mut self.ws, &cfg, &self.gas, halo, dt, &mut self.ledger);
         }
         self.ws.timers.start("bc:step");
         if self.field.patch.is_global_left() {
@@ -190,7 +193,7 @@ impl Solver {
         // model would inject an O(dr^2) error at the axis and mask the
         // scheme's order. The manufactured state is exactly odd in v, so the
         // mirror ghost fill alone keeps the axis consistent.
-        if cfg.mms.is_none() {
+        if cfg.mms.is_none() && self.field.patch.is_global_bottom() {
             bc::axis_regularize(&mut self.field, &self.gas, &mut self.ledger);
         }
         if cfg.dissipation != 0.0 {

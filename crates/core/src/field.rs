@@ -14,7 +14,9 @@ use serde::{Deserialize, Serialize};
 /// Number of ghost layers on each side (the 2-4 stencil reaches +-2).
 pub const NG: usize = 2;
 
-/// An axial slab `[i0, i0 + nxl)` of the global grid.
+/// A rectangular pencil `[i0, i0 + nxl) x [j0, j0 + nrl)` of the global
+/// grid. The paper's axial slabs are the `j0 = 0, nrl = grid.nr` special
+/// case; the 2-D decomposition splits both directions.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Patch {
     /// The global grid this patch belongs to.
@@ -23,24 +25,45 @@ pub struct Patch {
     pub i0: usize,
     /// Number of owned axial columns.
     pub nxl: usize,
+    /// Global index of the first owned radial row.
+    pub j0: usize,
+    /// Number of owned radial rows.
+    pub nrl: usize,
+}
+
+/// The `rank`-th of `size` even blocks over `n` cells: `(start, len)` with
+/// the remainder spread over the leading ranks (the standard block rule).
+#[inline]
+fn block_1d(n: usize, rank: usize, size: usize) -> (usize, usize) {
+    let base = n / size;
+    let rem = n % size;
+    (rank * base + rank.min(rem), base + usize::from(rank < rem))
 }
 
 impl Patch {
     /// A patch covering the entire grid (serial solver).
     pub fn whole(grid: Grid) -> Self {
         let nxl = grid.nx;
-        Self { grid, i0: 0, nxl }
+        let nrl = grid.nr;
+        Self { grid, i0: 0, nxl, j0: 0, nrl }
     }
 
     /// The `rank`-th of `size` axial blocks, sized as evenly as possible
     /// (remainder spread over the leading ranks, the standard block rule).
     pub fn block(grid: Grid, rank: usize, size: usize) -> Self {
         assert!(size >= 1 && rank < size);
-        let base = grid.nx / size;
-        let rem = grid.nx % size;
-        let nxl = base + usize::from(rank < rem);
-        let i0 = rank * base + rank.min(rem);
-        Self { grid, i0, nxl }
+        Self::pencil(grid, (rank, 0), (size, 1))
+    }
+
+    /// The `(cx, cr)` pencil of a `px x pr` Cartesian split: axial block
+    /// `cx` of `px` crossed with radial block `cr` of `pr`, both sized by
+    /// the same remainder-spreading rule as [`Patch::block`].
+    pub fn pencil(grid: Grid, coords: (usize, usize), dims: (usize, usize)) -> Self {
+        let ((cx, cr), (px, pr)) = (coords, dims);
+        assert!(px >= 1 && pr >= 1 && cx < px && cr < pr);
+        let (i0, nxl) = block_1d(grid.nx, cx, px);
+        let (j0, nrl) = block_1d(grid.nr, cr, pr);
+        Self { grid, i0, nxl, j0, nrl }
     }
 
     /// Axial coordinate of local column `i`.
@@ -49,23 +72,24 @@ impl Patch {
         self.grid.x(self.i0 + i)
     }
 
-    /// Radial coordinate of row `j` (patches span the full radial extent).
+    /// Radial coordinate of local row `j`.
     #[inline(always)]
     pub fn r(&self, j: usize) -> f64 {
-        self.grid.r(j)
+        self.grid.r(self.j0 + j)
     }
 
-    /// Radial coordinate for a signed row index (ghosts mirror across the
-    /// axis: `r_{-1} = -r_0`).
+    /// Radial coordinate for a signed local row index. At the global axis
+    /// ghosts mirror across it (`r_{-1} = -r_0`); an interior pencil's
+    /// bottom ghosts are real rows of the neighbour below.
     #[inline(always)]
     pub fn r_signed(&self, j: isize) -> f64 {
-        self.grid.r_signed(j)
+        self.grid.r_signed(self.j0 as isize + j)
     }
 
-    /// Number of radial points.
+    /// Number of owned radial rows.
     #[inline(always)]
     pub fn nr(&self) -> usize {
-        self.grid.nr
+        self.nrl
     }
 
     /// Does this patch own the global inflow boundary?
@@ -78,6 +102,18 @@ impl Patch {
     #[inline(always)]
     pub fn is_global_right(&self) -> bool {
         self.i0 + self.nxl == self.grid.nx
+    }
+
+    /// Does this patch own the jet axis (the bottom radial boundary)?
+    #[inline(always)]
+    pub fn is_global_bottom(&self) -> bool {
+        self.j0 == 0
+    }
+
+    /// Does this patch own the far-field row (the top radial boundary)?
+    #[inline(always)]
+    pub fn is_global_top(&self) -> bool {
+        self.j0 + self.nrl == self.grid.nr
     }
 }
 

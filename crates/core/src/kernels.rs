@@ -48,19 +48,29 @@ fn sq<const POWF: bool>(x: f64) -> f64 {
     }
 }
 
-/// Which global boundaries this patch owns (affects derivative stencils).
+/// Which global boundaries this patch owns (affects derivative stencils
+/// and ghost fills).
 #[derive(Clone, Copy, Debug)]
 pub struct EdgeFlags {
     /// Patch owns the global inflow boundary.
     pub left: bool,
     /// Patch owns the global outflow boundary.
     pub right: bool,
+    /// Patch owns the jet axis (bottom radial boundary).
+    pub bottom: bool,
+    /// Patch owns the far-field row (top radial boundary).
+    pub top: bool,
 }
 
 impl EdgeFlags {
     /// Edge flags of a patch.
     pub fn of(patch: &Patch) -> Self {
-        Self { left: patch.is_global_left(), right: patch.is_global_right() }
+        Self {
+            left: patch.is_global_left(),
+            right: patch.is_global_right(),
+            bottom: patch.is_global_bottom(),
+            top: patch.is_global_top(),
+        }
     }
 }
 

@@ -10,12 +10,15 @@
 //! Fourth-order spatial accuracy is obtained by alternating,
 //! `Q^{n+1} = L1x L1r Q^n`, `Q^{n+2} = L2r L2x Q^{n+1}`.
 //!
-//! The axial operator is the only one that communicates in the distributed
-//! solver (the domain is decomposed in axial blocks only); its halo traffic
-//! is abstracted behind [`XHalo`] so the identical numerics run serially
-//! (ghosts from boundary conditions only) and in parallel (ghosts from
-//! neighbor exchange), which is what makes the serial-vs-parallel
-//! equivalence tests exact.
+//! Halo traffic is abstracted behind [`XHalo`] so the identical numerics
+//! run serially (ghosts from boundary conditions only) and in parallel
+//! (ghosts from neighbor exchange), which is what makes the
+//! serial-vs-parallel equivalence tests exact. Under the paper's 1-D axial
+//! decomposition only the axial operator communicates; under the 2-D pencil
+//! decomposition the radial hooks ([`XHalo::exchange_prims_r`],
+//! [`XHalo::exchange_flux_r`]) fill ghost rows at internal radial edges,
+//! and every boundary-condition fill is gated on the patch actually owning
+//! that global boundary.
 
 use crate::bc;
 use crate::config::{SchemeOrder, SolverConfig};
@@ -62,6 +65,19 @@ pub trait XHalo {
     /// transports.
     fn finish_prims(&mut self, prim: &mut PrimField) {
         let _ = prim;
+    }
+    /// Fill the ghost *rows* of the primitive planes from the radial
+    /// neighbours (2-D pencil decomposition). The packed rows span the full
+    /// padded width, so the edge-adjacent corner strips ride along. No-op
+    /// serially and for axial-only decompositions.
+    fn exchange_prims_r(&mut self, prim: &mut PrimField) {
+        let _ = prim;
+    }
+    /// Fill the two ghost flux rows on each internal radial edge (the 2-4
+    /// stencil reads `j±2`). No-op serially and for axial-only
+    /// decompositions.
+    fn exchange_flux_r(&mut self, flux: &mut FluxField) {
+        let _ = flux;
     }
 }
 
@@ -186,9 +202,19 @@ pub fn x_operator(
     } else {
         ws.timers.start("x:prims");
         kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
-        bc::mirror_prims_axis(&mut ws.prim);
-        bc::extrap_prims_top(&mut ws.prim, nr);
+        if edges.bottom {
+            bc::mirror_prims_axis(&mut ws.prim);
+        }
+        if edges.top {
+            bc::extrap_prims_top(&mut ws.prim, nr);
+        }
         ws.timers.pause();
+        if viscous {
+            // The viscous x-flux takes radial derivatives of u, v, T; at
+            // internal radial edges those stencils read exchanged ghost rows
+            // (Euler's x-flux is point-local and skips the message).
+            halo.exchange_prims_r(&mut ws.prim);
+        }
         halo.post_prims(&mut ws.prim);
         ws.timers.start("x:flux");
         kernels::compute_flux_range(
@@ -351,13 +377,18 @@ pub fn x_operator(
     } else {
         ws.timers.start("x:prims2");
         kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
-        bc::mirror_prims_axis(&mut ws.prim);
-        bc::extrap_prims_top(&mut ws.prim, nr);
+        if edges.bottom {
+            bc::mirror_prims_axis(&mut ws.prim);
+        }
+        if edges.top {
+            bc::extrap_prims_top(&mut ws.prim, nr);
+        }
         if viscous {
             // The second grouped primitive exchange; Euler skips it (its edge
             // fluxes need no derivative stencils), which is why the paper's
             // Euler run does 12 message start-ups per step against 16 for N-S.
             ws.timers.pause();
+            halo.exchange_prims_r(&mut ws.prim);
             halo.post_prims(&mut ws.prim);
             ws.timers.start("x:flux2");
             kernels::compute_flux_range(
@@ -432,30 +463,41 @@ pub fn x_operator(
     ws.timers.pause();
 }
 
-/// Apply the radial operator (`Q_t + G_r = S`) over one time step. The
-/// radial direction is never decomposed, so this operator is communication
-/// free.
+/// Apply the radial operator (`Q_t + G_r = S`) over one time step.
+///
+/// Under the paper's axial decomposition this operator is communication
+/// free; under a 2-D pencil decomposition it exchanges prim and flux ghost
+/// *rows* with the radial neighbours through the [`XHalo`] radial hooks
+/// (no-ops otherwise).
+#[allow(clippy::too_many_arguments)]
 pub fn r_operator(
     variant: Variant,
     field: &mut Field,
     ws: &mut Workspace,
     cfg: &SolverConfig,
     gas: &GasModel,
+    halo: &mut dyn XHalo,
     dt: f64,
     ledger: &mut FlopLedger,
 ) {
     let patch = field.patch.clone();
-    // The radial operator never communicates (the paper's protocol sends
-    // messages only around the axial sweeps), so the viscous
+    // The radial operator never communicates *axially* (the paper's protocol
+    // sends columns only around the axial sweeps), so the viscous
     // cross-derivatives (u_x, v_x, T_x in tau_xr / tau_rr / tau_tt) must be
     // evaluated from local data alone: one-sided stencils at *patch* edges,
     // global or internal. On a whole-grid patch this coincides with the
-    // serial boundary treatment; on an internal edge it introduces the
+    // serial boundary treatment; on an internal axial edge it introduces the
     // O(dx^2)-consistent difference the parallel-equivalence tests budget
-    // for (Euler, with no stress derivatives, stays bitwise identical).
-    let edges = EdgeFlags { left: true, right: true };
+    // for (Euler, with no stress derivatives, stays bitwise identical, as do
+    // pure radial 1xP splits whose exchanged ghost rows feed the same
+    // central stencils the serial sweep uses).
+    let edges = EdgeFlags { left: true, right: true, bottom: patch.is_global_bottom(), top: patch.is_global_top() };
     let (nxl, nr) = (patch.nxl, patch.nr());
     let lam = dt / (6.0 * patch.grid.dr);
+    let viscous = !gas.is_inviscid();
+    // The far-field row is frozen during the sweep and rebuilt by the BC;
+    // patches that do not own it update every owned row.
+    let jend = nr - usize::from(edges.top);
 
     let fused = cfg.version >= crate::config::Version::V6;
 
@@ -484,8 +526,16 @@ pub fn r_operator(
     } else {
         ws.timers.start("r:prims");
         kernels::compute_prims(cfg.version, field, &mut ws.prim, gas, ledger);
-        bc::mirror_prims_axis(&mut ws.prim);
-        bc::extrap_prims_top(&mut ws.prim, nr);
+        if edges.bottom {
+            bc::mirror_prims_axis(&mut ws.prim);
+        }
+        if edges.top {
+            bc::extrap_prims_top(&mut ws.prim, nr);
+        }
+        ws.timers.pause();
+        if viscous {
+            halo.exchange_prims_r(&mut ws.prim);
+        }
         ws.timers.start("r:flux");
         kernels::compute_flux(
             cfg.version,
@@ -499,16 +549,21 @@ pub fn r_operator(
             ledger,
         );
     }
-    bc::fill_rflux_ghosts(&mut ws.flux, nxl, nr, ledger);
+    ws.timers.pause();
+    halo.exchange_flux_r(&mut ws.flux);
+    ws.timers.start(if fused { "r:fused" } else { "r:flux" });
+    bc::fill_rflux_ghosts_sides(&mut ws.flux, nxl, nr, edges.bottom, edges.top, ledger);
 
     // --- predictor -------------------------------------------------------------
     ws.timers.start("r:predict");
     {
         let Workspace { flux, src, qbar, mms, .. } = ws;
-        predictor_r(variant, field, flux, src, mms.as_deref(), qbar, nxl, nr, lam, dt, cfg, ledger);
+        predictor_r(variant, field, flux, src, mms.as_deref(), qbar, nxl, jend, lam, dt, cfg, ledger);
     }
-    for i in 0..nxl {
-        ws.qbar.set_qvec(i, nr - 1, field.qvec(i, nr - 1));
+    if edges.top {
+        for i in 0..nxl {
+            ws.qbar.set_qvec(i, nr - 1, field.qvec(i, nr - 1));
+        }
     }
 
     // --- stage 2 -------------------------------------------------------------
@@ -534,8 +589,16 @@ pub fn r_operator(
     } else {
         ws.timers.start("r:prims2");
         kernels::compute_prims(cfg.version, &ws.qbar, &mut ws.prim, gas, ledger);
-        bc::mirror_prims_axis(&mut ws.prim);
-        bc::extrap_prims_top(&mut ws.prim, nr);
+        if edges.bottom {
+            bc::mirror_prims_axis(&mut ws.prim);
+        }
+        if edges.top {
+            bc::extrap_prims_top(&mut ws.prim, nr);
+        }
+        ws.timers.pause();
+        if viscous {
+            halo.exchange_prims_r(&mut ws.prim);
+        }
         ws.timers.start("r:flux2");
         kernels::compute_flux(
             cfg.version,
@@ -549,18 +612,21 @@ pub fn r_operator(
             ledger,
         );
     }
-    bc::fill_rflux_ghosts(&mut ws.flux_bar, nxl, nr, ledger);
+    ws.timers.pause();
+    halo.exchange_flux_r(&mut ws.flux_bar);
+    ws.timers.start(if fused { "r:fused2" } else { "r:flux2" });
+    bc::fill_rflux_ghosts_sides(&mut ws.flux_bar, nxl, nr, edges.bottom, edges.top, ledger);
 
     // --- corrector -------------------------------------------------------------
     ws.timers.start("r:correct");
     {
         let Workspace { flux_bar, src_bar, qbar, mms, .. } = ws;
-        corrector_r(variant, field, qbar, flux_bar, src_bar, mms.as_deref(), nxl, nr, lam, dt, cfg, ledger);
+        corrector_r(variant, field, qbar, flux_bar, src_bar, mms.as_deref(), nxl, jend, lam, dt, cfg, ledger);
     }
 
     // Under MMS the top row keeps its exact manufactured data (the sweep
     // above stops at nr-2); the far-field model is a jet boundary condition.
-    if cfg.mms.is_none() {
+    if edges.top && cfg.mms.is_none() {
         bc::farfield_top(field, gas, gas.pressure(1.0, cfg.jet.t_c), ledger);
     }
     ws.timers.pause();
@@ -706,15 +772,17 @@ fn predictor_r(
     mms: Option<&MmsSources>,
     qbar: &mut Field,
     nxl: usize,
-    nr: usize,
+    jend: usize,
     lam: f64,
     dt: f64,
     cfg: &SolverConfig,
     ledger: &mut FlopLedger,
 ) {
     let forward = variant == Variant::L1;
+    // `jend` excludes the far-field row on the patch that owns it (the BC
+    // rebuilds that row); interior pencils update every owned row.
     match mms {
-        None => sweep(cfg, 0..nxl, 0..nr - 1, |i, j| {
+        None => sweep(cfg, 0..nxl, 0..jend, |i, j| {
             let (si, sj) = (i as isize, j as isize);
             let s = src.at(i + NG, j + NG);
             for c in 0..4 {
@@ -723,7 +791,7 @@ fn predictor_r(
                 qbar.set(c, si, sj, field.at(c, si, sj) - lam * d + sc);
             }
         }),
-        Some(m) => sweep(cfg, 0..nxl, 0..nr - 1, |i, j| {
+        Some(m) => sweep(cfg, 0..nxl, 0..jend, |i, j| {
             let (si, sj) = (i as isize, j as isize);
             let s = src.at(i + NG, j + NG);
             for c in 0..4 {
@@ -733,7 +801,7 @@ fn predictor_r(
             }
         }),
     }
-    ledger.update += (nxl * (nr - 1)) as u64 * (opcount::COST_PREDICTOR + 2);
+    ledger.update += (nxl * jend) as u64 * (opcount::COST_PREDICTOR + 2);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -745,7 +813,7 @@ fn corrector_r(
     src_bar: &ns_numerics::Array2,
     mms: Option<&MmsSources>,
     nxl: usize,
-    nr: usize,
+    jend: usize,
     lam: f64,
     dt: f64,
     cfg: &SolverConfig,
@@ -753,7 +821,7 @@ fn corrector_r(
 ) {
     let forward = variant == Variant::L2;
     match mms {
-        None => sweep(cfg, 0..nxl, 0..nr - 1, |i, j| {
+        None => sweep(cfg, 0..nxl, 0..jend, |i, j| {
             let (si, sj) = (i as isize, j as isize);
             let s = src_bar.at(i + NG, j + NG);
             for c in 0..4 {
@@ -763,7 +831,7 @@ fn corrector_r(
                 field.set(c, si, sj, v);
             }
         }),
-        Some(m) => sweep(cfg, 0..nxl, 0..nr - 1, |i, j| {
+        Some(m) => sweep(cfg, 0..nxl, 0..jend, |i, j| {
             let (si, sj) = (i as isize, j as isize);
             let s = src_bar.at(i + NG, j + NG);
             for c in 0..4 {
@@ -775,7 +843,7 @@ fn corrector_r(
             }
         }),
     }
-    ledger.update += (nxl * (nr - 1)) as u64 * (opcount::COST_CORRECTOR + 2);
+    ledger.update += (nxl * jend) as u64 * (opcount::COST_CORRECTOR + 2);
 }
 
 #[cfg(test)]
@@ -815,7 +883,7 @@ mod tests {
             let mut ledger = FlopLedger::default();
             let dt = cfg.time_step();
             for variant in [Variant::L1, Variant::L2] {
-                r_operator(variant, &mut field, &mut ws, &cfg, &gas, dt, &mut ledger);
+                r_operator(variant, &mut field, &mut ws, &cfg, &gas, &mut NoHalo, dt, &mut ledger);
             }
             // exclude the far-field row which is reset by the BC
             let mut max = 0.0_f64;

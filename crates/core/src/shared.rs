@@ -447,7 +447,8 @@ fn par_r_operator(
 ) {
     let patch = field.patch.clone();
     // matches scheme::r_operator: local one-sided x-stencils at patch edges
-    let edges = EdgeFlags { left: true, right: true };
+    // (the shared-memory solver always owns the whole radial extent)
+    let edges = EdgeFlags { left: true, right: true, bottom: true, top: true };
     let (nxl, nr) = (patch.nxl, patch.nr());
     let lam = dt / (6.0 * patch.grid.dr);
 

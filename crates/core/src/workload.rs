@@ -56,6 +56,30 @@ pub enum PhaseOp {
         /// Message payload per neighbour, in bytes.
         bytes: u64,
     },
+    /// Primitive ghost-*row* exchange with the radial neighbours of a 2-D
+    /// pencil (one padded-width row each way; viscous runs only).
+    ExchangePrimsR {
+        /// Message payload per radial neighbour, in bytes.
+        bytes: u64,
+    },
+    /// Two-row flux exchange with the radial neighbours of a 2-D pencil
+    /// (the 2-4 stencil reads `j±2`).
+    ExchangeFluxR {
+        /// Message payload per radial neighbour, in bytes.
+        bytes: u64,
+    },
+}
+
+impl PhaseOp {
+    /// True for the axial (column) exchanges of the paper's protocol.
+    pub fn is_axial_exchange(&self) -> bool {
+        matches!(self, PhaseOp::ExchangePrims { .. } | PhaseOp::ExchangeFlux { .. })
+    }
+
+    /// True for the radial (row) exchanges of the pencil protocol.
+    pub fn is_radial_exchange(&self) -> bool {
+        matches!(self, PhaseOp::ExchangePrimsR { .. } | PhaseOp::ExchangeFluxR { .. })
+    }
 }
 
 /// Per-step workload of one rank owning `nxl` axial columns.
@@ -177,6 +201,73 @@ pub fn step_workload_decomposed(
     StepWorkload { ops, nr: nrl, nxl }
 }
 
+/// Build the per-step program of one pencil of a 2-D (axial × radial)
+/// decomposition owning `nxl` columns × `nrl` rows.
+///
+/// The axial protocol is the paper's, with column messages of `nrl` points.
+/// The radial protocol mirrors it around the radial sweeps: one primitive
+/// ghost row each way before every viscous flux evaluation (all four
+/// stages — the viscous stress tensor takes radial derivatives in *both*
+/// operators), and a two-row flux packet around each radial flux stage.
+/// Euler's fluxes are point-local in the primitives, so only the two flux
+/// rows remain: 12 radial start-ups per step per interior neighbour pair
+/// for N-S against 4 for Euler. Radial rows span the padded width
+/// `nxl + 2 NG`, which is how the edge-adjacent corner strips travel.
+pub fn step_workload_pencil(regime: Regime, grid: &Grid, nxl: usize, nrl: usize, owns_far_field: bool) -> StepWorkload {
+    debug_assert!(nxl <= grid.nx && nrl <= grid.nr, "pencil exceeds the grid");
+    let update_rows = nrl - usize::from(owns_far_field);
+    let pts = (nxl * nrl) as u64;
+    let viscous = regime == Regime::NavierStokes;
+    let flux_cost = if viscous { opcount::COST_FLUX_VISCOUS } else { opcount::COST_FLUX_INVISCID };
+    let prim_bytes = prim_message_bytes(nrl);
+    let flux_bytes = flux_message_bytes(nrl);
+    let row_points = nxl + 2 * crate::field::NG;
+    let prim_r_bytes = prim_message_bytes(row_points);
+    let flux_r_bytes = flux_message_bytes(row_points);
+
+    let mut ops = Vec::with_capacity(24);
+    // --- radial operator ---------------------------------------------------
+    ops.push(PhaseOp::Compute { label: "r:prims", flops: pts * opcount::COST_PRIMS });
+    if viscous {
+        ops.push(PhaseOp::ExchangePrimsR { bytes: prim_r_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "r:flux", flops: pts * (flux_cost + opcount::COST_SOURCE) });
+    ops.push(PhaseOp::ExchangeFluxR { bytes: flux_r_bytes });
+    ops.push(PhaseOp::Compute {
+        label: "r:predict",
+        flops: (nxl * update_rows) as u64 * (opcount::COST_PREDICTOR + 2),
+    });
+    ops.push(PhaseOp::Compute { label: "r:prims2", flops: pts * opcount::COST_PRIMS });
+    if viscous {
+        ops.push(PhaseOp::ExchangePrimsR { bytes: prim_r_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "r:flux2", flops: pts * (flux_cost + opcount::COST_SOURCE) });
+    ops.push(PhaseOp::ExchangeFluxR { bytes: flux_r_bytes });
+    ops.push(PhaseOp::Compute {
+        label: "r:correct",
+        flops: (nxl * update_rows) as u64 * (opcount::COST_CORRECTOR + 2),
+    });
+    // --- axial operator ----------------------------------------------------
+    ops.push(PhaseOp::Compute { label: "x:prims", flops: pts * opcount::COST_PRIMS });
+    if viscous {
+        ops.push(PhaseOp::ExchangePrimsR { bytes: prim_r_bytes });
+    }
+    ops.push(PhaseOp::ExchangePrims { bytes: prim_bytes });
+    ops.push(PhaseOp::Compute { label: "x:flux", flops: pts * flux_cost });
+    ops.push(PhaseOp::ExchangeFlux { bytes: flux_bytes });
+    ops.push(PhaseOp::Compute { label: "x:predict", flops: pts * opcount::COST_PREDICTOR });
+    ops.push(PhaseOp::Compute { label: "x:prims2", flops: pts * opcount::COST_PRIMS });
+    if viscous {
+        ops.push(PhaseOp::ExchangePrimsR { bytes: prim_r_bytes });
+        ops.push(PhaseOp::ExchangePrims { bytes: prim_bytes });
+    }
+    ops.push(PhaseOp::Compute { label: "x:flux2", flops: pts * flux_cost });
+    ops.push(PhaseOp::ExchangeFlux { bytes: flux_bytes });
+    ops.push(PhaseOp::Compute { label: "x:correct", flops: pts * opcount::COST_CORRECTOR });
+
+    StepWorkload { ops, nr: nrl, nxl }
+}
+
 /// Build the per-step program with phase labels matching `version`'s timer
 /// vocabulary. V1–V5 share the prims/flux phase split; the fused V6 path
 /// merges primitive recovery into the flux sweep, so its timers report the
@@ -243,6 +334,31 @@ impl StepWorkload {
             })
             .sum();
         per_neighbor * neighbors as u64
+    }
+
+    /// Message start-ups per step of a pencil rank, counting axial and
+    /// radial exchanges against their own neighbour counts.
+    pub fn startups_per_step_pencil(&self, ax_neighbors: usize, rad_neighbors: usize) -> u64 {
+        let ax = self.ops.iter().filter(|op| op.is_axial_exchange()).count() as u64;
+        let rad = self.ops.iter().filter(|op| op.is_radial_exchange()).count() as u64;
+        (ax * ax_neighbors as u64 + rad * rad_neighbors as u64) * 2
+    }
+
+    /// Bytes sent per step of a pencil rank.
+    pub fn bytes_sent_per_step_pencil(&self, ax_neighbors: usize, rad_neighbors: usize) -> u64 {
+        let mut total = 0u64;
+        for op in &self.ops {
+            match op {
+                PhaseOp::ExchangePrims { bytes } | PhaseOp::ExchangeFlux { bytes } => {
+                    total += bytes * ax_neighbors as u64;
+                }
+                PhaseOp::ExchangePrimsR { bytes } | PhaseOp::ExchangeFluxR { bytes } => {
+                    total += bytes * rad_neighbors as u64;
+                }
+                PhaseOp::Compute { .. } => {}
+            }
+        }
+        total
     }
 }
 
@@ -319,5 +435,46 @@ mod tests {
     fn edge_rank_sends_half_of_interior_rank() {
         let w = step_workload(Regime::NavierStokes, &Grid::paper(), 16);
         assert_eq!(w.bytes_sent_per_step(1) * 2, w.bytes_sent_per_step(2));
+    }
+
+    #[test]
+    fn pencil_radial_protocol_startup_counts() {
+        let g = Grid::paper();
+        // N-S: 4 axial exchanges (16 start-ups with two axial neighbours)
+        // plus 6 radial ones (24 with two radial neighbours)
+        let ns = step_workload_pencil(Regime::NavierStokes, &g, 16, 12, false);
+        assert_eq!(ns.startups_per_step_pencil(2, 0), 16);
+        assert_eq!(ns.startups_per_step_pencil(2, 2), 40);
+        // Euler: point-local fluxes keep only the two flux-row exchanges
+        let eu = step_workload_pencil(Regime::Euler, &g, 16, 12, false);
+        assert_eq!(eu.startups_per_step_pencil(2, 0), 12);
+        assert_eq!(eu.startups_per_step_pencil(2, 2), 20);
+    }
+
+    #[test]
+    fn pencil_degenerates_to_axial_compute() {
+        let g = Grid::paper();
+        let axial = step_workload(Regime::NavierStokes, &g, 16);
+        let pencil = step_workload_pencil(Regime::NavierStokes, &g, 16, g.nr, true);
+        assert_eq!(axial.compute_flops(), pencil.compute_flops());
+        // with no radial neighbours the pencil sends exactly the axial bytes
+        assert_eq!(axial.bytes_sent_per_step(2), pencil.bytes_sent_per_step_pencil(2, 0));
+    }
+
+    #[test]
+    fn pencil_radial_rows_span_padded_width() {
+        let g = Grid::paper();
+        let w = step_workload_pencil(Regime::NavierStokes, &g, 16, 12, false);
+        let row_bytes: Vec<u64> = w
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                PhaseOp::ExchangePrimsR { bytes } => Some(*bytes),
+                _ => None,
+            })
+            .collect();
+        // 3 planes x (nxl + 2 NG) points x 8 bytes: the corner strips ride
+        // along with the owned row
+        assert!(row_bytes.iter().all(|&b| b == 3 * (16 + 2 * crate::field::NG as u64) * 8));
     }
 }

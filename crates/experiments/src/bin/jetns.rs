@@ -17,6 +17,11 @@
 //! jetns bench-compare --candidate FILE [--baseline FILE]               bench regression gate:
 //!                  [--tolerance X]                                     fresh medians vs committed
 //!                                                                      BENCH_kernels.json
+//! jetns scaling-sweep [--quick] [--out FILE]                           simulate the 2-D pencil
+//!                                                                      strong-scaling sweep, write
+//!                                                                      BENCH_scaling.json
+//! jetns scaling-report [--file PATH]                                   render the committed sweep as
+//!                                                                      per-platform tables
 //! jetns chaos      [--steps N] [--nx N] [--nr N] [--seed S]            fault-injection sweep:
 //!                  [--rates R1,R2,..] [--procs P1,P2,..] [--no-crash]  survival/overhead table,
 //!                  [--json FILE] [--flight-dir DIR]                    bitwise-recovery check,
@@ -347,6 +352,48 @@ fn cmd_bench_report(args: &Args) -> ExitCode {
     match bench_report::parse(&text) {
         Ok(data) => {
             print!("{}", bench_report::render(&data));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jetns: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_scaling_sweep(args: &Args) -> ExitCode {
+    let quick = args.has("quick");
+    let out = args.get("out").unwrap_or("BENCH_scaling.json");
+    println!("simulating the pencil strong-scaling sweep{}…", if quick { " (quick: P=32)" } else { "" });
+    let data = ns_experiments::scaling::sweep(quick);
+    let json = match serde_json::to_string_pretty(&data) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("jetns: cannot serialize sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_file(out, json + "\n") {
+        eprintln!("jetns: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} cells to {out}", data.cells.len());
+    print!("{}", ns_experiments::scaling::render(&data));
+    ExitCode::SUCCESS
+}
+
+fn cmd_scaling_report(args: &Args) -> ExitCode {
+    let path = args.get("file").unwrap_or("BENCH_scaling.json");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("jetns: cannot read {path}: {e} (run `jetns scaling-sweep` to produce it)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ns_experiments::scaling::parse(&text) {
+        Ok(data) => {
+            print!("{}", ns_experiments::scaling::render(&data));
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -924,6 +971,8 @@ fn main() -> ExitCode {
         "loadgen" => cmd_loadgen(&args),
         "metrics" => cmd_metrics(&args),
         "bench-compare" => cmd_bench_compare(&args),
+        "scaling-sweep" => cmd_scaling_sweep(&args),
+        "scaling-report" => cmd_scaling_report(&args),
         _ => usage(),
     }
 }

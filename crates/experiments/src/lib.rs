@@ -35,6 +35,7 @@ pub mod fig_msglib;
 pub mod fig_platforms;
 pub mod fig_versions;
 pub mod report;
+pub mod scaling;
 pub mod serve_report;
 pub mod speedup;
 pub mod tables;

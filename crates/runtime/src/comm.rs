@@ -53,6 +53,7 @@ struct CommMetrics {
     resends: Arc<Counter>,
     corrupt_frames: Arc<Counter>,
     dup_frames: Arc<Counter>,
+    spanless_frames: Arc<Counter>,
 }
 
 impl CommMetrics {
@@ -67,6 +68,7 @@ impl CommMetrics {
             resends: r.counter("ns_comm_resends_total"),
             corrupt_frames: r.counter("ns_comm_corrupt_frames_total"),
             dup_frames: r.counter("ns_comm_dup_frames_total"),
+            spanless_frames: r.counter("ns_comm_spanless_frames_total"),
         }
     }
 }
@@ -98,6 +100,11 @@ pub enum MsgKind {
     /// payload names the wanted tag). Never framed, never stashed, never
     /// counted as an application start-up.
     Nack,
+    /// Primitive ghost-row exchange with a radial neighbour (2-D pencil
+    /// decomposition; the sequence number encodes step and call index).
+    PrimsR,
+    /// Two-row flux packet exchanged with a radial neighbour.
+    FluxR,
 }
 
 impl MsgKind {
@@ -112,6 +119,8 @@ impl MsgKind {
             MsgKind::Gather => "Gather",
             MsgKind::Bcast => "Bcast",
             MsgKind::Nack => "Nack",
+            MsgKind::PrimsR => "PrimsR",
+            MsgKind::FluxR => "FluxR",
         }
     }
 
@@ -126,6 +135,8 @@ impl MsgKind {
             MsgKind::Gather => 5,
             MsgKind::Bcast => 6,
             MsgKind::Nack => 7,
+            MsgKind::PrimsR => 8,
+            MsgKind::FluxR => 9,
         }
     }
 
@@ -140,6 +151,8 @@ impl MsgKind {
             5 => MsgKind::Gather,
             6 => MsgKind::Bcast,
             7 => MsgKind::Nack,
+            8 => MsgKind::PrimsR,
+            9 => MsgKind::FluxR,
             _ => return None,
         })
     }
@@ -191,6 +204,10 @@ pub struct CommStats {
     pub corrupt_frames: u64,
     /// Received frames discarded as duplicates.
     pub dup_frames: u64,
+    /// Cached frames whose span trailer could not be parsed when serving a
+    /// resend; their trace events carry no span instead of a fabricated
+    /// span 0.
+    pub spanless_frames: u64,
 }
 
 impl CommStats {
@@ -211,6 +228,7 @@ impl CommStats {
         self.resends += o.resends;
         self.corrupt_frames += o.corrupt_frames;
         self.dup_frames += o.dup_frames;
+        self.spanless_frames += o.spanless_frames;
     }
 }
 
@@ -550,8 +568,18 @@ impl Endpoint {
         if let Some(frame) = cached {
             let src = self.rank;
             // the resend serves the cached sealed bytes, so the frame's
-            // original span rides along; label the resend with it too
-            let frame_span = peek_span(&frame).unwrap_or(0);
+            // original span rides along; label the resend with it too. A
+            // frame too short to carry a trailer has no span to stitch —
+            // count it and record the events spanless rather than inventing
+            // span 0.
+            let frame_span = match peek_span(&frame) {
+                Some(span) => span,
+                None => {
+                    self.stats.spanless_frames += 1;
+                    self.metrics.spanless_frames.inc();
+                    0
+                }
+            };
             if let Some(tx) = self.txs.get(m.src) {
                 let _ = tx.send(Message { src, tag: wanted, span: frame_span, payload: frame });
             }
@@ -1089,6 +1117,36 @@ mod tests {
             assert!(b.stats.retries >= 1, "b NACKed it");
             assert!(a.stats.resends >= 1, "a served the NACK from its cache");
         });
+    }
+
+    #[test]
+    fn unparseable_cached_frame_is_counted_spanless_not_span0() {
+        // a NACK answered from a cache entry too short to carry a frame
+        // trailer must be counted in `spanless_frames`, not silently
+        // attributed to span 0
+        let mut eps = universe_reliable(2, ReliableConfig::default(), None);
+        let _b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let wanted = tag(MsgKind::Prims1, 5);
+        let short = Bytes::from(vec![1u8, 2, 3]);
+        a.reliability.as_mut().unwrap().remember(1, wanted, short);
+        let mut pb = PackBuf::new();
+        pb.pack_u64(wanted.kind.code());
+        pb.pack_u64(wanted.seq);
+        a.serve_nack(Message { src: 1, tag: Tag { kind: MsgKind::Nack, seq: 0 }, span: 0, payload: pb.freeze() });
+        assert_eq!(a.stats.resends, 1, "the resend itself still happens");
+        assert_eq!(a.stats.spanless_frames, 1, "but it is counted as spanless");
+        // a healthy cached frame (with a trailer) must not be counted
+        let mut sealed = PackBuf::new();
+        sealed.pack_f64_slice(&[1.0, 2.0]);
+        sealed.seal_frame(1, 0);
+        a.reliability.as_mut().unwrap().remember(1, tag(MsgKind::Flux1, 5), sealed.freeze());
+        let mut pb2 = PackBuf::new();
+        pb2.pack_u64(MsgKind::Flux1.code());
+        pb2.pack_u64(5);
+        a.serve_nack(Message { src: 1, tag: Tag { kind: MsgKind::Nack, seq: 0 }, span: 0, payload: pb2.freeze() });
+        assert_eq!(a.stats.resends, 2);
+        assert_eq!(a.stats.spanless_frames, 1, "parseable frames are not spanless");
     }
 
     #[test]

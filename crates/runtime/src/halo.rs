@@ -18,6 +18,7 @@
 
 use crate::comm::{CommError, Endpoint, MsgKind, Tag};
 use crate::pack::{BufPool, PackBuf, UnpackBuf};
+use crate::topology::CartNeighbors;
 use ns_core::field::{FluxField, PrimField, NG};
 use ns_core::scheme::XHalo;
 
@@ -40,6 +41,10 @@ pub struct ThreadHalo<'a> {
     ep: &'a mut Endpoint,
     left: Option<usize>,
     right: Option<usize>,
+    /// Radial predecessor (towards the axis); `None` for axial-only layouts.
+    down: Option<usize>,
+    /// Radial successor (towards the far field).
+    up: Option<usize>,
     nxl: usize,
     nr: usize,
     version: CommVersion,
@@ -50,6 +55,8 @@ pub struct ThreadHalo<'a> {
     generation: u64,
     prim_calls: u8,
     flux_calls: u8,
+    prim_r_calls: u8,
+    flux_r_calls: u8,
     /// Kind of a posted-but-unreceived split-phase prim exchange (V6).
     pending_prims: Option<Tag>,
     /// Strict mode (the default) panics on comm errors, as a PVM task dies
@@ -64,10 +71,12 @@ pub struct ThreadHalo<'a> {
     pool: BufPool,
     /// Persistent column scratch for unpacking (one radial line).
     scratch: Vec<f64>,
+    /// Persistent row scratch for radial unpacking (one padded axial line).
+    row_scratch: Vec<f64>,
 }
 
 impl<'a> ThreadHalo<'a> {
-    /// Create the halo for a rank with the given neighbours.
+    /// Create the halo for a rank of the paper's 1-D axial decomposition.
     pub fn new(
         ep: &'a mut Endpoint,
         left: Option<usize>,
@@ -76,20 +85,33 @@ impl<'a> ThreadHalo<'a> {
         nr: usize,
         version: CommVersion,
     ) -> Self {
+        Self::new_cart(ep, CartNeighbors { left, right, down: None, up: None }, nxl, nr, version)
+    }
+
+    /// Create the halo for a pencil with the given face neighbours.
+    pub fn new_cart(ep: &'a mut Endpoint, nb: CartNeighbors, nxl: usize, nr: usize, version: CommVersion) -> Self {
         let mut pool = BufPool::new();
-        // Per step each neighbour link carries at most six sends: two
-        // grouped primitive columns (3*nr doubles) plus up to four flux
-        // columns (two two-column packets, or four single-column packets
-        // under the split V7 protocol). The largest is the 8*nr two-column
-        // flux packet. Warming the pool to that working set makes every
-        // pack a pool hit from the first step — the cold pool used to
-        // allocate once per send until recycled receives refilled it.
-        let neighbours = usize::from(left.is_some()) + usize::from(right.is_some());
-        pool.warm(6 * neighbours, 8 * nr);
+        // Per step each axial link carries at most six sends: two grouped
+        // primitive columns (3*nr doubles) plus up to four flux columns
+        // (two two-column packets, or four single-column packets under the
+        // split V7 protocol). The largest is the 8*nr two-column flux
+        // packet. Each radial link carries at most six sends too (up to
+        // four primitive rows plus two two-row flux packets), the largest
+        // being the 8*(nxl + 2 NG) flux packet. Warming the pool to that
+        // working set makes every pack a pool hit from the first step — the
+        // cold pool used to allocate once per send until recycled receives
+        // refilled it.
+        let ax = usize::from(nb.left.is_some()) + usize::from(nb.right.is_some());
+        let rad = usize::from(nb.down.is_some()) + usize::from(nb.up.is_some());
+        let width = nxl + 2 * NG;
+        let cap = if rad > 0 { (8 * nr).max(8 * width) } else { 8 * nr };
+        pool.warm(6 * (ax + rad), cap);
         Self {
             ep,
-            left,
-            right,
+            left: nb.left,
+            right: nb.right,
+            down: nb.down,
+            up: nb.up,
             nxl,
             nr,
             version,
@@ -97,11 +119,14 @@ impl<'a> ThreadHalo<'a> {
             generation: 0,
             prim_calls: 0,
             flux_calls: 0,
+            prim_r_calls: 0,
+            flux_r_calls: 0,
             pending_prims: None,
             strict: true,
             failure: None,
             pool,
             scratch: vec![0.0; nr],
+            row_scratch: vec![0.0; width],
         }
     }
 
@@ -144,6 +169,8 @@ impl<'a> ThreadHalo<'a> {
         self.step = step;
         self.prim_calls = 0;
         self.flux_calls = 0;
+        self.prim_r_calls = 0;
+        self.flux_r_calls = 0;
         let span = ns_metrics::span_id(self.generation, step);
         self.ep.set_span(span);
         self.ep.flight.record("step", "begin", None, None, Some(span), 0);
@@ -267,6 +294,73 @@ impl<'a> ThreadHalo<'a> {
             Err(_) => self.fail("flux halo framing", CommError::Malformed),
         }
     }
+
+    /// Pack one primitive ghost row (3 planes) across the *full padded
+    /// width* — the axial ghost columns at the row's ends are the corner
+    /// strips, delivered to the radial neighbour in the same message.
+    fn pack_prim_row(&mut self, prim: &PrimField, j_local: usize) -> PackBuf {
+        let width = self.nxl + 2 * NG;
+        let mut b = self.pool.acquire_f64(3 * width);
+        let jj = j_local + NG;
+        for plane in [&prim.u, &prim.v, &prim.t] {
+            for ii in 0..width {
+                b.pack_f64(plane.at(ii, jj));
+            }
+        }
+        b
+    }
+
+    /// Unpack a received primitive ghost row into raw row `jj`.
+    fn unpack_prim_row(&mut self, prim: &mut PrimField, jj: usize, payload: bytes::Bytes) {
+        let mut u = UnpackBuf::new(payload);
+        for plane in [&mut prim.u, &mut prim.v, &mut prim.t] {
+            if u.unpack_f64_slice(&mut self.row_scratch).is_err() {
+                self.fail("prim row halo payload", CommError::Malformed);
+                return;
+            }
+            for (ii, &v) in self.row_scratch.iter().enumerate() {
+                plane.set(ii, jj, v);
+            }
+        }
+        match u.finish() {
+            Ok(b) => self.pool.recycle(b),
+            Err(_) => self.fail("prim row halo framing", CommError::Malformed),
+        }
+    }
+
+    /// Pack flux rows (4 components, padded width, corner strips included).
+    fn pack_flux_rows(&mut self, flux: &FluxField, rows: &[usize]) -> PackBuf {
+        let width = self.nxl + 2 * NG;
+        let mut b = self.pool.acquire_f64(4 * rows.len() * width);
+        for c in 0..4 {
+            for &j_local in rows {
+                for ii in 0..width {
+                    b.pack_f64(flux.at(c, ii as isize - NG as isize, j_local as isize));
+                }
+            }
+        }
+        b
+    }
+
+    /// Unpack received ghost flux rows (signed local row indices).
+    fn unpack_flux_rows(&mut self, flux: &mut FluxField, ghost_rows: &[isize], payload: bytes::Bytes) {
+        let mut u = UnpackBuf::new(payload);
+        for c in 0..4 {
+            for &gj in ghost_rows {
+                if u.unpack_f64_slice(&mut self.row_scratch).is_err() {
+                    self.fail("flux row halo payload", CommError::Malformed);
+                    return;
+                }
+                for (ii, &v) in self.row_scratch.iter().enumerate() {
+                    flux.set(c, ii as isize - NG as isize, gj, v);
+                }
+            }
+        }
+        match u.finish() {
+            Ok(b) => self.pool.recycle(b),
+            Err(_) => self.fail("flux row halo framing", CommError::Malformed),
+        }
+    }
 }
 
 impl XHalo for ThreadHalo<'_> {
@@ -360,6 +454,8 @@ impl XHalo for ThreadHalo<'_> {
             }
             CommVersion::V7 => {
                 // one column per message: twice the start-ups, half the burst
+                // (unreachable for radial pencils, which validation restricts
+                // to the grouped V5 protocol)
                 if let Some(l) = self.left {
                     let b = self.pack_flux_cols(flux, &[1]);
                     self.try_send(l, tag, b, "flux send");
@@ -388,6 +484,69 @@ impl XHalo for ThreadHalo<'_> {
                         self.unpack_flux_cols(flux, &[n as isize], p2);
                     }
                 }
+            }
+        }
+    }
+
+    fn exchange_prims_r(&mut self, prim: &mut PrimField) {
+        if self.down.is_none() && self.up.is_none() {
+            return;
+        }
+        // up to four per step (both stages of both operators, viscous runs);
+        // the call index disambiguates them within the step
+        let call = self.prim_r_calls;
+        self.prim_r_calls += 1;
+        let tag = Tag { kind: MsgKind::PrimsR, seq: self.step * 4 + u64::from(call) };
+        if self.failure.is_some() {
+            return;
+        }
+        if let Some(d) = self.down {
+            let b = self.pack_prim_row(prim, 0);
+            self.try_send(d, tag, b, "prim row halo send down");
+        }
+        if let Some(u) = self.up {
+            let b = self.pack_prim_row(prim, self.nr - 1);
+            self.try_send(u, tag, b, "prim row halo send up");
+        }
+        if let Some(d) = self.down {
+            if let Some(payload) = self.try_recv(d, tag, "prim row halo recv down") {
+                self.unpack_prim_row(prim, NG - 1, payload);
+            }
+        }
+        if let Some(u) = self.up {
+            if let Some(payload) = self.try_recv(u, tag, "prim row halo recv up") {
+                self.unpack_prim_row(prim, NG + self.nr, payload);
+            }
+        }
+    }
+
+    fn exchange_flux_r(&mut self, flux: &mut FluxField) {
+        if self.down.is_none() && self.up.is_none() {
+            return;
+        }
+        let call = self.flux_r_calls;
+        self.flux_r_calls += 1;
+        let tag = Tag { kind: MsgKind::FluxR, seq: self.step * 2 + u64::from(call) };
+        let n = self.nr;
+        if self.failure.is_some() {
+            return;
+        }
+        if let Some(d) = self.down {
+            let b = self.pack_flux_rows(flux, &[0, 1]);
+            self.try_send(d, tag, b, "flux row halo send down");
+        }
+        if let Some(u) = self.up {
+            let b = self.pack_flux_rows(flux, &[n - 2, n - 1]);
+            self.try_send(u, tag, b, "flux row halo send up");
+        }
+        if let Some(d) = self.down {
+            if let Some(payload) = self.try_recv(d, tag, "flux row halo recv down") {
+                self.unpack_flux_rows(flux, &[-2, -1], payload);
+            }
+        }
+        if let Some(u) = self.up {
+            if let Some(payload) = self.try_recv(u, tag, "flux row halo recv up") {
+                self.unpack_flux_rows(flux, &[n as isize, n as isize + 1], payload);
             }
         }
     }

@@ -16,6 +16,8 @@
 //! * [`halo`] — the paper's grouped halo protocol (primitive columns,
 //!   two-column flux packets), including the Version 7 burst-splitting
 //!   variant;
+//! * [`topology`] — the Cartesian `px × pr` pencil rank grid with typed
+//!   decomposition-plan validation;
 //! * [`parallel`] — the rank-per-thread driver with the paper's
 //!   busy/non-overlapped time breakdown;
 //! * [`fault`] — seeded, deterministic fault injection (drop / corrupt /
@@ -34,11 +36,14 @@ pub mod halo;
 pub mod pack;
 pub mod parallel;
 pub mod recover;
+pub mod topology;
 
 pub use comm::{CommStats, Endpoint, ReliableConfig};
 pub use fault::{CrashSpec, FaultInjector, FaultPlan, FaultStats};
 pub use halo::{CommVersion, ThreadHalo};
 pub use parallel::{
-    run_parallel, run_parallel_from, run_parallel_instrumented, CancelToken, ParallelRun, RankResult, TelemetryOptions,
+    run_parallel, run_parallel_cart, run_parallel_from, run_parallel_instrumented, CancelToken, ParallelRun,
+    RankResult, TelemetryOptions,
 };
-pub use recover::{run_parallel_chaos, ChaosOptions, RecoveryReport};
+pub use recover::{run_parallel_chaos, run_parallel_chaos_cart, ChaosOptions, RecoveryReport};
+pub use topology::{CartNeighbors, CartTopology, DecompositionError};

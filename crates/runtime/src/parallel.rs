@@ -1,6 +1,6 @@
 //! The distributed-memory parallel driver: one OS thread per rank, the
-//! paper's axial block decomposition, real message passing through the
-//! in-process endpoints.
+//! paper's axial block decomposition generalized to 2-D pencils over a
+//! [`CartTopology`], real message passing through the in-process endpoints.
 //!
 //! Beyond real wall-clock speedup, the driver records the same breakdown the
 //! paper plots: per-rank *processor busy time* and *non-overlapped
@@ -10,6 +10,7 @@
 use crate::collectives;
 use crate::comm::{universe, CommStats};
 use crate::halo::{CommVersion, ThreadHalo};
+use crate::topology::{CartTopology, DecompositionError};
 use ns_core::config::{Regime, SolverConfig};
 use ns_core::field::{Field, Patch};
 use ns_core::opcount::FlopLedger;
@@ -139,7 +140,8 @@ impl ParallelRun {
                 for i in 0..r.field.nxl() {
                     let gi = r.field.patch.i0 + i;
                     for j in 0..r.field.nr() {
-                        out.set(c, gi as isize, j as isize, r.field.at(c, i as isize, j as isize));
+                        let gj = r.field.patch.j0 + j;
+                        out.set(c, gi as isize, gj as isize, r.field.at(c, i as isize, j as isize));
                     }
                 }
             }
@@ -220,9 +222,12 @@ impl ParallelRun {
         self.ranks.iter().filter_map(|r| r.abort.clone()).reduce(|a, b| if a.contains("peer") { b } else { a })
     }
 
-    /// Steps completed by every rank (the minimum across ranks).
+    /// Steps completed by every rank (the minimum across ranks). An empty
+    /// rank set cannot occur — [`CartTopology::new`] rejects zero-rank
+    /// topologies at construction — so this no longer silently reports 0
+    /// steps for a run that never existed.
     pub fn steps_taken(&self) -> u64 {
-        self.ranks.iter().map(|r| r.steps).min().unwrap_or(0)
+        self.ranks.iter().map(|r| r.steps).min().expect("a parallel run has at least one rank")
     }
 
     /// Flight-recorder dumps of the ranks that stopped early (empty for a
@@ -278,13 +283,28 @@ impl ParallelRun {
     }
 }
 
-/// Run the solver on `p` ranks for `nsteps` steps, starting from the
-/// standard initial condition.
+/// Run the solver on `p` axial ranks for `nsteps` steps, starting from the
+/// standard initial condition (the paper's `P × 1` layout).
 ///
 /// Panics if the decomposition is too fine for the 2-4 stencil and the
 /// cubic boundary extrapolation (every rank needs at least 4 columns).
+/// [`run_parallel_cart`] is the non-panicking generalization.
 pub fn run_parallel(cfg: &SolverConfig, p: usize, nsteps: u64, version: CommVersion) -> ParallelRun {
     run_parallel_from(cfg, p, nsteps, version, None)
+}
+
+/// Run the solver over a 2-D pencil topology. The decomposition plan is
+/// validated up front — split fineness on both axes plus the kernel and
+/// comm-protocol restrictions of radial splits — and rejected as a typed
+/// [`DecompositionError`] instead of a panic mid-run.
+pub fn run_parallel_cart(
+    cfg: &SolverConfig,
+    topo: CartTopology,
+    nsteps: u64,
+    version: CommVersion,
+) -> Result<ParallelRun, DecompositionError> {
+    topo.validate(cfg, version)?;
+    Ok(run_impl(cfg, topo, nsteps, version, None, TelemetryOptions::default()))
 }
 
 /// Run the solver on `p` ranks with the requested telemetry armed: phase
@@ -299,7 +319,7 @@ pub fn run_parallel_instrumented(
     version: CommVersion,
     opts: TelemetryOptions,
 ) -> ParallelRun {
-    run_impl(cfg, p, nsteps, version, None, opts)
+    run_impl(cfg, CartTopology::axial(p), nsteps, version, None, opts)
 }
 
 /// Restart a distributed run from a whole-grid checkpoint: the state is
@@ -312,7 +332,7 @@ pub fn run_parallel_from(
     version: CommVersion,
     restart: Option<&ns_core::checkpoint::Checkpoint>,
 ) -> ParallelRun {
-    run_impl(cfg, p, nsteps, version, restart, TelemetryOptions::default())
+    run_impl(cfg, CartTopology::axial(p), nsteps, version, restart, TelemetryOptions::default())
 }
 
 /// One collective health check. Every rank samples at the same
@@ -345,22 +365,27 @@ fn cancel_check(solver: &Solver, halo: &mut ThreadHalo<'_>, tok: &CancelToken) -
     (global > 0.0).then(|| format!("cancelled at step {}", solver.nstep))
 }
 
-fn run_impl(
+pub(crate) fn run_impl(
     cfg: &SolverConfig,
-    p: usize,
+    topo: CartTopology,
     nsteps: u64,
     version: CommVersion,
     restart: Option<&ns_core::checkpoint::Checkpoint>,
     opts: TelemetryOptions,
 ) -> ParallelRun {
+    let p = topo.size();
     assert!(p >= 1);
     assert_eq!(cfg.dissipation, 0.0, "dissipation is serial-only (the paper's protocol has no smoothing halo)");
-    let min_cols = cfg.grid.nx / p;
-    assert!(min_cols >= 4, "{p} ranks over {} columns leaves ranks with fewer than 4 columns", cfg.grid.nx);
+    // the panicking entry points route plan errors here; run_parallel_cart
+    // has already returned them as typed values
+    topo.validate(cfg, version).unwrap_or_else(|e| panic!("{e}"));
 
     if let Some(cp) = restart {
         assert_eq!(cp.patch.grid, cfg.grid, "checkpoint grid must match");
-        assert!(cp.patch.nxl == cfg.grid.nx, "distributed restart needs a whole-grid checkpoint");
+        assert!(
+            cp.patch.nxl == cfg.grid.nx && cp.patch.nrl == cfg.grid.nr,
+            "distributed restart needs a whole-grid checkpoint"
+        );
     }
     let endpoints = universe(p);
     // shared by reference across the rank threads (the cancel token is a
@@ -377,18 +402,17 @@ fn run_impl(
                 let cfg = cfg.clone();
                 s.spawn(move || {
                     let rank = ep.rank();
-                    let patch = Patch::block(cfg.grid.clone(), rank, p);
-                    let left = (rank > 0).then(|| rank - 1);
-                    let right = (rank + 1 < p).then_some(rank + 1);
+                    let patch = Patch::pencil(cfg.grid.clone(), topo.coords(rank), (topo.px, topo.pr));
+                    let nb = topo.neighbors(rank);
                     let (nxl, nr) = (patch.nxl, patch.nr());
                     let mut solver = Solver::on_patch(cfg, patch);
                     if let Some(cp) = restart {
-                        // scatter the whole-grid state into this rank's slab
-                        let i0 = solver.field.patch.i0;
+                        // scatter the whole-grid state into this rank's pencil
+                        let (i0, j0) = (solver.field.patch.i0, solver.field.patch.j0);
                         for c in 0..4 {
                             for i in 0..nxl {
                                 for j in 0..nr {
-                                    let v = cp.q[c].at(i0 + i + ns_core::field::NG, j + ns_core::field::NG);
+                                    let v = cp.q[c].at(i0 + i + ns_core::field::NG, j0 + j + ns_core::field::NG);
                                     solver.field.set(c, i as isize, j as isize, v);
                                 }
                             }
@@ -408,7 +432,7 @@ fn run_impl(
                     let mut cancelled: Option<String> = None;
                     let t0 = Instant::now();
                     {
-                        let mut halo = ThreadHalo::new(&mut ep, left, right, nxl, nr, version);
+                        let mut halo = ThreadHalo::new_cart(&mut ep, nb, nxl, nr, version);
                         let healthy_start = mon.as_mut().is_none_or(|m| health_check(&solver, &mut halo, m));
                         if healthy_start {
                             for _ in 0..nsteps {
@@ -717,5 +741,77 @@ mod tests {
     fn too_many_ranks_is_rejected() {
         let c = cfg(Regime::Euler);
         let _ = run_parallel(&c, 20, 1, CommVersion::V5);
+    }
+
+    /// Euler pencils are bitwise for every shape (point-local fluxes, all
+    /// exchanged data central); Navier-Stokes pencils are bitwise for pure
+    /// radial splits and viscous-truncation-close once the axial direction
+    /// is split (the one-sided viscous `∂x` at internal axial edges).
+    #[test]
+    fn pencil_matches_serial() {
+        for (regime, shapes, tol) in [
+            (Regime::Euler, vec![(1, 2), (2, 2), (3, 2)], 0.0),
+            (Regime::NavierStokes, vec![(1, 2), (1, 4)], 0.0),
+            (Regime::NavierStokes, vec![(2, 2)], 1e-9),
+        ] {
+            let cfg = cfg(regime);
+            let mut serial = Solver::new(cfg.clone());
+            serial.run(6);
+            for (px, pr) in shapes {
+                let topo = CartTopology::new(px, pr).unwrap();
+                let run = run_parallel_cart(&cfg, topo, 6, CommVersion::V5).unwrap();
+                let d = serial.field.max_diff(&run.gather_field());
+                assert!(d <= tol, "{regime:?} {px}x{pr}: diff {d} exceeds {tol}");
+            }
+        }
+    }
+
+    /// The degenerate pencil shapes reproduce the 1-D drivers bitwise:
+    /// `P × 1` is the existing axial path by construction, `1 × 1` a true
+    /// single-rank no-op.
+    #[test]
+    fn degenerate_pencils_reproduce_axial_path() {
+        let c = cfg(Regime::NavierStokes);
+        let axial = run_parallel(&c, 3, 5, CommVersion::V5);
+        let cart = run_parallel_cart(&c, CartTopology::axial(3), 5, CommVersion::V5).unwrap();
+        assert_eq!(axial.gather_field().max_diff(&cart.gather_field()), 0.0);
+        for (a, b) in axial.ranks.iter().zip(&cart.ranks) {
+            assert_eq!(a.stats.startups(), b.stats.startups(), "rank {}: same protocol", a.rank);
+        }
+        let single = run_parallel_cart(&c, CartTopology::axial(1), 5, CommVersion::V5).unwrap();
+        assert_eq!(single.total_stats().sends, 0, "1x1 exchanges nothing");
+        let mut serial = Solver::new(c);
+        serial.run(5);
+        assert_eq!(serial.field.max_diff(&single.gather_field()), 0.0);
+    }
+
+    /// Too-fine plans on either axis come back as typed errors from
+    /// validation, not a panic (or worse, a wrong answer) mid-run.
+    #[test]
+    fn too_fine_decomposition_is_a_typed_error() {
+        let c = cfg(Regime::Euler);
+        // 1-D regression: 20 ranks over 50 columns leaves 2 columns
+        let err = run_parallel_cart(&c, CartTopology::axial(20), 1, CommVersion::V5).unwrap_err();
+        assert_eq!(err, DecompositionError::TooFewColumns { px: 20, nx: 50 });
+        // 2-D, axial axis too fine even with a coarse radial split
+        let err = run_parallel_cart(&c, CartTopology::new(16, 2).unwrap(), 1, CommVersion::V5).unwrap_err();
+        assert_eq!(err, DecompositionError::TooFewColumns { px: 16, nx: 50 });
+        // 2-D, radial axis too fine: 8 ranks over 20 rows leaves 2 rows
+        let err = run_parallel_cart(&c, CartTopology::new(1, 8).unwrap(), 1, CommVersion::V5).unwrap_err();
+        assert_eq!(err, DecompositionError::TooFewRows { pr: 8, nr: 20 });
+    }
+
+    /// Radial splits are restricted to the unfused kernels and the grouped
+    /// comm protocol; both restrictions surface as typed plan errors.
+    #[test]
+    fn radial_split_restrictions_are_typed_errors() {
+        let mut c = cfg(Regime::Euler);
+        let topo = CartTopology::new(1, 2).unwrap();
+        assert_eq!(run_parallel_cart(&c, topo, 1, CommVersion::V7).unwrap_err(), DecompositionError::UnsupportedComm);
+        c.version = ns_core::config::Version::V6;
+        assert_eq!(
+            run_parallel_cart(&c, topo, 1, CommVersion::V5).unwrap_err(),
+            DecompositionError::UnsupportedVersion { version: ns_core::config::Version::V6 }
+        );
     }
 }

@@ -20,6 +20,7 @@ use crate::comm::{universe, CommError, CommStats, ReliableConfig};
 use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::halo::{CommVersion, ThreadHalo};
 use crate::parallel::{ParallelRun, RankResult};
+use crate::topology::{CartTopology, DecompositionError};
 use ns_core::checkpoint::Checkpoint;
 use ns_core::config::SolverConfig;
 use ns_core::field::{Field, Patch};
@@ -135,9 +136,35 @@ pub fn run_parallel_chaos(
     opts: &ChaosOptions,
 ) -> ParallelRun {
     assert!(p >= 1);
+    chaos_impl(cfg, CartTopology::axial(p), nsteps, version, opts)
+}
+
+/// [`run_parallel_chaos`] over a 2-D pencil topology, with the
+/// decomposition plan validated up front as a typed
+/// [`DecompositionError`] — the same admission check as
+/// [`crate::parallel::run_parallel_cart`].
+pub fn run_parallel_chaos_cart(
+    cfg: &SolverConfig,
+    topo: CartTopology,
+    nsteps: u64,
+    version: CommVersion,
+    opts: &ChaosOptions,
+) -> Result<ParallelRun, DecompositionError> {
+    topo.validate(cfg, version)?;
+    Ok(chaos_impl(cfg, topo, nsteps, version, opts))
+}
+
+fn chaos_impl(
+    cfg: &SolverConfig,
+    topo: CartTopology,
+    nsteps: u64,
+    version: CommVersion,
+    opts: &ChaosOptions,
+) -> ParallelRun {
+    let p = topo.size();
     assert!(opts.checkpoint_every >= 1, "checkpoint cadence must be at least 1");
     assert_eq!(cfg.dissipation, 0.0, "dissipation is serial-only (the paper's protocol has no smoothing halo)");
-    assert!(cfg.grid.nx / p >= 4, "{p} ranks over {} columns leaves ranks with fewer than 4 columns", cfg.grid.nx);
+    topo.validate(cfg, version).unwrap_or_else(|e| panic!("{e}"));
     if let Some(c) = opts.plan.crash {
         assert!(c.rank < p, "crash rank {} does not exist in a universe of {p}", c.rank);
     }
@@ -153,7 +180,7 @@ pub fn run_parallel_chaos(
     loop {
         let generation = report.generations;
         report.generations += 1;
-        let outcomes = run_generation(cfg, p, nsteps, version, opts, &plan, generation, resume.as_deref());
+        let outcomes = run_generation(cfg, topo, nsteps, version, opts, &plan, generation, resume.as_deref());
         for o in &outcomes {
             let a = &mut agg[o.rank];
             a.0.merge(&o.stats);
@@ -254,7 +281,7 @@ pub fn run_parallel_chaos(
 #[allow(clippy::too_many_arguments)]
 fn run_generation(
     cfg: &SolverConfig,
-    p: usize,
+    topo: CartTopology,
     nsteps: u64,
     version: CommVersion,
     opts: &ChaosOptions,
@@ -262,7 +289,7 @@ fn run_generation(
     generation: u32,
     resume: Option<&[Checkpoint]>,
 ) -> Vec<GenOutcome> {
-    let mut endpoints = universe(p);
+    let mut endpoints = universe(topo.size());
     for (rank, ep) in endpoints.iter_mut().enumerate() {
         ep.enable_reliability(opts.reliable);
         if plan.has_message_faults() {
@@ -277,9 +304,8 @@ fn run_generation(
                 let cfg = cfg.clone();
                 s.spawn(move || {
                     let rank = ep.rank();
-                    let patch = Patch::block(cfg.grid.clone(), rank, p);
-                    let left = (rank > 0).then(|| rank - 1);
-                    let right = (rank + 1 < p).then_some(rank + 1);
+                    let patch = Patch::pencil(cfg.grid.clone(), topo.coords(rank), (topo.px, topo.pr));
+                    let nb = topo.neighbors(rank);
                     let (nxl, nr) = (patch.nxl, patch.nr());
                     let mut solver = match resume {
                         Some(cps) => cps[rank].clone().restore(),
@@ -290,7 +316,7 @@ fn run_generation(
                     let mut failure: Option<CommError> = None;
                     let t0 = Instant::now();
                     {
-                        let mut halo = ThreadHalo::new(&mut ep, left, right, nxl, nr, version);
+                        let mut halo = ThreadHalo::new_cart(&mut ep, nb, nxl, nr, version);
                         halo.set_lenient();
                         halo.set_generation(u64::from(generation));
                         while solver.nstep < nsteps {
@@ -501,6 +527,31 @@ mod tests {
         // recovery counters landed in the run's metrics window
         assert!(chaos.metrics.counters.get("ns_recover_crashes_total").copied().unwrap_or(0) >= 1);
         assert!(chaos.metrics.counters.get("ns_recover_rollbacks_total").copied().unwrap_or(0) >= 1);
+    }
+
+    /// A 2-D pencil universe heals drops and survives a mid-run crash of an
+    /// interior pencil (which has axial *and* radial neighbours), landing on
+    /// the same bits as the fault-free pencil run.
+    #[test]
+    fn pencil_chaos_recovers_bitwise() {
+        let c = cfg(Regime::Euler);
+        let topo = CartTopology::new(2, 2).unwrap();
+        let reference = crate::parallel::run_parallel_cart(&c, topo, 6, CommVersion::V5).unwrap();
+        let plan = FaultPlan {
+            seed: 77,
+            drop_rate: 0.02,
+            crash: Some(CrashSpec { rank: 2, step: 3 }),
+            ..FaultPlan::default()
+        };
+        let chaos = run_parallel_chaos_cart(&c, topo, 6, CommVersion::V5, &fast_opts(plan)).unwrap();
+        assert_eq!(
+            reference.gather_field().max_diff(&chaos.gather_field()),
+            0.0,
+            "pencil crash + rollback must reproduce the fault-free field bitwise"
+        );
+        let rep = chaos.recovery.unwrap();
+        assert_eq!(rep.crashes, 1);
+        assert!(rep.rollbacks >= 1);
     }
 
     #[test]

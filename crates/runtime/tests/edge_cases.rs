@@ -9,8 +9,12 @@ use ns_core::field::{FluxField, Patch, PrimField};
 use ns_numerics::Grid;
 use ns_runtime::collectives::{allreduce_max, allreduce_sum, barrier};
 use ns_runtime::comm::universe;
-use ns_runtime::{run_parallel, run_parallel_chaos, ChaosOptions, CommVersion, FaultPlan, ThreadHalo};
+use ns_runtime::{
+    run_parallel, run_parallel_cart, run_parallel_chaos, run_parallel_chaos_cart, CartTopology, ChaosOptions,
+    CommVersion, CrashSpec, FaultPlan, ReliableConfig, ThreadHalo,
+};
 use std::thread;
+use std::time::Duration;
 
 #[test]
 fn single_rank_run_is_bitwise_serial_and_sends_nothing() {
@@ -105,6 +109,79 @@ fn collectives_handle_negative_values_and_many_epochs() {
         assert_eq!(mx, -1.0, "max of negatives must not be clamped to zero");
         assert_eq!(sum, -3.0);
     }
+}
+
+#[test]
+fn pencil_non_divisible_on_both_axes_is_bitwise_serial() {
+    // 67 x 26 over a 3 x 2 rank grid: the remainder-handling branches of
+    // the block decomposition fire on both axes at once
+    let cfg = SolverConfig::paper(Grid::new(67, 26, 50.0, 5.0), Regime::Euler);
+    let mut serial = Solver::new(cfg.clone());
+    serial.run(4);
+    let run = run_parallel_cart(&cfg, CartTopology::new(3, 2).unwrap(), 4, CommVersion::V5).unwrap();
+    let cols: usize = run.ranks.iter().filter(|r| r.field.patch.j0 == 0).map(|r| r.field.patch.nxl).sum();
+    let rows: usize = run.ranks.iter().filter(|r| r.field.patch.i0 == 0).map(|r| r.field.patch.nrl).sum();
+    assert_eq!(cols, 67, "columns lost or duplicated across the bottom rank row");
+    assert_eq!(rows, 26, "rows lost or duplicated across the left rank column");
+    assert_eq!(serial.field.max_diff(&run.gather_field()), 0.0);
+}
+
+#[test]
+fn one_by_one_pencil_is_a_true_no_op() {
+    // the 1 x 1 topology must behave exactly like the lone axial rank:
+    // bitwise serial, and not a single message on the wire
+    let cfg = SolverConfig::paper(Grid::small(), Regime::NavierStokes);
+    let mut serial = Solver::new(cfg.clone());
+    serial.run(4);
+    let run = run_parallel_cart(&cfg, CartTopology::new(1, 1).unwrap(), 4, CommVersion::V5).unwrap();
+    assert_eq!(serial.field.max_diff(&run.gather_field()), 0.0);
+    assert_eq!(run.ranks[0].stats.sends, 0, "a 1x1 pencil has nobody to talk to");
+    assert_eq!(run.ranks[0].stats.recvs, 0);
+}
+
+#[test]
+fn degenerate_pencils_match_the_axial_and_serial_paths() {
+    // P x 1 must BE the 1-D axial decomposition, message for message
+    let cfg = SolverConfig::paper(Grid::small(), Regime::Euler);
+    let axial = run_parallel(&cfg, 4, 4, CommVersion::V5);
+    let cart = run_parallel_cart(&cfg, CartTopology::new(4, 1).unwrap(), 4, CommVersion::V5).unwrap();
+    assert_eq!(axial.gather_field().max_diff(&cart.gather_field()), 0.0);
+    assert_eq!(axial.total_stats().sends, cart.total_stats().sends, "same protocol, same message count");
+
+    // 1 x P keeps every axial stencil whole, so even Navier-Stokes (whose
+    // axial splits are only tolerance-equal) must be bitwise vs serial
+    let ns = SolverConfig::paper(Grid::small(), Regime::NavierStokes);
+    let mut serial = Solver::new(ns.clone());
+    serial.run(4);
+    let radial = run_parallel_cart(&ns, CartTopology::new(1, 4).unwrap(), 4, CommVersion::V5).unwrap();
+    assert_eq!(serial.field.max_diff(&radial.gather_field()), 0.0);
+}
+
+#[test]
+fn pencil_chaos_with_faults_replays_corner_strips_bitwise() {
+    // message drops plus a mid-run crash on a 2 x 2 pencil: rollback and
+    // replay must reproduce the fault-free pencil run bitwise, radial
+    // corner-strip exchanges included
+    let cfg = SolverConfig::paper(Grid::new(66, 24, 50.0, 5.0), Regime::NavierStokes);
+    let topo = CartTopology::new(2, 2).unwrap();
+    let reference = run_parallel_cart(&cfg, topo, 6, CommVersion::V5).unwrap();
+    let opts = ChaosOptions {
+        plan: FaultPlan {
+            seed: 1995,
+            drop_rate: 0.03,
+            crash: Some(CrashSpec { rank: 3, step: 4 }),
+            ..FaultPlan::default()
+        },
+        reliable: ReliableConfig { retry_timeout: Duration::from_millis(2), max_retries: 5 },
+        checkpoint_every: 2,
+        max_rollbacks: 8,
+        recv_timeout: Duration::from_millis(250),
+    };
+    let chaos = run_parallel_chaos_cart(&cfg, topo, 6, CommVersion::V5, &opts).unwrap();
+    assert_eq!(reference.gather_field().max_diff(&chaos.gather_field()), 0.0);
+    let rep = chaos.recovery.unwrap();
+    assert_eq!(rep.crashes, 1, "the planned crash must have fired");
+    assert!(rep.rollbacks >= 1, "recovery must have rolled back at least once");
 }
 
 #[test]

@@ -232,13 +232,11 @@ impl JobSpec {
                 if self.cfg.dissipation != 0.0 {
                     return Err("dissipation is serial-only; the parallel drivers reject it".into());
                 }
-                let cols = self.cfg.grid.nx / self.procs;
-                if cols < 4 {
-                    return Err(format!(
-                        "{} ranks over {} columns leaves ranks with fewer than 4 columns",
-                        self.procs, self.cfg.grid.nx
-                    ));
-                }
+                // the same typed plan validation the drivers run, so a
+                // daemon never admits work it would panic on
+                ns_runtime::CartTopology::axial(self.procs)
+                    .validate(&self.cfg, self.comm)
+                    .map_err(|e| e.to_string())?;
             }
             Backend::Shared => {
                 if self.cfg.dissipation != 0.0 {

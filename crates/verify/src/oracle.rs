@@ -26,7 +26,10 @@ use ns_core::config::{Regime, SolverConfig, Version};
 use ns_core::driver::Solver;
 use ns_core::Field;
 use ns_numerics::Grid;
-use ns_runtime::{run_parallel, run_parallel_chaos, ChaosOptions, CommVersion, FaultPlan};
+use ns_runtime::{
+    run_parallel, run_parallel_cart, run_parallel_chaos, run_parallel_chaos_cart, CartTopology, ChaosOptions,
+    CommVersion, FaultPlan,
+};
 use serde::Serialize;
 
 use crate::snapshot::{self, FieldSnapshot};
@@ -72,6 +75,9 @@ pub struct OracleConfig {
     pub versions: Vec<Version>,
     /// Processor counts for the distributed drivers.
     pub procs: Vec<usize>,
+    /// 2-D pencil shapes `(px, pr)` for the Cartesian drivers (run on the
+    /// V5 baseline kernel, the rung radial splits support).
+    pub pencil_shapes: Vec<(usize, usize)>,
     /// Governing equations to cover.
     pub regimes: Vec<Regime>,
     /// Non-baseline comm protocols to cover (baseline is V5).
@@ -93,6 +99,7 @@ impl OracleConfig {
                 steps: 6,
                 versions: vec![Version::V5, Version::V6, Version::V7],
                 procs: vec![1, 4],
+                pencil_shapes: vec![(1, 4), (2, 2)],
                 regimes,
                 comm_versions: vec![CommVersion::V6],
                 perturb: None,
@@ -103,6 +110,7 @@ impl OracleConfig {
                 steps: 6,
                 versions: Version::ALL.to_vec(),
                 procs: vec![1, 2, 4, 8, 16],
+                pencil_shapes: vec![(1, 4), (4, 1), (2, 2), (4, 2)],
                 regimes,
                 comm_versions: vec![CommVersion::V6, CommVersion::V7],
                 perturb: None,
@@ -270,6 +278,34 @@ pub fn run_matrix(oc: &OracleConfig) -> OracleReport {
                 maybe_perturb(oc, &chaos_key, &mut chaos);
                 cells.push(compare(&chaos_key, &par_key, &chaos, &par, Expect::Bitwise));
             }
+        }
+
+        // --- 2-D pencil decompositions (V5 kernels, grouped comm) ---------
+        // Euler pencils are bitwise against serial for every shape; N-S is
+        // bitwise only for pure radial splits (px = 1), where no one-sided
+        // viscous axial stencils appear at internal edges.
+        let cfg = base_cfg(oc, regime, Version::V5);
+        for &(px, pr) in &oc.pencil_shapes {
+            let topo = CartTopology::new(px, pr).unwrap_or_else(|e| panic!("pencil shape {px}x{pr}: {e}"));
+            let expect = match regime {
+                Regime::Euler => Expect::Bitwise,
+                Regime::NavierStokes if px == 1 => Expect::Bitwise,
+                Regime::NavierStokes => Expect::Rel(TOL_NS_PARALLEL),
+            };
+            let key = format!("{rk}/V5/pencil/{px}x{pr}");
+            let run = run_parallel_cart(&cfg, topo, oc.steps, CommVersion::V5)
+                .unwrap_or_else(|e| panic!("pencil {px}x{pr}: {e}"));
+            let mut par = run.gather_field();
+            maybe_perturb(oc, &key, &mut par);
+            cells.push(compare(&key, &v5_key, &par, &v5_field, expect));
+
+            // fault-free chaos over the same topology is a bitwise no-op
+            let chaos_key = format!("{rk}/V5/chaos-pencil/{px}x{pr}");
+            let chaos_run = run_parallel_chaos_cart(&cfg, topo, oc.steps, CommVersion::V5, &chaos_opts())
+                .unwrap_or_else(|e| panic!("chaos pencil {px}x{pr}: {e}"));
+            let mut chaos = chaos_run.gather_field();
+            maybe_perturb(oc, &chaos_key, &mut chaos);
+            cells.push(compare(&chaos_key, &key, &chaos, &par, Expect::Bitwise));
         }
 
         // --- comm-protocol versions (physics-neutral, V5 kernels, P=4) ----

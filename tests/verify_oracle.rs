@@ -22,8 +22,9 @@ fn quick_matrix_is_green_and_golden_self_diff_passes() {
     let failing: Vec<_> = report.cells.iter().filter(|c| !c.pass).map(|c| c.key.clone()).collect();
     assert!(failing.is_empty(), "oracle cells failed: {failing:?}");
     // quick matrix shape: per regime, {V6,V7}-vs-V5 serial (2) +
-    // {V5,V6,V7} x {1,4} x {parallel,chaos} (12) + comm V6 (1)
-    assert_eq!(report.cells.len(), 30);
+    // {V5,V6,V7} x {1,4} x {parallel,chaos} (12) +
+    // V5 x {1x4,2x2} x {pencil,chaos-pencil} (4) + comm V6 (1)
+    assert_eq!(report.cells.len(), 38);
     assert_eq!(report.snapshots.len(), 2, "one serial V5 reference per regime");
 
     // the snapshots round-trip into a golden file that diffs clean against
